@@ -1,0 +1,277 @@
+//! Randomized `(O(log n), O(log n))` network decomposition (Linial–Saks).
+//!
+//! The paper's discussion section ties its main open question — can any
+//! LCL have `D(n)/R(n) ≫ log n`? — to the deterministic complexity of
+//! network decomposition: via Ghaffari–Harris–Kuhn, any LCL with
+//! `D(n)/R(n) = ω(log² n)` would imply a superlogarithmic lower bound for
+//! `(log n, log n)`-decompositions. This module provides the classical
+//! randomized construction as an executable companion to that discussion.
+//!
+//! **Algorithm** (Linial–Saks 1993, ball-growing form). In iteration
+//! (color) `i`: every still-alive node `y` draws a radius
+//! `r_y ~ min(Geometric(1/2), B)` with `B = ⌈log₂ n⌉ + 2`. Every alive
+//! node `v` looks at the alive candidates `y` with `dist(v, y) ≤ r_y` and
+//! elects the one with the largest identifier. If `dist(v, y*) < r_{y*}`
+//! (strictly interior), `v` joins cluster `y*` with color `i` and retires;
+//! border nodes stay for later iterations. Two same-color clusters are
+//! never adjacent: if neighbors `v₁ ∈ C(y₁)`, `v₂ ∈ C(y₂)` were both
+//! strictly interior, each leader would have been a candidate for the
+//! other's node, forcing `id(y₁) = id(y₂)`.
+//!
+//! Each iteration retires a node with probability ≥ 1/2 (its elected
+//! leader's radius exceeds the election threshold with the geometric's
+//! memorylessness), so `O(log n)` colors suffice w.h.p.; cluster weak
+//! diameter is ≤ `2B = O(log n)`; and one iteration costs `O(B)` rounds.
+
+use lcl_local::Network;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// A network decomposition: a color and a cluster (leader id) per node.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Color class of each node (0-based).
+    pub color: Vec<u32>,
+    /// Cluster leader's LOCAL identifier, per node.
+    pub cluster: Vec<u64>,
+    /// Number of color classes used.
+    pub colors_used: u32,
+    /// Measured rounds: iterations × (radius bound + 1).
+    pub rounds: u32,
+    /// The radius bound `B` used.
+    pub radius_bound: u32,
+}
+
+/// Runs the Linial–Saks decomposition.
+///
+/// # Panics
+///
+/// Panics if the construction fails to retire every node within `8·log₂ n
+/// + 16` iterations (probability `n^{-Ω(1)}`; indicates a bug).
+#[must_use]
+pub fn linial_saks(net: &Network, seed: u64) -> Decomposition {
+    let g = net.graph();
+    let n = g.node_count();
+    let b = (net.known_n().max(2) as f64).log2().ceil() as u32 + 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEC0_0515);
+
+    let mut color = vec![u32::MAX; n];
+    let mut cluster = vec![0u64; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut iteration = 0;
+    let cap = 8 * (n.max(2) as f64).log2() as u32 + 16;
+
+    while alive.iter().any(|&a| a) {
+        assert!(iteration < cap, "decomposition failed to converge");
+        // Radii: capped geometric with success probability 1/2.
+        let radii: Vec<u32> = (0..n)
+            .map(|i| {
+                if !alive[i] {
+                    return 0;
+                }
+                let mut r = 0;
+                while r < b && rng.gen_bool(0.5) {
+                    r += 1;
+                }
+                r
+            })
+            .collect();
+
+        // For each alive node, the best (max-id) alive candidate y with
+        // dist(v, y) ≤ r_y, tracked with the achieved distance. One BFS
+        // per alive node y, over the full graph (weak diameter semantics).
+        let mut best: Vec<Option<(u64, u32)>> = vec![None; n]; // (id, dist)
+        for y in g.nodes() {
+            if !alive[y.index()] {
+                continue;
+            }
+            let ry = radii[y.index()];
+            let idy = net.id_of(y);
+            // BFS to radius ry.
+            let mut dist = vec![u32::MAX; n];
+            let mut queue = VecDeque::new();
+            dist[y.index()] = 0;
+            queue.push_back(y);
+            while let Some(x) = queue.pop_front() {
+                let dx = dist[x.index()];
+                if alive[x.index()] {
+                    let entry = &mut best[x.index()];
+                    if entry.map_or(true, |(bid, _)| idy > bid) {
+                        *entry = Some((idy, dx));
+                    }
+                }
+                if dx < ry {
+                    for (w, _) in g.neighbors(x) {
+                        if dist[w.index()] == u32::MAX {
+                            dist[w.index()] = dx + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Strictly interior nodes retire with this color.
+        for v in g.nodes() {
+            if !alive[v.index()] {
+                continue;
+            }
+            if let Some((leader_id, d)) = best[v.index()] {
+                // Find the leader's radius: leaders are identified by id;
+                // strictness compares against r_{y*}.
+                let leader = g
+                    .nodes()
+                    .find(|&y| net.id_of(y) == leader_id)
+                    .expect("leader exists");
+                if d < radii[leader.index()] {
+                    color[v.index()] = iteration;
+                    cluster[v.index()] = leader_id;
+                    alive[v.index()] = false;
+                }
+            } else if radii[v.index()] == 0 {
+                // No candidate at all (not even itself): r_v = 0 and no
+                // neighbor reached v. v forms a singleton next time it
+                // draws r_v ≥ 1; nothing to do now.
+            }
+        }
+        iteration += 1;
+    }
+
+    Decomposition {
+        color,
+        cluster,
+        colors_used: iteration,
+        rounds: iteration * (b + 1),
+        radius_bound: b,
+    }
+}
+
+/// Validates a decomposition: total, same-color clusters non-adjacent,
+/// weak cluster diameter ≤ `2B`.
+///
+/// # Errors
+///
+/// Returns a diagnostic for the first violated property.
+pub fn validate(net: &Network, d: &Decomposition) -> Result<(), String> {
+    let g = net.graph();
+    if d.color.iter().any(|&c| c == u32::MAX) {
+        return Err("some node is uncolored".into());
+    }
+    // Same-color adjacent nodes must share a cluster.
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if u != v
+            && d.color[u.index()] == d.color[v.index()]
+            && d.cluster[u.index()] != d.cluster[v.index()]
+        {
+            return Err(format!(
+                "adjacent same-color nodes {u:?}, {v:?} in different clusters"
+            ));
+        }
+    }
+    // Weak diameter: every node is within 2B of every clustermate (via
+    // the leader in the full graph). Check distance to the leader ≤ B.
+    for v in g.nodes() {
+        let leader = g
+            .nodes()
+            .find(|&y| net.id_of(y) == d.cluster[v.index()])
+            .ok_or_else(|| "cluster leader does not exist".to_string())?;
+        let dist = lcl_graph::bfs_distances(g, v);
+        match dist[leader.index()] {
+            Some(x) if x <= d.radius_bound => {}
+            other => {
+                return Err(format!(
+                    "node {v:?} at distance {other:?} from its leader (B = {})",
+                    d.radius_bound
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn decomposes_random_regular_graphs() {
+        for seed in 0..3 {
+            let g = gen::random_regular(128, 3, seed).unwrap();
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let d = linial_saks(&net, seed);
+            validate(&net, &d).expect("valid decomposition");
+            let log = (128f64).log2();
+            assert!(
+                f64::from(d.colors_used) <= 4.0 * log,
+                "too many colors: {}",
+                d.colors_used
+            );
+        }
+    }
+
+    #[test]
+    fn decomposes_assorted_topologies() {
+        for (g, seed) in [
+            (gen::cycle(40), 1u64),
+            (gen::grid(8, 8), 2),
+            (gen::complete(10), 3),
+            (gen::random_tree(60, 4), 4),
+            (gen::disjoint_cycles(4, 7), 5),
+        ] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let d = linial_saks(&net, seed);
+            validate(&net, &d).expect("valid decomposition");
+        }
+    }
+
+    #[test]
+    fn colors_grow_slowly_with_n() {
+        let mut prev = 0.0;
+        for (n, seed) in [(64usize, 1u64), (512, 2), (2048, 3)] {
+            let g = gen::random_regular(n, 3, seed).unwrap();
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let d = linial_saks(&net, seed);
+            let per_log = f64::from(d.colors_used) / (n as f64).log2();
+            assert!(per_log <= 2.0, "colors/log n = {per_log} at n = {n}");
+            prev = per_log.max(prev);
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn rounds_are_colors_times_radius() {
+        let g = gen::random_regular(64, 3, 7).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
+        let d = linial_saks(&net, 7);
+        assert_eq!(d.rounds, d.colors_used * (d.radius_bound + 1));
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = gen::random_regular(64, 3, 8).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 8 });
+        let a = linial_saks(&net, 5);
+        let b = linial_saks(&net, 5);
+        assert_eq!(a.color, b.color);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn validate_rejects_mixed_clusters() {
+        let g = gen::path(3);
+        let net = Network::new(g, IdAssignment::Sequential);
+        let bad = Decomposition {
+            color: vec![0, 0, 0],
+            cluster: vec![1, 2, 2],
+            colors_used: 1,
+            rounds: 1,
+            radius_bound: 4,
+        };
+        assert!(validate(&net, &bad).is_err());
+    }
+}

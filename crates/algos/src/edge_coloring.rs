@@ -1,0 +1,238 @@
+//! `(2Δ−1)`-edge-coloring in `O(log* n + Δ²)` rounds: Linial color
+//! reduction on the line graph.
+//!
+//! Two edges conflict iff they share an endpoint, so edges form a graph of
+//! maximum degree `2Δ − 2`; running the reduction of [`crate::linial`] on
+//! it yields a proper `(2Δ−1)`-edge-coloring. Initial colors come from the
+//! edges' endpoint-identifier pairs (unique per edge up to parallel
+//! bundles, which are separated by a port index).
+
+use lcl_core::problems::EdgeColoringLabel;
+use lcl_core::Labeling;
+use lcl_local::Network;
+
+/// Result of an edge-coloring run.
+#[derive(Clone, Debug)]
+pub struct EdgeColoringOutcome {
+    /// A proper `(2Δ−1)`-edge-coloring labeling.
+    pub labeling: Labeling<EdgeColoringLabel>,
+    /// Measured rounds (reduction + class elimination).
+    pub rounds: u32,
+    /// Colors per edge.
+    pub colors: Vec<u32>,
+}
+
+/// Runs `(2Δ−1)`-edge-coloring.
+///
+/// # Panics
+///
+/// Panics if the graph contains a self-loop (a loop conflicts with
+/// itself).
+#[must_use]
+pub fn run(net: &Network) -> EdgeColoringOutcome {
+    let g = net.graph();
+    assert!(
+        g.edges().all(|e| !g.is_self_loop(e)),
+        "edge coloring requires a loopless graph"
+    );
+    let delta = g.max_degree().max(1) as u64;
+    let line_degree = 2 * (delta - 1);
+    let target = 2 * delta - 1;
+
+    // Initial unique colors per edge: id-pair plus the port at the smaller
+    // endpoint (separates parallel edges). Unique ⇒ proper.
+    let idw = net.known_n() as u64 + 1;
+    let mut colors: Vec<u64> = g
+        .edges()
+        .map(|e| {
+            let [a, b] = g.endpoints(e);
+            let (ia, ib) = (net.id_of(a), net.id_of(b));
+            let (lo, hi) = if ia < ib { (ia, ib) } else { (ib, ia) };
+            let port = g.port_of(lcl_graph::HalfEdge::new(e, lcl_graph::Side::A)) as u64;
+            (lo * idw + hi) * (delta + 1) + port.min(delta)
+        })
+        .collect();
+    let mut k = colors.iter().copied().max().unwrap_or(0) + 1;
+    let mut rounds = 0;
+
+    // Neighbor edges in the line graph.
+    let neighbors: Vec<Vec<usize>> = g
+        .edges()
+        .map(|e| {
+            let [a, b] = g.endpoints(e);
+            let mut out: Vec<usize> = g
+                .ports(a)
+                .iter()
+                .chain(g.ports(b))
+                .map(|h| h.edge.index())
+                .filter(|&x| x != e.index())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+
+    // Linial reduction steps (same structure as node coloring).
+    while let Some(q) = linial_prime(k, line_degree) {
+        let d = digits(k, q);
+        colors = (0..colors.len())
+            .map(|i| {
+                let pv = poly(colors[i], q, d);
+                let x = (0..q)
+                    .find(|&x| {
+                        neighbors[i].iter().all(|&j| {
+                            let pw = poly(colors[j], q, d);
+                            pw == pv || eval(&pv, x, q) != eval(&pw, x, q)
+                        })
+                    })
+                    .expect("q > Δ_L(d-1) guarantees a free point");
+                x * q + eval(&pv, x, q)
+            })
+            .collect();
+        k = q * q;
+        rounds += 1;
+    }
+
+    // Color-class elimination down to 2Δ − 1.
+    while k > target {
+        let top = k - 1;
+        colors = (0..colors.len())
+            .map(|i| {
+                if colors[i] != top {
+                    return colors[i];
+                }
+                let used: Vec<u64> = neighbors[i].iter().map(|&j| colors[j]).collect();
+                (0..target).find(|c| !used.contains(c)).expect("palette suffices")
+            })
+            .collect();
+        k -= 1;
+        rounds += 1;
+    }
+
+    let colors_u32: Vec<u32> = colors.iter().map(|&c| c as u32).collect();
+    let labeling = Labeling::build(
+        g,
+        |_| EdgeColoringLabel::Blank,
+        |e| EdgeColoringLabel::Color(colors_u32[e.index()]),
+        |_| EdgeColoringLabel::Blank,
+    );
+    EdgeColoringOutcome { labeling, rounds, colors: colors_u32 }
+}
+
+// Shared small-number helpers (duplicated from `linial` to keep the
+// modules independent; both are tested).
+fn digits(k: u64, q: u64) -> u32 {
+    let mut d = 1;
+    let mut cap = q;
+    while cap < k {
+        cap = cap.saturating_mul(q);
+        d += 1;
+    }
+    d
+}
+
+fn linial_prime(k: u64, delta: u64) -> Option<u64> {
+    let mut q = 2;
+    loop {
+        if u128::from(q) * u128::from(q) >= u128::from(k) {
+            return None;
+        }
+        if is_prime(q) {
+            let d = digits(k, q);
+            if q > delta * u64::from(d - 1) {
+                return Some(q);
+            }
+        }
+        q += 1;
+    }
+}
+
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    let mut f = 2;
+    while f * f <= x {
+        if x % f == 0 {
+            return false;
+        }
+        f += 1;
+    }
+    true
+}
+
+fn poly(c: u64, q: u64, d: u32) -> Vec<u64> {
+    let mut digits = Vec::with_capacity(d as usize);
+    let mut rest = c;
+    for _ in 0..d {
+        digits.push(rest % q);
+        rest /= q;
+    }
+    digits
+}
+
+fn eval(p: &[u64], x: u64, q: u64) -> u64 {
+    let mut acc = 0u64;
+    for &coef in p.iter().rev() {
+        acc = (acc * x + coef) % q;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::EdgeColoring;
+    use lcl_core::{check, Labeling as L};
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn three_edge_colors_on_cycles() {
+        for n in [5usize, 64, 513] {
+            let net = Network::new(gen::cycle(n), IdAssignment::Shuffled { seed: n as u64 });
+            let out = run(&net);
+            let input = L::uniform(net.graph(), ());
+            check(&EdgeColoring::new(3), net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn two_delta_minus_one_on_regular_graphs() {
+        for (d, seed) in [(3usize, 1u64), (4, 2), (5, 3)] {
+            let g = gen::random_regular(60, d, seed).unwrap();
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let out = run(&net);
+            let palette = 2 * d as u32 - 1;
+            assert!(out.colors.iter().all(|&c| c < palette));
+            let input = L::uniform(net.graph(), ());
+            check(&EdgeColoring::new(palette), net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_colors() {
+        let mut g = gen::cycle(4);
+        g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(1));
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
+        let out = run(&net);
+        let input = L::uniform(net.graph(), ());
+        check(&EdgeColoring::new(5), net.graph(), &input, &out.labeling).expect_ok();
+    }
+
+    #[test]
+    fn rounds_stay_bounded_as_n_grows() {
+        let small = run(&Network::new(gen::cycle(32), IdAssignment::Shuffled { seed: 1 }));
+        let large = run(&Network::new(gen::cycle(4096), IdAssignment::Shuffled { seed: 1 }));
+        assert!(large.rounds <= small.rounds + 26, "{} vs {}", large.rounds, small.rounds);
+    }
+
+    #[test]
+    fn trees_work() {
+        let net = Network::new(gen::complete_binary_tree(6), IdAssignment::Shuffled { seed: 6 });
+        let out = run(&net);
+        let input = L::uniform(net.graph(), ());
+        check(&EdgeColoring::new(5), net.graph(), &input, &out.labeling).expect_ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Luby-style maximal independent set in `O(log n)` rounds w.h.p.
+//!
+//! A baseline point for the Figure-1 landscape: a classical problem whose
+//! randomized complexity is logarithmic. Each round every undecided node
+//! draws a random priority; strict local minima join the set and their
+//! neighbors leave. Ties (probability ~0 with 64-bit draws, but the
+//! adversary of the model gets no say) are broken by identifier.
+
+use lcl_core::problems::MisLabel;
+use lcl_core::Labeling;
+use lcl_graph::HalfEdge;
+use lcl_local::Network;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a Luby MIS run.
+#[derive(Clone, Debug)]
+pub struct LubyOutcome {
+    /// The MIS with dominator pointers, ready for the
+    /// `MaximalIndependentSet` checker.
+    pub labeling: Labeling<MisLabel>,
+    /// Rounds until every node decided.
+    pub rounds: u32,
+    /// Membership per node.
+    pub in_set: Vec<bool>,
+}
+
+/// Runs Luby's algorithm.
+///
+/// # Panics
+///
+/// Panics on graphs with self-loops at otherwise-isolated nodes (such a
+/// node can neither join the set nor be dominated; the problem is
+/// unsatisfiable there).
+#[must_use]
+pub fn run(net: &Network, seed: u64) -> LubyOutcome {
+    let g = net.graph();
+    let n = g.node_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1_5EED_AB1E);
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Undecided,
+        In,
+        Out,
+    }
+    let mut state = vec![St::Undecided; n];
+    let mut rounds = 0;
+
+    while state.iter().any(|&s| s == St::Undecided) {
+        rounds += 1;
+        let priority: Vec<(u64, u64)> =
+            g.nodes().map(|v| (rng.gen::<u64>(), net.id_of(v))).collect();
+        let mut joins = Vec::new();
+        for v in g.nodes() {
+            if state[v.index()] != St::Undecided {
+                continue;
+            }
+            // A self-loop makes v its own neighbor: it can never be a
+            // strict minimum among undecided neighbors including itself,
+            // so it must wait to be dominated.
+            let self_loop = g.ports(v).iter().any(|h| g.half_edge_peer(*h) == v);
+            if self_loop {
+                let dominated_possible =
+                    g.neighbors(v).any(|(w, _)| w != v && state[w.index()] != St::Out);
+                assert!(
+                    dominated_possible || state[v.index()] != St::Undecided,
+                    "self-looped node {v:?} with no usable neighbor: MIS unsatisfiable"
+                );
+                continue;
+            }
+            let mine = priority[v.index()];
+            let is_min = g
+                .neighbors(v)
+                .filter(|(w, _)| state[w.index()] == St::Undecided)
+                .all(|(w, _)| mine < priority[w.index()]);
+            if is_min {
+                joins.push(v);
+            }
+        }
+        if joins.is_empty() && rounds > 4 * n as u32 {
+            panic!("MIS made no progress; unsatisfiable instance");
+        }
+        for v in joins {
+            state[v.index()] = St::In;
+            for (w, _) in g.neighbors(v) {
+                if state[w.index()] == St::Undecided {
+                    state[w.index()] = St::Out;
+                }
+            }
+        }
+    }
+
+    let in_set: Vec<bool> = state.iter().map(|&s| s == St::In).collect();
+    let mut labeling = Labeling::build(
+        g,
+        |v| if in_set[v.index()] { MisLabel::InSet } else { MisLabel::OutSet },
+        |_| MisLabel::Blank,
+        |_| MisLabel::NoPointer,
+    );
+    // Dominator pointers for the ne-LCL encoding.
+    let mut pointer: Vec<Option<HalfEdge>> = vec![None; n];
+    for v in g.nodes() {
+        if in_set[v.index()] {
+            continue;
+        }
+        pointer[v.index()] = g
+            .ports(v)
+            .iter()
+            .copied()
+            .find(|h| in_set[g.half_edge_peer(*h).index()] && g.half_edge_peer(*h) != v);
+    }
+    for v in g.nodes() {
+        if let Some(h) = pointer[v.index()] {
+            *labeling.half_mut(h) = MisLabel::Pointer;
+        }
+    }
+    LubyOutcome { labeling, rounds, in_set }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::MaximalIndependentSet;
+    use lcl_core::{check, Labeling as L};
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn valid_mis_on_many_instances() {
+        for (g, seed) in [
+            (gen::cycle(17), 1u64),
+            (gen::random_regular(80, 3, 2).unwrap(), 2),
+            (gen::complete(6), 3),
+            (gen::grid(7, 5), 4),
+            (gen::random_tree(50, 5), 5),
+        ] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let out = run(&net, seed);
+            let input = L::uniform(net.graph(), ());
+            check(&MaximalIndependentSet, net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_ish() {
+        let g = gen::random_regular(2048, 3, 7).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
+        let out = run(&net, 7);
+        assert!(out.rounds <= 40, "Luby should finish fast, took {}", out.rounds);
+        assert!(out.rounds >= 2);
+    }
+
+    #[test]
+    fn complete_graph_has_singleton_mis() {
+        let net = Network::new(gen::complete(8), IdAssignment::Sequential);
+        let out = run(&net, 1);
+        assert_eq!(out.in_set.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = gen::random_regular(50, 3, 9).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 9 });
+        assert_eq!(run(&net, 5).in_set, run(&net, 5).in_set);
+    }
+
+    #[test]
+    fn self_loop_with_real_neighbor_is_dominated() {
+        let mut g = gen::path(2);
+        g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
+        let net = Network::new(g, IdAssignment::Sequential);
+        let out = run(&net, 3);
+        assert!(!out.in_set[0]);
+        assert!(out.in_set[1]);
+        let input = L::uniform(net.graph(), ());
+        check(&MaximalIndependentSet, net.graph(), &input, &out.labeling).expect_ok();
+    }
+}

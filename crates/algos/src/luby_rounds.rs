@@ -1,0 +1,245 @@
+//! Luby's MIS as a **genuine message-passing algorithm** on the round
+//! engine (`lcl_local::run_rounds`), in contrast to the centralized
+//! simulation of [`crate::luby`].
+//!
+//! Protocol (two rounds per Luby phase):
+//!
+//! 1. **Exchange**: every undecided node draws a fresh priority and sends
+//!    `(priority, id)` on all ports;
+//! 2. **Resolve**: strict local minima announce `Joined`; their neighbors
+//!    leave the competition, recording the announcing port as their
+//!    dominator pointer.
+//!
+//! The per-node outputs are merged into a global labeling with
+//! [`lcl_core::assemble`] — the same edge-agreement rule the paper imposes
+//! on ne-LCL outputs — and checked against `MaximalIndependentSet`.
+
+use lcl_core::problems::MisLabel;
+use lcl_core::{assemble, Labeling, NodeLocalOutput};
+use lcl_local::{run_rounds, Network, NodeCtx, RoundAlgorithm};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Messages of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// An undecided node's current priority draw (with its id as a
+    /// symmetric tiebreaker).
+    Priority(u64, u64),
+    /// The sender joined the independent set this phase.
+    Joined,
+    /// The sender is decided and silent (keeps inboxes aligned).
+    Idle,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Exchange,
+    Resolve,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Status {
+    Undecided,
+    In,
+    Out,
+}
+
+/// Per-node protocol state.
+pub struct State {
+    phase: Phase,
+    status: Status,
+    priority: (u64, u64),
+    tentative_join: bool,
+    dominator_port: Option<usize>,
+}
+
+/// The distributed Luby algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistributedLuby;
+
+impl RoundAlgorithm for DistributedLuby {
+    type State = State;
+    type Msg = Msg;
+    type Output = (MisLabel, Option<usize>);
+
+    fn init(&self, ctx: &NodeCtx, rng: &mut ChaCha8Rng) -> State {
+        State {
+            phase: Phase::Exchange,
+            status: Status::Undecided,
+            priority: (rng.gen(), ctx.id),
+            tentative_join: false,
+            dominator_port: None,
+        }
+    }
+
+    fn send(&self, state: &State, ctx: &NodeCtx) -> Vec<(usize, Msg)> {
+        let msg = match (state.phase, state.status) {
+            (Phase::Exchange, Status::Undecided) => {
+                Msg::Priority(state.priority.0, state.priority.1)
+            }
+            (Phase::Resolve, _) if state.tentative_join => Msg::Joined,
+            _ => Msg::Idle,
+        };
+        (0..ctx.degree).map(|p| (p, msg.clone())).collect()
+    }
+
+    fn receive(
+        &self,
+        state: &mut State,
+        _ctx: &NodeCtx,
+        inbox: &[(usize, Msg)],
+        rng: &mut ChaCha8Rng,
+    ) {
+        match state.phase {
+            Phase::Exchange => {
+                if state.status == Status::Undecided {
+                    let mut is_min = true;
+                    for (_port, msg) in inbox {
+                        if let Msg::Priority(p, id) = msg {
+                            if (*p, *id) < state.priority {
+                                is_min = false;
+                            }
+                        }
+                    }
+                    // A node with no undecided neighbors joins outright.
+                    state.tentative_join = is_min;
+                } else {
+                    state.tentative_join = false;
+                }
+                state.phase = Phase::Resolve;
+            }
+            Phase::Resolve => {
+                if state.status == Status::Undecided {
+                    if state.tentative_join {
+                        state.status = Status::In;
+                    } else if let Some((port, _)) =
+                        inbox.iter().find(|(_, m)| *m == Msg::Joined)
+                    {
+                        state.status = Status::Out;
+                        state.dominator_port = Some(*port);
+                    }
+                }
+                state.tentative_join = false;
+                state.priority = (rng.gen(), state.priority.1);
+                state.phase = Phase::Exchange;
+            }
+        }
+    }
+
+    fn output(&self, state: &State, _ctx: &NodeCtx) -> Option<(MisLabel, Option<usize>)> {
+        match state.status {
+            Status::Undecided => None,
+            Status::In => Some((MisLabel::InSet, None)),
+            Status::Out => Some((MisLabel::OutSet, state.dominator_port)),
+        }
+    }
+}
+
+/// Result of a distributed Luby run.
+#[derive(Clone, Debug)]
+pub struct DistributedLubyOutcome {
+    /// The assembled MIS labeling.
+    pub labeling: Labeling<MisLabel>,
+    /// Message-passing rounds executed (2 per Luby phase).
+    pub rounds: u32,
+}
+
+/// Runs the protocol and assembles the global labeling.
+///
+/// # Panics
+///
+/// Panics if the graph has self-loops (MIS is ill-posed there) or the
+/// protocol fails to terminate within `8·(log₂ n + 4)` phases — an event
+/// of vanishing probability that would indicate a bug.
+#[must_use]
+pub fn run(net: &Network, seed: u64) -> DistributedLubyOutcome {
+    assert!(
+        net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
+        "distributed Luby requires a loopless graph"
+    );
+    let cap = 16 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
+    let out = run_rounds(net, &DistributedLuby, seed, cap);
+    assert!(out.trace.completed, "Luby did not terminate within {cap} rounds");
+    let rounds = out.trace.rounds;
+    let locals: Vec<NodeLocalOutput<MisLabel>> = out
+        .into_outputs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, dom))| {
+            let v = lcl_graph::NodeId(i as u32);
+            let degree = net.graph().degree(v);
+            NodeLocalOutput {
+                node: label,
+                halves: (0..degree)
+                    .map(|p| {
+                        if dom == Some(p) {
+                            MisLabel::Pointer
+                        } else {
+                            MisLabel::NoPointer
+                        }
+                    })
+                    .collect(),
+                edges: vec![MisLabel::Blank; degree],
+            }
+        })
+        .collect();
+    let labeling = assemble(net.graph(), &locals).expect("edge labels agree trivially");
+    DistributedLubyOutcome { labeling, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::MaximalIndependentSet;
+    use lcl_core::check;
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn distributed_luby_verifies_on_assorted_graphs() {
+        for (g, seed) in [
+            (gen::cycle(21), 1u64),
+            (gen::random_regular(60, 3, 2).unwrap(), 2),
+            (gen::complete(6), 3),
+            (gen::grid(6, 5), 4),
+            (gen::random_tree(40, 5), 5),
+        ] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let out = run(&net, seed);
+            let input = Labeling::uniform(net.graph(), ());
+            check(&MaximalIndependentSet, net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn rounds_are_twice_phases_and_logarithmic() {
+        let g = gen::random_regular(512, 3, 7).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
+        let out = run(&net, 7);
+        assert_eq!(out.rounds % 2, 0, "phases are exchange/resolve pairs");
+        assert!(out.rounds <= 60, "took {}", out.rounds);
+    }
+
+    #[test]
+    fn agrees_in_spirit_with_centralized_luby() {
+        // Both produce *valid* MIS (not necessarily the same set — the
+        // randomness differs); validity is the contract.
+        let g = gen::random_regular(80, 3, 9).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 9 });
+        let dist = run(&net, 11);
+        let cent = crate::luby::run(&net, 11);
+        let input = Labeling::uniform(net.graph(), ());
+        check(&MaximalIndependentSet, net.graph(), &input, &dist.labeling).expect_ok();
+        check(&MaximalIndependentSet, net.graph(), &input, &cent.labeling).expect_ok();
+    }
+
+    #[test]
+    fn isolated_nodes_join_immediately() {
+        let mut g = gen::path(2);
+        g.add_node();
+        let net = Network::new(g, IdAssignment::Sequential);
+        let out = run(&net, 1);
+        assert_eq!(*out.labeling.node(lcl_graph::NodeId(2)), MisLabel::InSet);
+    }
+}

@@ -1,0 +1,148 @@
+//! Randomized greedy maximal matching in `O(log n)` rounds w.h.p.
+//!
+//! The line-graph analogue of Luby: each round every undecided edge draws a
+//! random priority; strict local minima (among undecided edges sharing an
+//! endpoint) enter the matching, and edges touching them are discarded.
+
+use lcl_core::problems::MatchingLabel;
+use lcl_core::Labeling;
+use lcl_local::Network;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a maximal-matching run.
+#[derive(Clone, Debug)]
+pub struct MatchingOutcome {
+    /// The matching, ready for the `MaximalMatching` checker.
+    pub labeling: Labeling<MatchingLabel>,
+    /// Rounds until every edge decided.
+    pub rounds: u32,
+    /// Membership per edge.
+    pub in_matching: Vec<bool>,
+}
+
+/// Runs randomized greedy maximal matching.
+///
+/// Self-loops are never matched (they cannot be: they would doubly match
+/// their node) and are discarded up front.
+#[must_use]
+pub fn run(net: &Network, seed: u64) -> MatchingOutcome {
+    let g = net.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x3A7C_41ED);
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Undecided,
+        In,
+        Out,
+    }
+    let mut state: Vec<St> = g
+        .edges()
+        .map(|e| if g.is_self_loop(e) { St::Out } else { St::Undecided })
+        .collect();
+    let mut matched_node = vec![false; g.node_count()];
+    let mut rounds = 0;
+
+    while state.iter().any(|&s| s == St::Undecided) {
+        rounds += 1;
+        let priority: Vec<u64> = g.edges().map(|_| rng.gen()).collect();
+        let mut joins = Vec::new();
+        for e in g.edges() {
+            if state[e.index()] != St::Undecided {
+                continue;
+            }
+            let mine = (priority[e.index()], e.0);
+            let [a, b] = g.endpoints(e);
+            let is_min = g
+                .ports(a)
+                .iter()
+                .chain(g.ports(b))
+                .filter(|h| h.edge != e && state[h.edge.index()] == St::Undecided)
+                .all(|h| mine < (priority[h.edge.index()], h.edge.0));
+            if is_min {
+                joins.push(e);
+            }
+        }
+        for e in joins {
+            state[e.index()] = St::In;
+            let [a, b] = g.endpoints(e);
+            matched_node[a.index()] = true;
+            matched_node[b.index()] = true;
+            for h in g.ports(a).iter().chain(g.ports(b)) {
+                if state[h.edge.index()] == St::Undecided {
+                    state[h.edge.index()] = St::Out;
+                }
+            }
+        }
+    }
+
+    let in_matching: Vec<bool> = state.iter().map(|&s| s == St::In).collect();
+    let labeling = Labeling::build(
+        g,
+        |v| {
+            if matched_node[v.index()] {
+                MatchingLabel::Matched
+            } else {
+                MatchingLabel::Free
+            }
+        },
+        |e| {
+            if in_matching[e.index()] {
+                MatchingLabel::InMatching
+            } else {
+                MatchingLabel::NotInMatching
+            }
+        },
+        |_| MatchingLabel::Blank,
+    );
+    MatchingOutcome { labeling, rounds, in_matching }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::MaximalMatching;
+    use lcl_core::{check, Labeling as L};
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn valid_matching_on_many_instances() {
+        for (g, seed) in [
+            (gen::cycle(17), 1u64),
+            (gen::random_regular(80, 3, 2).unwrap(), 2),
+            (gen::complete(7), 3),
+            (gen::grid(6, 4), 4),
+        ] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let out = run(&net, seed);
+            let input = L::uniform(net.graph(), ());
+            check(&MaximalMatching, net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_ish() {
+        let g = gen::random_regular(2048, 3, 3).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 3 });
+        let out = run(&net, 3);
+        assert!(out.rounds <= 40, "matching took {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn even_path_gets_perfect_matching_or_valid_maximal() {
+        let net = Network::new(gen::path(10), IdAssignment::Sequential);
+        let out = run(&net, 8);
+        let input = L::uniform(net.graph(), ());
+        check(&MaximalMatching, net.graph(), &input, &out.labeling).expect_ok();
+        assert!(out.in_matching.iter().filter(|&&b| b).count() >= 3);
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = gen::random_regular(50, 3, 4).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
+        assert_eq!(run(&net, 6).in_matching, run(&net, 6).in_matching);
+    }
+}

@@ -1,0 +1,306 @@
+//! Maximal matching as a genuine message-passing protocol on the round
+//! engine — the handshake variant: undecided nodes propose to their
+//! lowest-priority available neighbor; mutual or accepted proposals match.
+//!
+//! Protocol (Israeli–Itai role splitting; two rounds per phase):
+//!
+//! 1. **Propose**: every active node flips a coin. *Proposers* send a
+//!    prioritized proposal on one random available port; *acceptors* stay
+//!    silent. The role split removes the classic handshake race in which
+//!    two neighbors simultaneously accept different partners.
+//! 2. **Accept**: each acceptor that received proposals accepts exactly
+//!    one (smallest priority) and retires matched; the proposer learns of
+//!    the acceptance on its proposal port and retires too. Matched nodes
+//!    announce `Retired`, peeling their other edges.
+//!
+//! A constant fraction of active edges resolves per phase in expectation,
+//! giving `O(log n)` phases w.h.p. The per-node outputs are merged with
+//! [`lcl_core::assemble`] and checked against the `MaximalMatching`
+//! ne-LCL.
+
+use lcl_core::problems::MatchingLabel;
+use lcl_core::{assemble, Labeling, NodeLocalOutput};
+use lcl_local::{run_rounds, Network, NodeCtx, RoundAlgorithm};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Messages of the handshake protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Proposal with the sender's current priority.
+    Propose(u64),
+    /// The sender accepts the match over this edge.
+    Accept,
+    /// The sender is matched (its edges are unavailable).
+    Retired,
+    /// Nothing this round.
+    Idle,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Propose,
+    Accept,
+}
+
+/// Per-node protocol state.
+pub struct State {
+    phase: Phase,
+    matched_port: Option<usize>,
+    done: bool,
+    /// `Some(port)` while acting as a proposer this phase.
+    proposal_port: Option<usize>,
+    /// True while acting as an acceptor this phase.
+    acceptor: bool,
+    /// The port accepted this phase (acceptor side), to be announced.
+    accepted_port: Option<usize>,
+    available: Vec<bool>,
+    priority: u64,
+}
+
+/// The distributed handshake-matching algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistributedMatching;
+
+/// Draws the node's role for the next phase: proposer on a random
+/// available port, or acceptor.
+fn draw_role(state: &mut State, degree: usize, rng: &mut ChaCha8Rng) {
+    state.proposal_port = None;
+    state.acceptor = false;
+    if state.done {
+        return;
+    }
+    let open: Vec<usize> = (0..degree).filter(|&p| state.available[p]).collect();
+    if !open.is_empty() && rng.gen_bool(0.5) {
+        state.proposal_port = Some(open[rng.gen_range(0..open.len())]);
+    } else {
+        state.acceptor = true;
+    }
+}
+
+impl RoundAlgorithm for DistributedMatching {
+    type State = State;
+    type Msg = Msg;
+    type Output = Option<usize>;
+
+    fn init(&self, ctx: &NodeCtx, rng: &mut ChaCha8Rng) -> State {
+        let mut st = State {
+            phase: Phase::Propose,
+            matched_port: None,
+            done: ctx.degree == 0,
+            proposal_port: None,
+            acceptor: false,
+            accepted_port: None,
+            available: vec![true; ctx.degree],
+            priority: rng.gen(),
+        };
+        draw_role(&mut st, ctx.degree, rng);
+        st
+    }
+
+    fn send(&self, state: &State, ctx: &NodeCtx) -> Vec<(usize, Msg)> {
+        match state.phase {
+            Phase::Propose => {
+                if state.done {
+                    return (0..ctx.degree).map(|p| (p, Msg::Retired)).collect();
+                }
+                let Some(port) = state.proposal_port else {
+                    return (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
+                };
+                (0..ctx.degree)
+                    .map(|p| {
+                        if p == port {
+                            (p, Msg::Propose(state.priority))
+                        } else {
+                            (p, Msg::Idle)
+                        }
+                    })
+                    .collect()
+            }
+            Phase::Accept => {
+                let mut out: Vec<(usize, Msg)> =
+                    (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
+                if let Some(p) = state.accepted_port {
+                    out[p] = (p, Msg::Accept);
+                }
+                out
+            }
+        }
+    }
+
+    fn receive(
+        &self,
+        state: &mut State,
+        ctx: &NodeCtx,
+        inbox: &[(usize, Msg)],
+        rng: &mut ChaCha8Rng,
+    ) {
+        match state.phase {
+            Phase::Propose => {
+                // Acceptors pick the best incoming proposal; everyone
+                // marks retired neighbors unavailable.
+                let mut best: Option<(u64, usize)> = None;
+                for (port, msg) in inbox {
+                    match msg {
+                        Msg::Retired => state.available[*port] = false,
+                        Msg::Propose(pr) if state.acceptor && !state.done => {
+                            if best.map_or(true, |(b, _)| (*pr) < b) {
+                                best = Some((*pr, *port));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some((_, port)) = best {
+                    state.matched_port = Some(port);
+                    state.accepted_port = Some(port);
+                    state.done = true;
+                }
+                state.phase = Phase::Accept;
+            }
+            Phase::Accept => {
+                for (port, msg) in inbox {
+                    match msg {
+                        Msg::Accept => {
+                            // Only my own proposal port can be accepted,
+                            // and only one neighbor can hold it.
+                            if state.proposal_port == Some(*port) && state.matched_port.is_none()
+                            {
+                                state.matched_port = Some(*port);
+                                state.done = true;
+                            }
+                        }
+                        Msg::Retired => state.available[*port] = false,
+                        _ => {}
+                    }
+                }
+                // If every neighbor is gone, retire unmatched.
+                if !state.done && state.available.iter().all(|&a| !a) {
+                    state.done = true;
+                }
+                state.accepted_port = None;
+                state.priority = rng.gen();
+                draw_role(state, ctx.degree, rng);
+                state.phase = Phase::Propose;
+            }
+        }
+    }
+
+    fn output(&self, state: &State, _ctx: &NodeCtx) -> Option<Option<usize>> {
+        state.done.then_some(state.matched_port)
+    }
+}
+
+/// Result of a distributed matching run.
+#[derive(Clone, Debug)]
+pub struct DistributedMatchingOutcome {
+    /// The assembled matching labeling.
+    pub labeling: Labeling<MatchingLabel>,
+    /// Rounds executed (2 per phase).
+    pub rounds: u32,
+}
+
+/// Runs the handshake protocol and assembles the labeling.
+///
+/// # Panics
+///
+/// Panics on graphs with self-loops, and if the protocol exceeds its
+/// round cap (vanishing probability).
+#[must_use]
+pub fn run(net: &Network, seed: u64) -> DistributedMatchingOutcome {
+    assert!(
+        net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
+        "matching requires a loopless graph"
+    );
+    let cap = 40 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
+    let out = run_rounds(net, &DistributedMatching, seed, cap);
+    assert!(out.trace.completed, "matching did not terminate within {cap} rounds");
+    let rounds = out.trace.rounds;
+    let decisions = out.into_outputs();
+    // A node's matched_port must be symmetric; assemble enforces edge
+    // agreement, so label edges from the port decisions.
+    let locals: Vec<NodeLocalOutput<MatchingLabel>> = decisions
+        .iter()
+        .enumerate()
+        .map(|(i, matched)| {
+            let v = lcl_graph::NodeId(i as u32);
+            let degree = net.graph().degree(v);
+            NodeLocalOutput {
+                node: if matched.is_some() {
+                    MatchingLabel::Matched
+                } else {
+                    MatchingLabel::Free
+                },
+                halves: vec![MatchingLabel::Blank; degree],
+                edges: (0..degree)
+                    .map(|p| {
+                        if *matched == Some(p) {
+                            MatchingLabel::InMatching
+                        } else {
+                            MatchingLabel::NotInMatching
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    let labeling = assemble(net.graph(), &locals)
+        .expect("handshake matches are symmetric, so edge labels agree");
+    DistributedMatchingOutcome { labeling, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problems::MaximalMatching;
+    use lcl_core::check;
+    use lcl_graph::gen;
+    use lcl_local::IdAssignment;
+
+    #[test]
+    fn handshake_matching_verifies_on_assorted_graphs() {
+        for (g, seed) in [
+            (gen::cycle(21), 1u64),
+            (gen::random_regular(60, 3, 2).unwrap(), 2),
+            (gen::complete(6), 3),
+            (gen::grid(6, 5), 4),
+            (gen::path(17), 5),
+            (gen::random_tree(40, 6), 6),
+        ] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let out = run(&net, seed);
+            let input = Labeling::uniform(net.graph(), ());
+            check(&MaximalMatching, net.graph(), &input, &out.labeling).expect_ok();
+        }
+    }
+
+    #[test]
+    fn rounds_are_even_and_bounded() {
+        let g = gen::random_regular(512, 3, 7).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
+        let out = run(&net, 7);
+        assert_eq!(out.rounds % 2, 0);
+        assert!(out.rounds <= 120, "took {}", out.rounds);
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = gen::random_regular(50, 3, 4).unwrap();
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
+        assert_eq!(run(&net, 6).labeling, run(&net, 6).labeling);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_free() {
+        let mut g = gen::path(2);
+        g.add_node();
+        let net = Network::new(g, IdAssignment::Sequential);
+        let out = run(&net, 1);
+        assert_eq!(
+            *out.labeling.node(lcl_graph::NodeId(2)),
+            MatchingLabel::Free
+        );
+        let input = Labeling::uniform(net.graph(), ());
+        check(&MaximalMatching, net.graph(), &input, &out.labeling).expect_ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion counterpart of T11: end-to-end Π₂ solving, det vs rand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::hard::hard_pi2_instance;
+use lcl_padding::hierarchy::{pi2_det, pi2_rand};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+    let inst = hard_pi2_instance(4_000, 3, 1);
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed: 1 });
+    let n = inst.graph.node_count();
+    group.bench_with_input(BenchmarkId::new("pi2-det", n), &(), |b, ()| {
+        let solver = pi2_det(3);
+        b.iter(|| solver.run(&net, &inst.input, 1));
+    });
+    group.bench_with_input(BenchmarkId::new("pi2-rand", n), &(), |b, ()| {
+        let solver = pi2_rand(3);
+        b.iter(|| solver.run(&net, &inst.input, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion counterpart of T1/E2: padded-graph construction and the
+//! Π' checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::hard::hard_pi2_instance;
+use lcl_padding::hierarchy::pi2_det;
+use lcl_padding::check_padded;
+
+fn bench_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        group.bench_with_input(BenchmarkId::new("build-hard-instance", n), &n, |b, &n| {
+            b.iter(|| hard_pi2_instance(n, 3, 1));
+        });
+        let inst = hard_pi2_instance(n, 3, 1);
+        let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed: 1 });
+        let solver = pi2_det(3);
+        group.bench_with_input(
+            BenchmarkId::new("solve-pi2-det", inst.graph.node_count()),
+            &(),
+            |b, ()| {
+                b.iter(|| solver.run(&net, &inst.input, 1));
+            },
+        );
+        let run = solver.run(&net, &inst.input, 1);
+        group.bench_with_input(
+            BenchmarkId::new("check-pi2", inst.graph.node_count()),
+            &(),
+            |b, ()| {
+                b.iter(|| check_padded(&solver.problem, net.graph(), &inst.input, &run.output));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion counterpart of E6: algorithm `V` on valid and corrupted
+//! gadgets, and the raw structure checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_gadget::{corrupt, structure_errors, GadgetFamily, LogGadgetFamily};
+
+fn bench_verifier(c: &mut Criterion) {
+    let fam = LogGadgetFamily::new(3);
+    let mut group = c.benchmark_group("gadget-verifier");
+    group.sample_size(10);
+    for &s in &[128usize, 1024] {
+        let b = fam.balanced(s);
+        group.bench_with_input(BenchmarkId::new("structure-check", b.len()), &b, |bch, b| {
+            bch.iter(|| structure_errors(&b.graph, &b.input, 3));
+        });
+        group.bench_with_input(BenchmarkId::new("verify-valid", b.len()), &b, |bch, b| {
+            bch.iter(|| fam.verify(&b.graph, &b.input, b.len()));
+        });
+        let (g, input) = corrupt::apply(&b, &corrupt::Corruption::DeleteEdge(3));
+        group.bench_with_input(
+            BenchmarkId::new("verify-corrupted", g.node_count()),
+            &(g, input),
+            |bch, (g, input)| {
+                bch.iter(|| fam.verify(g, input, g.node_count()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verifier);
+criterion_main!(benches);

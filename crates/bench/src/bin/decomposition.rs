@@ -1,0 +1,44 @@
+//! D1 — network decomposition (the paper's discussion section): colors and
+//! rounds of the randomized Linial–Saks `(O(log n), O(log n))`
+//! decomposition, the quantity `ND(n)` that gates the open question
+//! `D(n)/R(n) ≫ log n`.
+
+use lcl_algos::decomposition::{linial_saks, validate};
+use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_graph::gen;
+use lcl_local::{IdAssignment, Network};
+
+fn main() {
+    let (json, quick) = cli_flags();
+    let max = if quick { 1 << 9 } else { 1 << 12 };
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let mut rep = Report::new();
+
+    for n in doubling_sizes(64, max) {
+        for &seed in &seeds {
+            let g = gen::random_regular(n, 3, seed).expect("generable");
+            let net = Network::new(g, IdAssignment::Shuffled { seed });
+            let d = linial_saks(&net, seed);
+            validate(&net, &d).expect("decomposition valid");
+            rep.push(Row {
+                experiment: "D1",
+                series: "linial-saks-colors".into(),
+                n,
+                seed,
+                measured: f64::from(d.colors_used),
+                extra: vec![
+                    ("rounds".into(), f64::from(d.rounds)),
+                    ("B".into(), f64::from(d.radius_bound)),
+                    ("log2n".into(), (n as f64).log2()),
+                ],
+            });
+        }
+    }
+
+    println!("{}", rep.render(json));
+    if !json {
+        println!("Linial-Saks: colors = O(log n), cluster radius ≤ B = ⌈log₂ n⌉+2;");
+        println!("rounds = colors × (B+1) = O(log² n) — the ND(n) of the paper's");
+        println!("open-question discussion (best known deterministic: 2^O(√log n)).");
+    }
+}

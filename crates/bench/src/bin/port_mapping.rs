@@ -1,0 +1,65 @@
+//! E4 — Figure 4: port mapping in the presence of invalid gadgets.
+//!
+//! Corrupts `k` gadgets of a hard instance and reports, after solving
+//! `Π'`: how many ports were flagged `PortErr1` (wired to invalid
+//! gadgets), how many virtual nodes survive, and that the produced
+//! solution still passes the full `Π'` checker — the "don't care"
+//! semantics of Section 3.3.
+
+use lcl_bench::{cli_flags, Report, Row};
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::hard::{corrupt_gadgets, hard_pi2_instance};
+use lcl_padding::hierarchy::pi2_det;
+use lcl_padding::{check_padded, PadOut, PortFlag};
+
+fn main() {
+    let (json, quick) = cli_flags();
+    let n = if quick { 2_000 } else { 8_000 };
+    let mut rep = Report::new();
+
+    for k in [0usize, 1, 3, 6] {
+        for seed in 1..=3u64 {
+            let mut inst = hard_pi2_instance(n, 3, seed);
+            let victims: Vec<u32> = (0..k as u32).collect();
+            corrupt_gadgets(&mut inst, &victims, seed);
+            let net =
+                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+            let solver = pi2_det(3);
+            let run = solver.run(&net, &inst.input, seed);
+            let violations =
+                check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
+            assert!(
+                violations.is_empty(),
+                "Π' must stay solvable with invalid gadgets: {violations:?}"
+            );
+            let port_err1 = net
+                .graph()
+                .nodes()
+                .filter(|&v| {
+                    matches!(
+                        run.output.node(v),
+                        PadOut::Node(o) if o.flag == PortFlag::PortErr1
+                    )
+                })
+                .count();
+            rep.push(Row {
+                experiment: "E4",
+                series: format!("corrupted-{k}"),
+                n: inst.graph.node_count(),
+                seed,
+                measured: run.stats.virtual_nodes as f64,
+                extra: vec![
+                    ("invalid".into(), run.stats.invalid_gadgets as f64),
+                    ("port_err1".into(), port_err1 as f64),
+                    ("base".into(), inst.base.node_count() as f64),
+                ],
+            });
+        }
+    }
+
+    println!("{}", rep.render(json));
+    if !json {
+        println!("Figure 4: virtual nodes = base − invalid; each invalid gadget");
+        println!("flags its neighbors' facing ports PortErr1 (≈ 3·k on 3-regular).");
+    }
+}

@@ -1,0 +1,78 @@
+//! T1 — Theorem 1: padding multiplies both complexities by `Θ(d(n))`.
+//!
+//! For each padded size `n`, measures on Lemma-5 hard instances:
+//!
+//! * `T(Π, √n)` — the inner complexity on the base graph alone,
+//! * `T(Π', n)` — the physical complexity of the `Π'` solver,
+//! * their ratio, which Theorem 1 pins at `Θ(d(n/√n)) = Θ(log n)`
+//!   (reported next to `log₂ n` for comparison).
+
+use lcl_algos::{sinkless_det, sinkless_rand};
+use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::hard::hard_pi2_instance;
+use lcl_padding::hierarchy::{pi2_det, pi2_rand};
+
+fn main() {
+    let (json, quick) = cli_flags();
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let max = if quick { 10_000 } else { 80_000 };
+    let mut rep = Report::new();
+
+    for n in doubling_sizes(2_500, max) {
+        for &seed in &seeds {
+            let inst = hard_pi2_instance(n, 3, seed);
+            let real_n = inst.graph.node_count();
+            let log_n = (real_n as f64).log2();
+
+            // Inner problem on the base graph alone.
+            let base_net =
+                Network::new(inst.base.clone(), IdAssignment::Shuffled { seed });
+            let base_det = sinkless_det::run(&base_net, &sinkless_det::Params::default());
+            let base_rand =
+                sinkless_rand::run(&base_net, &sinkless_rand::Params::default(), seed);
+
+            // Π' on the padded instance.
+            let net =
+                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+            let det = pi2_det(3).run(&net, &inst.input, seed);
+            let rand = pi2_rand(3).run(&net, &inst.input, seed);
+
+            let inflate_det = f64::from(det.stats.physical_rounds())
+                / f64::from(base_det.trace.max_radius().max(1));
+            let inflate_rand = f64::from(rand.stats.physical_rounds())
+                / f64::from(base_rand.total_rounds().max(1));
+
+            rep.push(Row {
+                experiment: "T1",
+                series: "det".into(),
+                n: real_n,
+                seed,
+                measured: f64::from(det.stats.physical_rounds()),
+                extra: vec![
+                    ("base".into(), f64::from(base_det.trace.max_radius())),
+                    ("inflation".into(), inflate_det),
+                    ("log2n".into(), log_n),
+                ],
+            });
+            rep.push(Row {
+                experiment: "T1",
+                series: "rand".into(),
+                n: real_n,
+                seed,
+                measured: f64::from(rand.stats.physical_rounds()),
+                extra: vec![
+                    ("base".into(), f64::from(base_rand.total_rounds())),
+                    ("inflation".into(), inflate_rand),
+                    ("log2n".into(), log_n),
+                ],
+            });
+        }
+    }
+
+    println!("{}", rep.render(json));
+    if !json {
+        println!("Theorem 1: inflation (padded / base-at-√n) should track Θ(log n)");
+        println!("(compare the `inflation` and `log2n` columns).");
+    }
+}

@@ -1,0 +1,171 @@
+//! Shared experiment harness utilities.
+//!
+//! Each experiment binary (`src/bin/*.rs`) regenerates one figure/theorem
+//! artefact of the paper (see DESIGN.md §4 for the index) and prints both a
+//! human-readable table and machine-readable JSON rows (`--json`), so the
+//! tables in EXPERIMENTS.md can be reproduced exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// One measurement row: an experiment id, the instance parameters, and the
+/// measured quantities.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Experiment id (e.g. "E1", "T11").
+    pub experiment: &'static str,
+    /// Series label within the experiment (e.g. "sinkless-det").
+    pub series: String,
+    /// Instance size `n`.
+    pub n: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// The measured complexity (rounds / radius).
+    pub measured: f64,
+    /// Optional extra fields, rendered as-is.
+    pub extra: Vec<(String, f64)>,
+}
+
+/// Collects rows and renders them.
+#[derive(Debug, Default)]
+pub struct Report {
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// All rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Renders the report: a fixed-width table, or JSON lines when
+    /// `json` is set.
+    #[must_use]
+    pub fn render(&self, json: bool) -> String {
+        if json {
+            return self
+                .rows
+                .iter()
+                .map(|r| serde_json::to_string(r).expect("row serializes"))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<4} {:<28} {:>9} {:>6} {:>10}  extra\n",
+            "exp", "series", "n", "seed", "measured"
+        ));
+        for r in &self.rows {
+            let extra = r
+                .extra
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{:<4} {:<28} {:>9} {:>6} {:>10.2}  {}\n",
+                r.experiment, r.series, r.n, r.seed, r.measured, extra
+            ));
+        }
+        out
+    }
+
+    /// Mean measured value of a series at a given `n` (NaN if absent).
+    #[must_use]
+    pub fn mean(&self, series: &str, n: usize) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.series == series && r.n == n)
+            .map(|r| r.measured)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// Parses the common CLI flags: `--json` and `--quick` (smaller sweeps for
+/// smoke runs; also triggered by the `LCL_BENCH_QUICK` env var).
+#[must_use]
+pub fn cli_flags() -> (bool, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var_os("LCL_BENCH_QUICK").is_some();
+    (json, quick)
+}
+
+/// A geometric sweep of instance sizes `start, start·2, …` capped at `max`.
+#[must_use]
+pub fn doubling_sizes(start: usize, max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut n = start;
+    while n <= max {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_both_formats() {
+        let mut rep = Report::new();
+        rep.push(Row {
+            experiment: "E1",
+            series: "demo".into(),
+            n: 64,
+            seed: 1,
+            measured: 7.0,
+            extra: vec![("phase1".into(), 3.0)],
+        });
+        let table = rep.render(false);
+        assert!(table.contains("demo") && table.contains("7.00"));
+        let json = rep.render(true);
+        assert!(json.contains("\"experiment\":\"E1\""));
+        assert_eq!(rep.rows().len(), 1);
+    }
+
+    #[test]
+    fn mean_aggregates_by_series_and_n() {
+        let mut rep = Report::new();
+        for (seed, m) in [(1u64, 4.0), (2, 6.0)] {
+            rep.push(Row {
+                experiment: "E1",
+                series: "s".into(),
+                n: 10,
+                seed,
+                measured: m,
+                extra: vec![],
+            });
+        }
+        assert!((rep.mean("s", 10) - 5.0).abs() < 1e-9);
+        assert!(rep.mean("s", 11).is_nan());
+    }
+
+    #[test]
+    fn doubling_sweep() {
+        assert_eq!(doubling_sizes(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(doubling_sizes(5, 4), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,195 @@
+//! Total label assignments over `V ∪ E ∪ B`.
+
+use lcl_graph::{EdgeId, Graph, HalfEdge, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A total assignment of one label to every node, every edge, and every
+/// half-edge of a graph.
+///
+/// The paper assumes w.l.o.g. that "each element of `V × E × B` is assigned
+/// exactly one input label (and … exactly one output label)" — multiple
+/// logical labels are encoded in one product label. `Labeling` mirrors that:
+/// `L` is usually an enum or a small struct.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labeling<L> {
+    node: Vec<L>,
+    edge: Vec<L>,
+    /// Per edge: the labels of the [`lcl_graph::Side::A`] and
+    /// [`lcl_graph::Side::B`] half-edges.
+    half: Vec<[L; 2]>,
+}
+
+impl<L: Clone> Labeling<L> {
+    /// A labeling assigning `value` to every element.
+    #[must_use]
+    pub fn uniform(g: &Graph, value: L) -> Self {
+        Labeling {
+            node: vec![value.clone(); g.node_count()],
+            edge: vec![value.clone(); g.edge_count()],
+            half: vec![[value.clone(), value]; g.edge_count()],
+        }
+    }
+
+    /// Builds a labeling element-by-element from three closures.
+    #[must_use]
+    pub fn build(
+        g: &Graph,
+        mut node: impl FnMut(NodeId) -> L,
+        mut edge: impl FnMut(EdgeId) -> L,
+        mut half: impl FnMut(HalfEdge) -> L,
+    ) -> Self {
+        Labeling {
+            node: g.nodes().map(&mut node).collect(),
+            edge: g.edges().map(&mut edge).collect(),
+            half: g
+                .edges()
+                .map(|e| {
+                    [
+                        half(HalfEdge::new(e, lcl_graph::Side::A)),
+                        half(HalfEdge::new(e, lcl_graph::Side::B)),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// Maps every label through `f`, preserving structure.
+    #[must_use]
+    pub fn map<M>(&self, mut f: impl FnMut(&L) -> M) -> Labeling<M> {
+        Labeling {
+            node: self.node.iter().map(&mut f).collect(),
+            edge: self.edge.iter().map(&mut f).collect(),
+            half: self.half.iter().map(|[a, b]| [f(a), f(b)]).collect(),
+        }
+    }
+}
+
+impl<L> Labeling<L> {
+    /// Creates a labeling from raw per-element vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths disagree (`edge` and `half` must have
+    /// equal length).
+    #[must_use]
+    pub fn from_parts(node: Vec<L>, edge: Vec<L>, half: Vec<[L; 2]>) -> Self {
+        assert_eq!(edge.len(), half.len(), "edge and half-edge tables must align");
+        Labeling { node, edge, half }
+    }
+
+    /// Label of a node.
+    #[must_use]
+    pub fn node(&self, v: NodeId) -> &L {
+        &self.node[v.index()]
+    }
+
+    /// Label of an edge.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &L {
+        &self.edge[e.index()]
+    }
+
+    /// Label of a half-edge.
+    #[must_use]
+    pub fn half(&self, h: HalfEdge) -> &L {
+        &self.half[h.edge.index()][h.side.index()]
+    }
+
+    /// Mutable label of a node.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.node[v.index()]
+    }
+
+    /// Mutable label of an edge.
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut L {
+        &mut self.edge[e.index()]
+    }
+
+    /// Mutable label of a half-edge.
+    pub fn half_mut(&mut self, h: HalfEdge) -> &mut L {
+        &mut self.half[h.edge.index()][h.side.index()]
+    }
+
+    /// Number of node labels (= number of nodes of the host graph).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node.len()
+    }
+
+    /// Number of edge labels.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge.len()
+    }
+
+    /// True if the labeling matches the graph's element counts.
+    #[must_use]
+    pub fn fits(&self, g: &Graph) -> bool {
+        self.node.len() == g.node_count() && self.edge.len() == g.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::{gen, Side};
+
+    #[test]
+    fn uniform_covers_everything() {
+        let g = gen::cycle(4);
+        let lab = Labeling::uniform(&g, 7u32);
+        assert!(lab.fits(&g));
+        for v in g.nodes() {
+            assert_eq!(*lab.node(v), 7);
+        }
+        for e in g.edges() {
+            assert_eq!(*lab.edge(e), 7);
+            assert_eq!(*lab.half(HalfEdge::new(e, Side::A)), 7);
+            assert_eq!(*lab.half(HalfEdge::new(e, Side::B)), 7);
+        }
+    }
+
+    #[test]
+    fn build_uses_element_identity() {
+        let g = gen::path(3);
+        let lab = Labeling::build(
+            &g,
+            |v| v.0 * 10,
+            |e| e.0 * 100,
+            |h| h.edge.0 * 100 + h.side.index() as u32,
+        );
+        assert_eq!(*lab.node(NodeId(2)), 20);
+        assert_eq!(*lab.edge(EdgeId(1)), 100);
+        assert_eq!(*lab.half(HalfEdge::new(EdgeId(1), Side::B)), 101);
+    }
+
+    #[test]
+    fn mutation_is_per_element() {
+        let g = gen::path(2);
+        let mut lab = Labeling::uniform(&g, 0);
+        *lab.node_mut(NodeId(1)) = 5;
+        *lab.edge_mut(EdgeId(0)) = 6;
+        *lab.half_mut(HalfEdge::new(EdgeId(0), Side::A)) = 7;
+        assert_eq!(*lab.node(NodeId(0)), 0);
+        assert_eq!(*lab.node(NodeId(1)), 5);
+        assert_eq!(*lab.edge(EdgeId(0)), 6);
+        assert_eq!(*lab.half(HalfEdge::new(EdgeId(0), Side::A)), 7);
+        assert_eq!(*lab.half(HalfEdge::new(EdgeId(0), Side::B)), 0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let g = gen::cycle(3);
+        let lab = Labeling::uniform(&g, 2u32);
+        let mapped = lab.map(|&x| x * 3);
+        assert_eq!(*mapped.node(NodeId(0)), 6);
+        assert_eq!(mapped.node_count(), 3);
+        assert_eq!(mapped.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn from_parts_validates() {
+        let _ = Labeling::from_parts(vec![1], vec![1, 2], vec![[1, 1]]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Proper vertex coloring as an ne-LCL.
+
+use crate::problem::{EdgeView, NeLcl, NodeView};
+use serde::{Deserialize, Serialize};
+
+/// Output alphabet for [`VertexColoring`]: a color on nodes, `Blank`
+/// padding on edges and half-edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColoringLabel {
+    /// A color in `{0, …, palette-1}`.
+    Color(u32),
+    /// Padding for edges and half-edges.
+    Blank,
+}
+
+/// Proper vertex coloring with a fixed palette: adjacent nodes get distinct
+/// colors from `{0, …, palette-1}`.
+///
+/// With `palette = 3` on cycle instances this is the classical
+/// **3-coloring of cycles**, deterministic complexity `Θ(log* n)`
+/// (Cole–Vishkin / Linial), one of the reference points of the paper's
+/// Figure 1. With `palette = Δ + 1` it is the (Δ+1)-coloring problem.
+///
+/// A self-loop makes the instance unsatisfiable at that edge (a node cannot
+/// differ from itself), which is the correct semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexColoring {
+    /// Number of available colors.
+    pub palette: u32,
+}
+
+impl VertexColoring {
+    /// A coloring problem with the given palette size (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette == 0`.
+    #[must_use]
+    pub fn new(palette: u32) -> Self {
+        assert!(palette >= 1, "palette must be nonempty");
+        VertexColoring { palette }
+    }
+}
+
+impl NeLcl for VertexColoring {
+    type In = ();
+    type Out = ColoringLabel;
+
+    fn check_node(&self, view: &NodeView<'_, (), ColoringLabel>) -> Result<(), String> {
+        match view.node_out {
+            ColoringLabel::Color(c) if *c < self.palette => Ok(()),
+            ColoringLabel::Color(c) => {
+                Err(format!("color {c} outside palette of {}", self.palette))
+            }
+            ColoringLabel::Blank => Err("node must carry a color".into()),
+        }
+    }
+
+    fn check_edge(&self, view: &EdgeView<'_, (), ColoringLabel>) -> Result<(), String> {
+        if view.nodes_out[0] == view.nodes_out[1] {
+            Err(format!("endpoints share color {:?}", view.nodes_out[0]))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+    use crate::problem::{check, Violation};
+    use lcl_graph::{gen, EdgeId, NodeId};
+
+    fn color_by(g: &lcl_graph::Graph, f: impl Fn(NodeId) -> u32) -> Labeling<ColoringLabel> {
+        Labeling::build(
+            g,
+            |v| ColoringLabel::Color(f(v)),
+            |_| ColoringLabel::Blank,
+            |_| ColoringLabel::Blank,
+        )
+    }
+
+    #[test]
+    fn proper_2_coloring_of_even_cycle() {
+        let g = gen::cycle(6);
+        let input = Labeling::uniform(&g, ());
+        let out = color_by(&g, |v| v.0 % 2);
+        check(&VertexColoring::new(2), &g, &input, &out).expect_ok();
+    }
+
+    #[test]
+    fn odd_cycle_cannot_be_2_colored() {
+        let g = gen::cycle(5);
+        let input = Labeling::uniform(&g, ());
+        let out = color_by(&g, |v| v.0 % 2);
+        let res = check(&VertexColoring::new(2), &g, &input, &out);
+        // The wrap-around edge joins two even-index nodes.
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(4), _))));
+    }
+
+    #[test]
+    fn palette_bound_enforced() {
+        let g = gen::path(2);
+        let input = Labeling::uniform(&g, ());
+        let out = color_by(&g, |v| v.0 + 5);
+        let res = check(&VertexColoring::new(3), &g, &input, &out);
+        assert_eq!(res.violations.len(), 2, "both nodes exceed the palette");
+    }
+
+    #[test]
+    fn blank_node_rejected() {
+        let g = gen::path(2);
+        let input = Labeling::uniform(&g, ());
+        let mut out = color_by(&g, |v| v.0);
+        *out.node_mut(NodeId(0)) = ColoringLabel::Blank;
+        assert!(!check(&VertexColoring::new(3), &g, &input, &out).is_ok());
+    }
+
+    #[test]
+    fn self_loop_is_unsatisfiable() {
+        let mut g = gen::path(2);
+        g.add_edge(NodeId(1), NodeId(1));
+        let input = Labeling::uniform(&g, ());
+        let out = color_by(&g, |v| v.0);
+        let res = check(&VertexColoring::new(9), &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(1), _))));
+    }
+
+    #[test]
+    #[should_panic(expected = "palette")]
+    fn empty_palette_rejected() {
+        let _ = VertexColoring::new(0);
+    }
+}

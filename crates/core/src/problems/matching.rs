@@ -1,0 +1,153 @@
+//! Maximal matching as an ne-LCL.
+
+use crate::problem::{EdgeView, NeLcl, NodeView};
+use serde::{Deserialize, Serialize};
+
+/// Output alphabet for [`MaximalMatching`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchingLabel {
+    /// Node: matched by exactly one incident edge.
+    Matched,
+    /// Node: unmatched (all neighbors must be matched).
+    Free,
+    /// Edge: in the matching.
+    InMatching,
+    /// Edge: not in the matching.
+    NotInMatching,
+    /// Padding for half-edges.
+    Blank,
+}
+
+/// Maximal matching: a set `M` of edges such that no two share an endpoint
+/// (matching) and no edge can be added (maximality).
+///
+/// ne-LCL encoding: nodes output `Matched`/`Free`, edges output
+/// `InMatching`/`NotInMatching`.
+///
+/// * Node constraint: a `Matched` node has exactly one incident
+///   `InMatching` edge; a `Free` node has none.
+/// * Edge constraint: an `InMatching` edge has both endpoints `Matched`;
+///   a `NotInMatching` edge has at least one endpoint `Matched`
+///   (maximality — otherwise the edge could be added).
+///
+/// Self-loops cannot be matched (they would count twice at their node) and
+/// make their node's `Free` option unusable, so loopless instances are
+/// assumed, as is standard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaximalMatching;
+
+impl NeLcl for MaximalMatching {
+    type In = ();
+    type Out = MatchingLabel;
+
+    fn check_node(&self, view: &NodeView<'_, (), MatchingLabel>) -> Result<(), String> {
+        let incident_matched =
+            view.edges_out.iter().filter(|&&&e| e == MatchingLabel::InMatching).count();
+        match view.node_out {
+            MatchingLabel::Matched if incident_matched == 1 => Ok(()),
+            MatchingLabel::Matched => {
+                Err(format!("Matched node with {incident_matched} matched edges"))
+            }
+            MatchingLabel::Free if incident_matched == 0 => Ok(()),
+            MatchingLabel::Free => {
+                Err(format!("Free node with {incident_matched} matched edges"))
+            }
+            other => Err(format!("node must be Matched or Free, got {other:?}")),
+        }
+    }
+
+    fn check_edge(&self, view: &EdgeView<'_, (), MatchingLabel>) -> Result<(), String> {
+        match view.edge_out {
+            MatchingLabel::InMatching => {
+                if view.nodes_out.iter().all(|&&n| n == MatchingLabel::Matched) {
+                    Ok(())
+                } else {
+                    Err("matched edge with an unmatched endpoint".into())
+                }
+            }
+            MatchingLabel::NotInMatching => {
+                if view.nodes_out.iter().any(|&&n| n == MatchingLabel::Matched) {
+                    Ok(())
+                } else {
+                    Err("both endpoints free: matching not maximal".into())
+                }
+            }
+            other => Err(format!("edge must be labeled In/NotInMatching, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+    use crate::problem::{check, Violation};
+    use lcl_graph::{gen, EdgeId, NodeId};
+
+    /// Builds the labeling for a given edge set.
+    fn matching_labeling(g: &lcl_graph::Graph, edges: &[u32]) -> Labeling<MatchingLabel> {
+        let in_m: std::collections::HashSet<u32> = edges.iter().copied().collect();
+        let mut matched = vec![false; g.node_count()];
+        for &e in edges {
+            let [a, b] = g.endpoints(EdgeId(e));
+            matched[a.index()] = true;
+            matched[b.index()] = true;
+        }
+        Labeling::build(
+            g,
+            |v| if matched[v.index()] { MatchingLabel::Matched } else { MatchingLabel::Free },
+            |e| {
+                if in_m.contains(&e.0) {
+                    MatchingLabel::InMatching
+                } else {
+                    MatchingLabel::NotInMatching
+                }
+            },
+            |_| MatchingLabel::Blank,
+        )
+    }
+
+    #[test]
+    fn perfect_matching_on_even_path() {
+        let g = gen::path(4); // edges 0-1, 1-2, 2-3
+        let input = Labeling::uniform(&g, ());
+        let out = matching_labeling(&g, &[0, 2]);
+        check(&MaximalMatching, &g, &input, &out).expect_ok();
+    }
+
+    #[test]
+    fn maximal_but_not_perfect_is_fine() {
+        let g = gen::path(3);
+        let input = Labeling::uniform(&g, ());
+        let out = matching_labeling(&g, &[0]);
+        check(&MaximalMatching, &g, &input, &out).expect_ok();
+    }
+
+    #[test]
+    fn non_maximal_rejected_at_free_free_edge() {
+        let g = gen::path(4);
+        let input = Labeling::uniform(&g, ());
+        let out = matching_labeling(&g, &[0]); // edge 2 has both ends free
+        let res = check(&MaximalMatching, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(2), _))));
+    }
+
+    #[test]
+    fn overlapping_edges_rejected_at_shared_node() {
+        let g = gen::path(3);
+        let input = Labeling::uniform(&g, ());
+        let out = matching_labeling(&g, &[0, 1]); // node 1 doubly matched
+        let res = check(&MaximalMatching, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Node(NodeId(1), _))));
+    }
+
+    #[test]
+    fn lying_about_matched_status_rejected() {
+        let g = gen::path(2);
+        let input = Labeling::uniform(&g, ());
+        let mut out = matching_labeling(&g, &[0]);
+        *out.node_mut(NodeId(1)) = MatchingLabel::Free;
+        let res = check(&MaximalMatching, &g, &input, &out);
+        assert!(!res.is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Maximal independent set as an ne-LCL.
+
+use crate::problem::{EdgeView, NeLcl, NodeView};
+use serde::{Deserialize, Serialize};
+
+/// Output alphabet for [`MaximalIndependentSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MisLabel {
+    /// Node: in the independent set.
+    InSet,
+    /// Node: dominated by a neighbor in the set.
+    OutSet,
+    /// Half-edge at an `OutSet` node: points to its dominator.
+    Pointer,
+    /// Half-edge: no pointer.
+    NoPointer,
+    /// Padding for edges.
+    Blank,
+}
+
+/// Maximal independent set: no two set nodes are adjacent (independence),
+/// and every non-set node has a set neighbor (maximality).
+///
+/// Maximality is not directly a node predicate — a node cannot see its
+/// neighbors' membership — so the standard ne-LCL encoding adds a
+/// **dominator pointer**: every `OutSet` node marks exactly one incident
+/// half-edge `Pointer`, and the edge constraint verifies the pointed-to
+/// endpoint is `InSet`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaximalIndependentSet;
+
+impl NeLcl for MaximalIndependentSet {
+    type In = ();
+    type Out = MisLabel;
+
+    fn check_node(&self, view: &NodeView<'_, (), MisLabel>) -> Result<(), String> {
+        let pointers = view.halves_out.iter().filter(|&&&h| h == MisLabel::Pointer).count();
+        match view.node_out {
+            MisLabel::InSet if pointers == 0 => Ok(()),
+            MisLabel::InSet => Err("set node must not point".into()),
+            MisLabel::OutSet if pointers == 1 => Ok(()),
+            MisLabel::OutSet => Err(format!("OutSet node with {pointers} pointers")),
+            other => Err(format!("node must be InSet or OutSet, got {other:?}")),
+        }
+    }
+
+    fn check_edge(&self, view: &EdgeView<'_, (), MisLabel>) -> Result<(), String> {
+        if view.nodes_out[0] == &MisLabel::InSet && view.nodes_out[1] == &MisLabel::InSet {
+            return Err("adjacent set nodes".into());
+        }
+        for side in 0..2 {
+            if *view.halves_out[side] == MisLabel::Pointer
+                && *view.nodes_out[1 - side] != MisLabel::InSet
+            {
+                return Err("pointer to a non-set node".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+    use crate::problem::{check, Violation};
+    use lcl_graph::{gen, EdgeId, Graph, HalfEdge, NodeId};
+
+    /// Builds a labeling from a membership set, pointing each out-node at
+    /// its first in-set neighbor.
+    fn mis_labeling(g: &Graph, in_set: &[u32]) -> Labeling<MisLabel> {
+        let member: std::collections::HashSet<u32> = in_set.iter().copied().collect();
+        let mut lab = Labeling::build(
+            g,
+            |v| if member.contains(&v.0) { MisLabel::InSet } else { MisLabel::OutSet },
+            |_| MisLabel::Blank,
+            |_| MisLabel::NoPointer,
+        );
+        for v in g.nodes() {
+            if member.contains(&v.0) {
+                continue;
+            }
+            if let Some(&h) = g.ports(v).iter().find(|h| member.contains(&g.half_edge_peer(**h).0))
+            {
+                *lab.half_mut(h) = MisLabel::Pointer;
+            }
+        }
+        lab
+    }
+
+    #[test]
+    fn valid_mis_on_path() {
+        let g = gen::path(5);
+        let input = Labeling::uniform(&g, ());
+        let out = mis_labeling(&g, &[0, 2, 4]);
+        check(&MaximalIndependentSet, &g, &input, &out).expect_ok();
+    }
+
+    #[test]
+    fn adjacent_members_rejected() {
+        let g = gen::path(3);
+        let input = Labeling::uniform(&g, ());
+        let out = mis_labeling(&g, &[0, 1]);
+        let res = check(&MaximalIndependentSet, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(0), _))));
+    }
+
+    #[test]
+    fn undominated_node_rejected_via_missing_pointer() {
+        let g = gen::path(3);
+        let input = Labeling::uniform(&g, ());
+        // Only node 0 in set; node 2 has no set neighbor, so it cannot
+        // produce a valid pointer.
+        let out = mis_labeling(&g, &[0]);
+        let res = check(&MaximalIndependentSet, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Node(NodeId(2), _))));
+    }
+
+    #[test]
+    fn pointer_to_non_member_rejected() {
+        let g = gen::path(2);
+        let input = Labeling::uniform(&g, ());
+        let mut out = mis_labeling(&g, &[]);
+        // Both out of set, each pointing at the other: node constraints pass
+        // (one pointer each) but the edge constraint rejects.
+        *out.half_mut(HalfEdge::new(EdgeId(0), lcl_graph::Side::A)) = MisLabel::Pointer;
+        *out.half_mut(HalfEdge::new(EdgeId(0), lcl_graph::Side::B)) = MisLabel::Pointer;
+        let res = check(&MaximalIndependentSet, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(0), _))));
+    }
+
+    #[test]
+    fn self_loop_node_cannot_join_set() {
+        let mut g = gen::path(2);
+        g.add_edge(NodeId(0), NodeId(0));
+        let input = Labeling::uniform(&g, ());
+        // Node 0 in the set: the loop's edge constraint sees InSet twice.
+        let out = mis_labeling(&g, &[0]);
+        let res = check(&MaximalIndependentSet, &g, &input, &out);
+        assert!(res.violations.iter().any(|v| matches!(v, Violation::Edge(EdgeId(1), _))));
+    }
+}

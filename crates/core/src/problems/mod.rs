@@ -1,0 +1,20 @@
+//! The problem zoo.
+//!
+//! These are the concrete ne-LCLs used by the experiments: the paper's
+//! running example **sinkless orientation** (Figure 3), and the classical
+//! problems populating the Figure-1 complexity landscape (vertex coloring,
+//! maximal matching, maximal independent set, and the trivial problem).
+
+mod coloring;
+mod edge_coloring;
+mod matching;
+mod mis;
+mod sinkless;
+mod trivial;
+
+pub use coloring::{ColoringLabel, VertexColoring};
+pub use edge_coloring::{EdgeColoring, EdgeColoringLabel};
+pub use matching::{MatchingLabel, MaximalMatching};
+pub use mis::{MisLabel, MaximalIndependentSet};
+pub use sinkless::{Orient, SinklessOrientation};
+pub use trivial::Trivial;

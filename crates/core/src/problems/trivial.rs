@@ -1,0 +1,38 @@
+//! The trivial ne-LCL (complexity 0): a baseline for the landscape.
+
+use crate::problem::{EdgeView, NeLcl, NodeView};
+use serde::{Deserialize, Serialize};
+
+/// The trivial problem: every labeling with the unit output is correct.
+/// It anchors the `O(1)` corner of the paper's Figure-1 landscape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trivial;
+
+impl NeLcl for Trivial {
+    type In = ();
+    type Out = ();
+
+    fn check_node(&self, _view: &NodeView<'_, (), ()>) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn check_edge(&self, _view: &EdgeView<'_, (), ()>) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+    use crate::problem::check;
+    use lcl_graph::gen;
+
+    #[test]
+    fn everything_is_accepted() {
+        let g = gen::random_regular(20, 3, 1).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let output = Labeling::uniform(&g, ());
+        check(&Trivial, &g, &input, &output).expect_ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for labeling assembly and the checker plumbing.
+
+use lcl_core::problems::{Orient, SinklessOrientation};
+use lcl_core::{assemble, check, Labeling, NodeLocalOutput, Violation};
+use lcl_graph::{gen, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assemble_roundtrips_agreeing_outputs(n in 2usize..20, seed in 0u64..100) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        // Build agreeing outputs: edge label = edge id, half = id·2+side.
+        let outs: Vec<NodeLocalOutput<u32>> = g
+            .nodes()
+            .map(|v| NodeLocalOutput {
+                node: v.0,
+                halves: g.ports(v).iter().map(|h| h.edge.0 * 2 + h.side.index() as u32).collect(),
+                edges: g.ports(v).iter().map(|h| h.edge.0).collect(),
+            })
+            .collect();
+        let lab = assemble(&g, &outs).expect("agreeing");
+        for v in g.nodes() {
+            prop_assert_eq!(*lab.node(v), v.0);
+        }
+        for e in g.edges() {
+            prop_assert_eq!(*lab.edge(e), e.0);
+        }
+        for h in g.half_edges() {
+            prop_assert_eq!(*lab.half(h), h.edge.0 * 2 + h.side.index() as u32);
+        }
+    }
+
+    #[test]
+    fn any_single_disagreement_is_rejected(n in 2usize..12, k in 0usize..50, seed in 0u64..50) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let mut outs: Vec<NodeLocalOutput<u32>> = g
+            .nodes()
+            .map(|v| NodeLocalOutput {
+                node: 0,
+                halves: vec![0; g.degree(v)],
+                edges: vec![7; g.degree(v)],
+            })
+            .collect();
+        // Flip one edge proposal at one port of one node.
+        let v = NodeId((k % g.node_count()) as u32);
+        if g.degree(v) == 0 {
+            return Ok(());
+        }
+        let port = k % g.degree(v);
+        // Skip self-loop double ports where the node would disagree with
+        // itself only if both slots differ — flipping one slot suffices.
+        outs[v.index()].edges[port] = 8;
+        prop_assert!(assemble(&g, &outs).is_err());
+    }
+
+    #[test]
+    fn checker_violation_count_matches_flips(flips in 1usize..5, seed in 0u64..50) {
+        // Orient a cycle consistently, then flip `flips` distinct edges'
+        // both halves (reversing them): reversal keeps edge constraints
+        // fine but creates sinks/sources; the checker must flag at least
+        // one node per flipped edge region and never accept.
+        let n = 20;
+        let g = gen::cycle(n);
+        let input = Labeling::uniform(&g, ());
+        let mut out = Labeling::build(
+            &g,
+            |_| Orient::Blank,
+            |_| Orient::Blank,
+            |h| if h.side == lcl_graph::Side::A { Orient::Out } else { Orient::In },
+        );
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut x = seed;
+        while chosen.len() < flips {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            chosen.insert((x >> 33) as usize % n);
+        }
+        for &e in &chosen {
+            let e = lcl_graph::EdgeId(e as u32);
+            *out.half_mut(lcl_graph::HalfEdge::new(e, lcl_graph::Side::A)) = Orient::In;
+            *out.half_mut(lcl_graph::HalfEdge::new(e, lcl_graph::Side::B)) = Orient::Out;
+        }
+        let res = check(&SinklessOrientation { min_constrained_degree: 2 }, &g, &input, &out);
+        prop_assert!(!res.is_ok());
+        // Every violation is a node violation (edge constraints intact).
+        prop_assert!(res
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::Node(_, _))));
+    }
+}

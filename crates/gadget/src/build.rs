@@ -1,0 +1,310 @@
+//! Construction of valid gadgets and sub-gadgets (Figures 5 and 6).
+
+use crate::labels::{Dir, GadgetIn, NodeKind};
+use lcl_core::Labeling;
+use lcl_graph::{Graph, NodeId};
+
+/// Parameters of a gadget: the family's `Δ` and the height of each of the
+/// `Δ` sub-gadgets (heights may differ — validity is structural, not
+/// size-uniform; the balanced member `Ĝ_n` of Definition 2 uses equal
+/// heights).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GadgetSpec {
+    /// Sub-gadget heights, one per port; `len()` is the family's `Δ`.
+    pub heights: Vec<u32>,
+}
+
+impl GadgetSpec {
+    /// A gadget with `delta` sub-gadgets, all of the given height (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` or `delta > 255` or `height == 0`.
+    #[must_use]
+    pub fn uniform(delta: usize, height: u32) -> Self {
+        assert!(delta >= 1 && delta <= 255, "Δ must be in 1..=255");
+        assert!(height >= 1, "sub-gadget height must be ≥ 1");
+        GadgetSpec { heights: vec![height; delta] }
+    }
+
+    /// The family's `Δ`.
+    #[must_use]
+    pub fn delta(&self) -> usize {
+        self.heights.len()
+    }
+
+    /// Total node count: `1 + Σ_i (2^{h_i} − 1)`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.heights.iter().map(|&h| (1usize << h) - 1).sum::<usize>()
+    }
+}
+
+/// A constructed gadget: graph, input labeling, and the special nodes.
+#[derive(Clone, Debug)]
+pub struct BuiltGadget {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// Complete input labeling (kinds, directions, distance-2 colors).
+    pub input: Labeling<GadgetIn>,
+    /// The `Center` node.
+    pub center: NodeId,
+    /// `ports[i]` is the node labeled `Port_{i+1}`.
+    pub ports: Vec<NodeId>,
+    /// The spec the gadget was built from.
+    pub spec: GadgetSpec,
+}
+
+impl BuiltGadget {
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Gadgets are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Intermediate per-node direction table built during construction.
+struct LabelDraft {
+    kind: Vec<NodeKind>,
+    /// Per half-edge, keyed by (edge index, side index).
+    dir: Vec<[Option<Dir>; 2]>,
+}
+
+/// Builds one sub-gadget (Figure 5) into `g`: a complete binary tree of the
+/// given `height` with horizontal level paths; returns `(root, port)`.
+///
+/// The caller owns labeling: this low-level builder records kinds and
+/// half-edge directions into `draft`.
+fn build_subgadget_into(
+    g: &mut Graph,
+    draft: &mut LabelDraft,
+    index: u8,
+    height: u32,
+) -> (NodeId, NodeId) {
+    // Level ℓ has 2^ℓ nodes, coordinates (ℓ, x), 0 ≤ x < 2^ℓ.
+    let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(height as usize);
+    for l in 0..height {
+        let width = 1usize << l;
+        let mut level = Vec::with_capacity(width);
+        for x in 0..width {
+            let v = g.add_node();
+            draft.kind.push(NodeKind::Tree {
+                index,
+                port: l == height - 1 && x == width - 1,
+            });
+            level.push(v);
+            // Parent edge: (ℓ-1, ⌊x/2⌋).
+            if l > 0 {
+                let parent = levels[(l - 1) as usize][x / 2];
+                let e = g.add_edge(v, parent);
+                draft.dir.push([
+                    Some(Dir::Parent),
+                    Some(if x % 2 == 0 { Dir::LChild } else { Dir::RChild }),
+                ]);
+                debug_assert_eq!(e.index() + 1, draft.dir.len());
+            }
+            // Horizontal edge to (ℓ, x-1).
+            if x > 0 {
+                let left = level[x - 1];
+                let e = g.add_edge(v, left);
+                draft.dir.push([Some(Dir::Left), Some(Dir::Right)]);
+                debug_assert_eq!(e.index() + 1, draft.dir.len());
+            }
+        }
+        levels.push(level);
+    }
+    let root = levels[0][0];
+    let port = *levels[(height - 1) as usize].last().expect("nonempty level");
+    (root, port)
+}
+
+/// Builds a standalone sub-gadget (no center): useful for unit tests and
+/// for crafting invalid inputs. Returns the graph, the per-element labels
+/// (colors included), the root, and the port.
+#[must_use]
+pub fn build_subgadget(index: u8, height: u32) -> (Graph, Labeling<GadgetIn>, NodeId, NodeId) {
+    assert!(height >= 1, "height must be ≥ 1");
+    let mut g = Graph::new();
+    let mut draft = LabelDraft { kind: Vec::new(), dir: Vec::new() };
+    let (root, port) = build_subgadget_into(&mut g, &mut draft, index, height);
+    let input = finish_labels(&g, &draft);
+    (g, input, root, port)
+}
+
+/// Builds a complete valid gadget per `spec` (Figure 6).
+#[must_use]
+pub fn build_gadget(spec: &GadgetSpec) -> BuiltGadget {
+    assert!(!spec.heights.is_empty(), "Δ must be ≥ 1");
+    let mut g = Graph::new();
+    let mut draft = LabelDraft { kind: Vec::new(), dir: Vec::new() };
+    let center = g.add_node();
+    draft.kind.push(NodeKind::Center);
+    let mut ports = Vec::with_capacity(spec.delta());
+    for (i, &h) in spec.heights.iter().enumerate() {
+        let index = u8::try_from(i + 1).expect("Δ ≤ 255");
+        let (root, port) = build_subgadget_into(&mut g, &mut draft, index, h);
+        let e = g.add_edge(root, center);
+        draft.dir.push([Some(Dir::Up), Some(Dir::Down(index))]);
+        debug_assert_eq!(e.index() + 1, draft.dir.len());
+        ports.push(port);
+    }
+    let input = finish_labels(&g, &draft);
+    BuiltGadget { graph: g, input, center, ports, spec: spec.clone() }
+}
+
+/// Completes a label draft: computes the distance-2 coloring and assembles
+/// the `Labeling<GadgetIn>` with color replication on half-edges.
+fn finish_labels(g: &Graph, draft: &LabelDraft) -> Labeling<GadgetIn> {
+    let colors = lcl_graph::distance_k_coloring(g, 2);
+    Labeling::build(
+        g,
+        |v| GadgetIn::Node { kind: draft.kind[v.index()], color: colors[v.index()] },
+        |_| GadgetIn::Edge,
+        |h| {
+            let dir = draft.dir[h.edge.index()][h.side.index()]
+                .expect("every built half-edge is labeled");
+            let v = g.half_edge_node(h);
+            GadgetIn::Half { dir, color: colors[v.index()] }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::{bfs_distances, diameter};
+
+    #[test]
+    fn spec_counting() {
+        let s = GadgetSpec::uniform(3, 4);
+        assert_eq!(s.delta(), 3);
+        assert_eq!(s.node_count(), 1 + 3 * 15);
+        let s2 = GadgetSpec { heights: vec![1, 2, 3] };
+        assert_eq!(s2.node_count(), 1 + 1 + 3 + 7);
+    }
+
+    #[test]
+    fn subgadget_shape() {
+        let (g, _input, root, port) = build_subgadget(1, 3);
+        assert_eq!(g.node_count(), 7);
+        // Edges: 6 tree + (0 + 1 + 3) horizontal = 10.
+        assert_eq!(g.edge_count(), 10);
+        // Root has LChild, RChild only (no center in a bare sub-gadget).
+        assert_eq!(g.degree(root), 2);
+        // Port = bottom-right: Parent + Left.
+        assert_eq!(g.degree(port), 2);
+    }
+
+    #[test]
+    fn gadget_shape_and_ports() {
+        let b = build_gadget(&GadgetSpec::uniform(3, 3));
+        assert_eq!(b.len(), 1 + 3 * 7);
+        assert_eq!(b.ports.len(), 3);
+        assert_eq!(b.graph.degree(b.center), 3);
+        for (i, &p) in b.ports.iter().enumerate() {
+            match b.input.node(p) {
+                GadgetIn::Node { kind: NodeKind::Tree { index, port }, .. } => {
+                    assert_eq!(*index as usize, i + 1);
+                    assert!(port);
+                }
+                other => panic!("port node has wrong label {other:?}"),
+            }
+        }
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn exactly_one_port_per_subgadget() {
+        let b = build_gadget(&GadgetSpec::uniform(4, 4));
+        let mut count = vec![0usize; 5];
+        for v in b.graph.nodes() {
+            if let GadgetIn::Node { kind: NodeKind::Tree { index, port: true }, .. } =
+                b.input.node(v)
+            {
+                count[*index as usize] += 1;
+            }
+        }
+        assert_eq!(&count[1..], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Definition 2: an (n, D)_Δ-gadget needs D = O(log n); with equal
+        // heights the diameter is ≤ 2(h+1) while n ≈ Δ·2^h.
+        for h in [3u32, 5, 7] {
+            let b = build_gadget(&GadgetSpec::uniform(3, h));
+            let d = diameter(&b.graph);
+            assert!(d <= 2 * (h + 1), "diameter {d} too large for height {h}");
+            assert!(d >= h, "diameter {d} suspiciously small for height {h}");
+        }
+    }
+
+    #[test]
+    fn port_pairwise_distances_are_theta_log() {
+        let b = build_gadget(&GadgetSpec::uniform(3, 5));
+        for &p in &b.ports {
+            let dist = bfs_distances(&b.graph, p);
+            for &q in &b.ports {
+                if p != q {
+                    let d = dist[q.index()].expect("connected");
+                    // Port → root (≥ h−1 hops up... actually h−1 via parents
+                    // or shortcuts via level paths; at least height/2) →
+                    // center → other root → other port.
+                    assert!(d >= 5, "ports too close: {d}");
+                    assert!(d <= 2 * 6 + 2, "ports too far: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colors_are_distance_2_proper() {
+        let b = build_gadget(&GadgetSpec::uniform(3, 4));
+        let colors: Vec<u32> = b
+            .graph
+            .nodes()
+            .map(|v| b.input.node(v).color().expect("node colored"))
+            .collect();
+        assert!(lcl_graph::is_distance_k_coloring(&b.graph, &colors, 2));
+    }
+
+    #[test]
+    fn half_edge_colors_replicate_node_colors() {
+        let b = build_gadget(&GadgetSpec::uniform(2, 3));
+        for v in b.graph.nodes() {
+            let vc = b.input.node(v).color().unwrap();
+            for &h in b.graph.ports(v) {
+                assert_eq!(b.input.half(h).color(), Some(vc));
+            }
+        }
+    }
+
+    #[test]
+    fn direction_labels_pair_up() {
+        let b = build_gadget(&GadgetSpec::uniform(3, 4));
+        for e in b.graph.edges() {
+            let a = b.input.half(lcl_graph::HalfEdge::new(e, lcl_graph::Side::A));
+            let bb = b.input.half(lcl_graph::HalfEdge::new(e, lcl_graph::Side::B));
+            assert!(a.dir().unwrap().pairs_with(bb.dir().unwrap()), "{a:?} vs {bb:?}");
+        }
+    }
+
+    #[test]
+    fn height_one_subgadget_is_a_lone_port_root() {
+        let b = build_gadget(&GadgetSpec { heights: vec![1, 3] });
+        // Sub-gadget 1 is a single node that is both root and port,
+        // connected only to the center.
+        let p = b.ports[0];
+        assert_eq!(b.graph.degree(p), 1);
+        match b.input.node(p) {
+            GadgetIn::Node { kind: NodeKind::Tree { index: 1, port: true }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The `(d, Δ)`-gadget family interface (Definition 2) and its `(log, Δ)`
+//! instance (Theorem 6).
+
+use crate::build::{build_gadget, BuiltGadget, GadgetSpec};
+use crate::labels::GadgetIn;
+use crate::verifier::{run_verifier, VerifierOutcome};
+use lcl_core::Labeling;
+use lcl_graph::Graph;
+
+/// A `(d, Δ)`-gadget family per Definition 2 of the paper:
+///
+/// * every member is an `(n, O(d(n)))_Δ`-gadget: `n` nodes, `Δ` ports,
+///   diameter (hence pairwise port distance) at most `O(d(n))`;
+/// * for every `n` the family contains a **balanced** member `Ĝ_n` with
+///   `Θ(n)` nodes whose pairwise port distances are `Θ(d(n))`;
+/// * membership is decidable by the ne-LCL `Ψ_G`, solvable by a
+///   deterministic algorithm `V` in `O(d(n))` rounds given an upper bound
+///   `n` on the instance size; on non-members `V` emits a locally
+///   checkable proof of error.
+pub trait GadgetFamily {
+    /// The family's port count / attachment degree `Δ`.
+    fn delta(&self) -> usize;
+
+    /// The distance scale `d(n)`.
+    fn d(&self, n: usize) -> u32;
+
+    /// The balanced member `Ĝ_n`: `Θ(n)` nodes, port distances `Θ(d(n))`.
+    fn balanced(&self, n: usize) -> BuiltGadget;
+
+    /// Algorithm `V`: solves `Ψ_G` in `O(d(n))` rounds.
+    fn verify(
+        &self,
+        g: &Graph,
+        input: &Labeling<GadgetIn>,
+        known_n: usize,
+    ) -> VerifierOutcome;
+}
+
+/// The `(log, Δ)`-gadget family of Section 4 (Theorem 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogGadgetFamily {
+    delta: usize,
+}
+
+impl LogGadgetFamily {
+    /// A family with the given `Δ ∈ 1..=255`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is 0 or exceeds 255.
+    #[must_use]
+    pub fn new(delta: usize) -> Self {
+        assert!(delta >= 1 && delta <= 255, "Δ must be in 1..=255");
+        LogGadgetFamily { delta }
+    }
+}
+
+impl GadgetFamily for LogGadgetFamily {
+    fn delta(&self) -> usize {
+        self.delta
+    }
+
+    fn d(&self, n: usize) -> u32 {
+        usize::BITS - n.max(2).next_power_of_two().leading_zeros() - 1
+    }
+
+    fn balanced(&self, n: usize) -> BuiltGadget {
+        // Smallest uniform height whose gadget reaches n nodes:
+        // 1 + Δ(2^h − 1) ≥ n.
+        let mut h = 1;
+        while GadgetSpec::uniform(self.delta, h).node_count() < n {
+            h += 1;
+        }
+        build_gadget(&GadgetSpec::uniform(self.delta, h))
+    }
+
+    fn verify(
+        &self,
+        g: &Graph,
+        input: &Labeling<GadgetIn>,
+        known_n: usize,
+    ) -> VerifierOutcome {
+        run_verifier(g, input, self.delta, known_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::{bfs_distances, diameter};
+
+    #[test]
+    fn balanced_member_has_theta_n_nodes() {
+        let fam = LogGadgetFamily::new(3);
+        for n in [10usize, 100, 1000, 5000] {
+            let b = fam.balanced(n);
+            assert!(b.len() >= n, "too small: {} < {n}", b.len());
+            assert!(b.len() <= 4 * n, "not Θ(n): {} for {n}", b.len());
+        }
+    }
+
+    #[test]
+    fn balanced_member_port_distances_are_theta_log() {
+        let fam = LogGadgetFamily::new(3);
+        for n in [50usize, 500, 5000] {
+            let b = fam.balanced(n);
+            let d = fam.d(b.len()) as f64;
+            for &p in &b.ports {
+                let dist = bfs_distances(&b.graph, p);
+                for &q in &b.ports {
+                    if p == q {
+                        continue;
+                    }
+                    let pd = f64::from(dist[q.index()].expect("connected"));
+                    assert!(pd >= 0.5 * d, "ports too close: {pd} vs d = {d}");
+                    assert!(pd <= 3.0 * d + 4.0, "ports too far: {pd} vs d = {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_satisfy_diameter_bound() {
+        let fam = LogGadgetFamily::new(4);
+        let b = fam.balanced(300);
+        let dia = diameter(&b.graph);
+        assert!(dia <= 3 * fam.d(b.len()) + 4, "diameter {dia} breaks O(d(n))");
+    }
+
+    #[test]
+    fn verify_accepts_members_rejects_others() {
+        let fam = LogGadgetFamily::new(3);
+        let b = fam.balanced(100);
+        assert!(fam.verify(&b.graph, &b.input, b.len()).all_ok());
+        let (g, input) =
+            crate::corrupt::apply(&b, &crate::corrupt::Corruption::DeleteEdge(5));
+        assert!(!fam.verify(&g, &input, g.node_count()).all_ok());
+    }
+
+    #[test]
+    fn d_is_log2() {
+        let fam = LogGadgetFamily::new(3);
+        assert_eq!(fam.d(1024), 10);
+        assert_eq!(fam.d(1000), 10);
+        assert_eq!(fam.d(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Δ must be")]
+    fn zero_delta_rejected() {
+        let _ = LogGadgetFamily::new(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Input labels of the gadget family (Figures 5–6, Section 4.6).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction label on a half-edge `(u, e)` — the paper's `L_u(e)`.
+///
+/// Sub-gadget labels (Figure 5): `Parent`, `Right`, `Left`, `LChild`,
+/// `RChild`. Gadget labels (Figure 6): `Up` (root side of a root–center
+/// edge) and `Down(i)` (center side, toward the root of sub-gadget `i`,
+/// 1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir {
+    /// Toward the parent: `(ℓ-1, ⌊x/2⌋)`.
+    Parent,
+    /// Toward the right level-neighbor: `(ℓ, x+1)`.
+    Right,
+    /// Toward the left level-neighbor: `(ℓ, x-1)`.
+    Left,
+    /// Toward the left child: `(ℓ+1, 2x)`.
+    LChild,
+    /// Toward the right child: `(ℓ+1, 2x+1)`.
+    RChild,
+    /// Root side of the root–center edge.
+    Up,
+    /// Center side of the root–center edge of sub-gadget `i` (1-based).
+    Down(u8),
+}
+
+impl Dir {
+    /// True if the paired half on the other side may carry `other`
+    /// (constraints 2a–2b of Section 4.2 and 2b–2c of Section 4.3).
+    #[must_use]
+    pub fn pairs_with(self, other: Dir) -> bool {
+        match (self, other) {
+            (Dir::Right, Dir::Left) | (Dir::Left, Dir::Right) => true,
+            (Dir::Parent, Dir::LChild | Dir::RChild) => true,
+            (Dir::LChild | Dir::RChild, Dir::Parent) => true,
+            (Dir::Up, Dir::Down(_)) | (Dir::Down(_), Dir::Up) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::Parent => write!(f, "Parent"),
+            Dir::Right => write!(f, "Right"),
+            Dir::Left => write!(f, "Left"),
+            Dir::LChild => write!(f, "LChild"),
+            Dir::RChild => write!(f, "RChild"),
+            Dir::Up => write!(f, "Up"),
+            Dir::Down(i) => write!(f, "Down{i}"),
+        }
+    }
+}
+
+/// Node kind: the `Center`, or a tree node of sub-gadget `index`
+/// (1-based), optionally flagged as the sub-gadget's port (`Port_index`;
+/// constraint 1d of Section 4.2 forces the port index to equal the node
+/// index, so a flag suffices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The gadget's central node.
+    Center,
+    /// A sub-gadget node.
+    Tree {
+        /// Sub-gadget index (`Index_i`, 1-based).
+        index: u8,
+        /// True if this node carries the `Port_i` label.
+        port: bool,
+    },
+}
+
+/// The gadget input alphabet over `V ∪ E ∪ B`.
+///
+/// Per Section 4.6, every node carries a distance-2 color (to make the
+/// absence of self-loops and parallel edges locally provable) and the color
+/// is **replicated** on all half-edges of the node, so that edge
+/// constraints can compare colors across an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GadgetIn {
+    /// A node: its kind and its distance-2 color.
+    Node {
+        /// `Center` / `Index_i` (+ `Port_i`).
+        kind: NodeKind,
+        /// Distance-2 color (Section 4.6).
+        color: u32,
+    },
+    /// A half-edge: its direction label and the replicated color of the
+    /// node it is attached to.
+    Half {
+        /// The `L_u(e)` direction.
+        dir: Dir,
+        /// Replica of the incident node's color.
+        color: u32,
+    },
+    /// Edges carry no gadget input of their own.
+    Edge,
+}
+
+impl GadgetIn {
+    /// The direction, if this is a half-edge label.
+    #[must_use]
+    pub fn dir(&self) -> Option<Dir> {
+        match self {
+            GadgetIn::Half { dir, .. } => Some(*dir),
+            _ => None,
+        }
+    }
+
+    /// The node kind, if this is a node label.
+    #[must_use]
+    pub fn kind(&self) -> Option<NodeKind> {
+        match self {
+            GadgetIn::Node { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// The color carried by a node or half-edge label.
+    #[must_use]
+    pub fn color(&self) -> Option<u32> {
+        match self {
+            GadgetIn::Node { color, .. } | GadgetIn::Half { color, .. } => Some(*color),
+            GadgetIn::Edge => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_table() {
+        assert!(Dir::Right.pairs_with(Dir::Left));
+        assert!(Dir::Left.pairs_with(Dir::Right));
+        assert!(Dir::Parent.pairs_with(Dir::LChild));
+        assert!(Dir::Parent.pairs_with(Dir::RChild));
+        assert!(Dir::RChild.pairs_with(Dir::Parent));
+        assert!(Dir::Up.pairs_with(Dir::Down(3)));
+        assert!(Dir::Down(1).pairs_with(Dir::Up));
+        assert!(!Dir::Right.pairs_with(Dir::Right));
+        assert!(!Dir::Parent.pairs_with(Dir::Parent));
+        assert!(!Dir::Up.pairs_with(Dir::Parent));
+        assert!(!Dir::LChild.pairs_with(Dir::RChild));
+    }
+
+    #[test]
+    fn accessors() {
+        let n = GadgetIn::Node { kind: NodeKind::Center, color: 3 };
+        assert_eq!(n.kind(), Some(NodeKind::Center));
+        assert_eq!(n.color(), Some(3));
+        assert_eq!(n.dir(), None);
+        let h = GadgetIn::Half { dir: Dir::Up, color: 5 };
+        assert_eq!(h.dir(), Some(Dir::Up));
+        assert_eq!(h.color(), Some(5));
+        assert_eq!(GadgetIn::Edge.color(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Dir::Down(2).to_string(), "Down2");
+        assert_eq!(Dir::Parent.to_string(), "Parent");
+    }
+}

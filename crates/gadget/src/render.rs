@@ -1,0 +1,83 @@
+//! ASCII rendering of gadgets — a debugging aid mirroring Figures 5–6.
+
+use crate::build::BuiltGadget;
+use crate::labels::{Dir, NodeKind};
+use lcl_graph::NodeId;
+use std::fmt::Write as _;
+
+/// Renders a gadget as an indented tree per sub-gadget: each line is one
+/// node with its coordinates recovered from the label structure, port
+/// flags marked `[P]`, and horizontal links shown as `–`.
+///
+/// ```
+/// use lcl_gadget::{build_gadget, GadgetSpec, render_gadget};
+/// let b = build_gadget(&GadgetSpec::uniform(2, 2));
+/// let art = render_gadget(&b);
+/// assert!(art.contains("Center"));
+/// assert!(art.contains("[P]"));
+/// ```
+#[must_use]
+pub fn render_gadget(b: &BuiltGadget) -> String {
+    let g = &b.graph;
+    let input = &b.input;
+    let step = |v: NodeId, d: Dir| -> Option<NodeId> {
+        g.ports(v)
+            .iter()
+            .find(|&&h| input.half(h).dir() == Some(d))
+            .map(|&h| g.half_edge_peer(h))
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Center {:?} (Δ = {})", b.center, b.spec.delta());
+    for i in 1..=b.spec.delta() as u8 {
+        let Some(root) = step(b.center, Dir::Down(i)) else { continue };
+        let _ = writeln!(out, "└─ Down{i} → sub-gadget {i}");
+        // Walk levels: leftmost node of each level, then Right-chain.
+        let mut level_start = Some(root);
+        let mut depth = 0;
+        while let Some(start) = level_start {
+            let mut line = String::new();
+            let mut cur = Some(start);
+            while let Some(v) = cur {
+                let port = matches!(
+                    input.node(v).kind(),
+                    Some(NodeKind::Tree { port: true, .. })
+                );
+                let _ = write!(line, "{}{:?}{} ", if line.is_empty() { "" } else { "– " }, v, if port { "[P]" } else { "" });
+                cur = step(v, Dir::Right);
+            }
+            let _ = writeln!(out, "   {}ℓ{depth}: {line}", "  ".repeat(depth));
+            level_start = step(start, Dir::LChild);
+            depth += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_gadget, GadgetSpec};
+
+    #[test]
+    fn renders_every_node_once() {
+        let b = build_gadget(&GadgetSpec::uniform(2, 3));
+        let art = render_gadget(&b);
+        // Every node id appears (nodes print as "nK").
+        for v in b.graph.nodes() {
+            assert!(art.contains(&format!("{v:?}")), "missing {v:?} in:\n{art}");
+        }
+        // One [P] per sub-gadget.
+        assert_eq!(art.matches("[P]").count(), 2);
+        // Levels: heights 3 ⇒ rows ℓ0, ℓ1, ℓ2 under each sub-gadget.
+        assert_eq!(art.matches("ℓ2:").count(), 2);
+    }
+
+    #[test]
+    fn renders_mixed_heights() {
+        let b = build_gadget(&GadgetSpec { heights: vec![1, 4] });
+        let art = render_gadget(&b);
+        assert!(art.contains("sub-gadget 1"));
+        assert!(art.contains("ℓ3:"), "tall sub-gadget reaches level 3");
+    }
+}

@@ -1,0 +1,145 @@
+//! Edge cases for algorithm `V` and the `Ψ` checker: disconnected inputs,
+//! degenerate heights, and component independence.
+
+use lcl_core::Labeling;
+use lcl_gadget::{
+    build_gadget, check_psi, corrupt, GadgetFamily, GadgetIn, GadgetSpec,
+    LogGadgetFamily, PsiOutput,
+};
+use lcl_graph::Graph;
+
+/// Merge two labeled graphs into one disconnected instance.
+fn union(
+    a: (&Graph, &Labeling<GadgetIn>),
+    b: (&Graph, &Labeling<GadgetIn>),
+) -> (Graph, Labeling<GadgetIn>) {
+    let mut g = a.0.clone();
+    let off = g.append(b.0);
+    let input = Labeling::build(
+        &g,
+        |v| {
+            if v.index() < a.0.node_count() {
+                *a.1.node(v)
+            } else {
+                *b.1.node(lcl_graph::NodeId(v.0 - off.0))
+            }
+        },
+        |e| {
+            if e.index() < a.0.edge_count() {
+                *a.1.edge(e)
+            } else {
+                *b.1.edge(lcl_graph::EdgeId(e.0 - a.0.edge_count() as u32))
+            }
+        },
+        |h| {
+            if h.edge.index() < a.0.edge_count() {
+                *a.1.half(h)
+            } else {
+                *b.1.half(lcl_graph::HalfEdge::new(
+                    lcl_graph::EdgeId(h.edge.0 - a.0.edge_count() as u32),
+                    h.side,
+                ))
+            }
+        },
+    );
+    (g, input)
+}
+
+#[test]
+fn components_are_judged_independently() {
+    // One valid + one corrupted gadget in a single (disconnected) input:
+    // Ψ is per-component, so the valid one must stay all-Ok while the
+    // corrupted one carries a verifying proof.
+    let fam = LogGadgetFamily::new(2);
+    let good = build_gadget(&GadgetSpec::uniform(2, 3));
+    let bad_src = build_gadget(&GadgetSpec::uniform(2, 3));
+    let (bad_g, bad_in) = corrupt::apply(&bad_src, &corrupt::Corruption::DeleteEdge(2));
+    let (g, input) = union((&good.graph, &good.input), (&bad_g, &bad_in));
+
+    let out = fam.verify(&g, &input, g.node_count());
+    for v in 0..good.graph.node_count() {
+        assert_eq!(out.output[v], PsiOutput::Ok, "valid component stays Ok");
+    }
+    assert!(
+        (good.graph.node_count()..g.node_count())
+            .any(|v| out.output[v].is_error_label()),
+        "corrupted component must carry error labels"
+    );
+    assert!(check_psi(&g, &input, &out.output, 2).is_empty());
+}
+
+#[test]
+fn two_valid_gadgets_both_ok() {
+    let fam = LogGadgetFamily::new(3);
+    let a = build_gadget(&GadgetSpec::uniform(3, 3));
+    let b = build_gadget(&GadgetSpec::uniform(3, 2));
+    let (g, input) = union((&a.graph, &a.input), (&b.graph, &b.input));
+    let out = fam.verify(&g, &input, g.node_count());
+    assert!(out.all_ok());
+    assert!(check_psi(&g, &input, &out.output, 3).is_empty());
+}
+
+#[test]
+fn height_one_gadget_verifies() {
+    // Δ sub-gadgets that are single port-root nodes: the smallest valid
+    // gadget (Δ + 1 nodes).
+    let fam = LogGadgetFamily::new(3);
+    let b = build_gadget(&GadgetSpec::uniform(3, 1));
+    assert_eq!(b.len(), 4);
+    let out = fam.verify(&b.graph, &b.input, b.len());
+    assert!(out.all_ok());
+}
+
+#[test]
+fn mixed_heights_verify() {
+    let fam = LogGadgetFamily::new(4);
+    let b = build_gadget(&GadgetSpec { heights: vec![1, 2, 5, 3] });
+    let out = fam.verify(&b.graph, &b.input, b.len());
+    assert!(out.all_ok());
+    assert!(check_psi(&b.graph, &b.input, &out.output, 4).is_empty());
+}
+
+#[test]
+fn center_blames_smallest_erroneous_subgadget() {
+    // Corrupt sub-gadget 2 only: the center's pointer must be Down(2).
+    let b = build_gadget(&GadgetSpec::uniform(3, 3));
+    // Find a GadEdge strictly inside sub-gadget 2 (both endpoints Index 2)
+    // and delete it.
+    let victim = b
+        .graph
+        .edges()
+        .find(|&e| {
+            let [u, v] = b.graph.endpoints(e);
+            let idx = |x: lcl_graph::NodeId| match b.input.node(x).kind() {
+                Some(lcl_gadget::NodeKind::Tree { index, .. }) => Some(index),
+                _ => None,
+            };
+            idx(u) == Some(2) && idx(v) == Some(2)
+        })
+        .expect("sub-gadget 2 has internal edges");
+    let (g, input) = corrupt::apply(&b, &corrupt::Corruption::DeleteEdge(victim.0));
+    let fam = LogGadgetFamily::new(3);
+    let out = fam.verify(&g, &input, g.node_count());
+    assert!(!out.all_ok());
+    assert!(check_psi(&g, &input, &out.output, 3).is_empty());
+    assert_eq!(
+        out.output[b.center.index()],
+        PsiOutput::Pointer(lcl_gadget::Dir::Down(2)),
+        "center must blame the erroneous sub-gadget"
+    );
+}
+
+#[test]
+fn announced_bound_does_not_change_verdicts() {
+    // V receives an upper bound on n; loosening it must not change
+    // verdicts (only the radius bound).
+    let fam = LogGadgetFamily::new(3);
+    let b = build_gadget(&GadgetSpec::uniform(3, 4));
+    let tight = fam.verify(&b.graph, &b.input, b.len());
+    let loose = fam.verify(&b.graph, &b.input, b.len() * 100);
+    assert_eq!(tight.output, loose.output);
+    let (g, input) = corrupt::apply(&b, &corrupt::Corruption::TogglePort(b.ports[0].0));
+    let tight = fam.verify(&g, &input, g.node_count());
+    let loose = fam.verify(&g, &input, g.node_count() * 100);
+    assert_eq!(tight.output, loose.output);
+}

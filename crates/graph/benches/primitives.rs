@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the graph substrate's hot primitives: ball
+//! extraction (the inner loop of the view engine) and shortest-cycle
+//! search (the inner loop of deterministic sinkless orientation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_graph::{gen, Ball, CycleSearch, NodeId};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph-primitives");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        let g = gen::random_regular(n, 3, 1).expect("generable");
+        for &r in &[4u32, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ball-r{r}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| Ball::extract(g, NodeId(0), r));
+                },
+            );
+        }
+        let s = CycleSearch::default();
+        group.bench_with_input(BenchmarkId::new("girth-capped-25", n), &g, |b, g| {
+            b.iter(|| {
+                g.edges()
+                    .take(64)
+                    .filter_map(|e| s.shortest_len_through_edge_capped(g, e, 25))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bfs-full", n), &g, |b, g| {
+            b.iter(|| lcl_graph::bfs_distances(g, NodeId(0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Radius-`r` ball extraction: the "view" a node gathers in `r` rounds.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// The radius-`r` ball around a center node: the subgraph induced by all
+/// nodes at distance at most `r`, together with the mapping back to the
+/// host graph.
+///
+/// This is the information a node holds after `Θ(r)` rounds in the LOCAL
+/// model (Section 2 of the paper: gather, compute, output). We include all
+/// edges *between* two boundary nodes, which is available after `r + 1`
+/// rounds; the `±1` never matters for the asymptotic measurements this
+/// repository performs.
+///
+/// Note on ports: the local graph's port order at each node preserves the
+/// host order of the surviving incidences, and boundary nodes (at distance
+/// exactly `r`) may be missing incidences that leave the ball. Use
+/// [`Ball::is_interior`] to know whether a node's local ports are the
+/// complete host port table.
+#[derive(Clone, Debug)]
+pub struct Ball {
+    /// The ball as a standalone graph with dense local ids.
+    graph: Graph,
+    /// The center, as a local node id (always `NodeId(0)`).
+    center: NodeId,
+    /// The radius used for extraction.
+    radius: u32,
+    /// Local node id -> host node id.
+    node_map: Vec<NodeId>,
+    /// Local edge id -> host edge id.
+    edge_map: Vec<EdgeId>,
+    /// Local node id -> distance from center.
+    dist: Vec<u32>,
+}
+
+impl Ball {
+    /// Extracts the radius-`r` ball around `center` in `g`.
+    ///
+    /// Runs in time linear in the size of the ball.
+    #[must_use]
+    pub fn extract(g: &Graph, center: NodeId, r: u32) -> Ball {
+        let mut to_local: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        let mut local = Graph::new();
+        let mut node_map = Vec::new();
+        let mut dist = Vec::new();
+        let mut queue = VecDeque::new();
+
+        let c = local.add_node();
+        to_local[center.index()] = Some(c);
+        node_map.push(center);
+        dist.push(0);
+        queue.push_back(center);
+
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[to_local[v.index()].expect("queued node is mapped").index()];
+            if dv >= r {
+                continue;
+            }
+            for (w, _) in g.neighbors(v) {
+                if to_local[w.index()].is_none() {
+                    let lw = local.add_node();
+                    to_local[w.index()] = Some(lw);
+                    node_map.push(w);
+                    dist.push(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+
+        // Add all host edges with both endpoints inside the ball, walking
+        // each member node's port table in order so local port order follows
+        // host port order.
+        let mut edge_map = Vec::new();
+        let mut edge_added: Vec<bool> = vec![false; g.edge_count()];
+        for &hv in &node_map {
+            for &h in g.ports(hv) {
+                if edge_added[h.edge.index()] {
+                    continue;
+                }
+                let [a, b] = g.endpoints(h.edge);
+                if let (Some(la), Some(lb)) = (to_local[a.index()], to_local[b.index()]) {
+                    edge_added[h.edge.index()] = true;
+                    local.add_edge(la, lb);
+                    edge_map.push(h.edge);
+                }
+            }
+        }
+
+        Ball { graph: local, center: c, radius: r, node_map, edge_map, dist }
+    }
+
+    /// The ball as a standalone graph (dense local ids, center is node 0).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The center's local id (always `NodeId(0)`).
+    #[must_use]
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The extraction radius.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Number of nodes in the ball.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_map.len()
+    }
+
+    /// True if the ball contains only its center.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // a ball always contains its center
+    }
+
+    /// Host id of a local node.
+    #[must_use]
+    pub fn to_host_node(&self, local: NodeId) -> NodeId {
+        self.node_map[local.index()]
+    }
+
+    /// Host id of a local edge.
+    #[must_use]
+    pub fn to_host_edge(&self, local: EdgeId) -> EdgeId {
+        self.edge_map[local.index()]
+    }
+
+    /// Local id of a host node, if it lies in the ball.
+    #[must_use]
+    pub fn to_local_node(&self, host: NodeId) -> Option<NodeId> {
+        // Linear scan: balls are small relative to hosts, and callers that
+        // need many lookups should build their own map from `node_map`.
+        self.node_map.iter().position(|&h| h == host).map(|i| NodeId(i as u32))
+    }
+
+    /// Distance of a local node from the center.
+    #[must_use]
+    pub fn dist_from_center(&self, local: NodeId) -> u32 {
+        self.dist[local.index()]
+    }
+
+    /// True if the local node is strictly inside the ball (distance < r), so
+    /// its local port table is its complete host port table.
+    #[must_use]
+    pub fn is_interior(&self, local: NodeId) -> bool {
+        self.dist[local.index()] < self.radius
+    }
+
+    /// True if the ball saturated: no boundary node has edges leaving the
+    /// ball, i.e. the ball is the center's whole connected component.
+    #[must_use]
+    pub fn is_entire_component(&self, host: &Graph) -> bool {
+        self.node_map
+            .iter()
+            .enumerate()
+            .all(|(i, &hv)| host.degree(hv) == self.graph.degree(NodeId(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ball_on_cycle_has_expected_size() {
+        let g = gen::cycle(10);
+        let b = Ball::extract(&g, NodeId(0), 2);
+        assert_eq!(b.len(), 5); // center + 2 each side
+        assert_eq!(b.center(), NodeId(0));
+        assert_eq!(b.to_host_node(b.center()), NodeId(0));
+        assert_eq!(b.radius(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn ball_includes_boundary_boundary_edges() {
+        // Triangle: radius-1 ball around any node is the whole triangle,
+        // including the edge between the two distance-1 nodes.
+        let g = gen::cycle(3);
+        let b = Ball::extract(&g, NodeId(0), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn distances_recorded() {
+        let g = gen::path(6);
+        let b = Ball::extract(&g, NodeId(0), 3);
+        assert_eq!(b.len(), 4);
+        let d: Vec<_> = (0..4).map(|i| b.dist_from_center(NodeId(i))).collect();
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        assert!(b.is_interior(NodeId(2)));
+        assert!(!b.is_interior(NodeId(3)));
+    }
+
+    #[test]
+    fn saturated_ball_detects_whole_component() {
+        let g = gen::cycle(6);
+        let small = Ball::extract(&g, NodeId(0), 2);
+        assert!(!small.is_entire_component(&g));
+        let big = Ball::extract(&g, NodeId(0), 3);
+        assert!(big.is_entire_component(&g));
+    }
+
+    #[test]
+    fn to_local_node_roundtrips() {
+        let g = gen::cycle(8);
+        let b = Ball::extract(&g, NodeId(3), 2);
+        for local in b.graph().nodes() {
+            let host = b.to_host_node(local);
+            assert_eq!(b.to_local_node(host), Some(local));
+        }
+        assert_eq!(b.to_local_node(NodeId(7)), None);
+    }
+
+    #[test]
+    fn edge_map_points_to_host_edges() {
+        let g = gen::cycle(5);
+        let b = Ball::extract(&g, NodeId(0), 1);
+        for le in b.graph().edges() {
+            let he = b.to_host_edge(le);
+            let [a, b_] = b.graph().endpoints(le);
+            let hosts = [b.to_host_node(a), b.to_host_node(b_)];
+            let mut ends = g.endpoints(he);
+            let mut hs = hosts;
+            ends.sort();
+            hs.sort();
+            assert_eq!(ends, hs);
+        }
+    }
+}

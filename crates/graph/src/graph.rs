@@ -1,0 +1,369 @@
+//! The multigraph structure with port numbering.
+
+use crate::ids::{EdgeId, HalfEdge, NodeId, Side};
+use serde::{Deserialize, Serialize};
+
+/// A finite multigraph with port numbering.
+///
+/// Self-loops and parallel edges are allowed (the paper explicitly works in
+/// this class, Section 2). Each node's incidences are ordered: the incidence
+/// at position `p` is the node's **port `p`**. A self-loop occupies two ports
+/// of its node, one per [`Side`].
+///
+/// The structure is append-only: nodes and edges can be added but not
+/// removed. Experiments that need "a graph with part deleted" build a new
+/// graph via [`Graph::induced_subgraph`] or mask elements at a higher layer;
+/// this keeps ids dense and stable, which the LOCAL simulator relies on.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Per node: ordered incidences (the port table).
+    ports: Vec<Vec<HalfEdge>>,
+    /// Per edge: the two endpoints, indexed by [`Side`].
+    edges: Vec<[NodeId; 2]>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes and
+    /// `edges` edges.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph { ports: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Adds an isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.ports.len()).expect("node count exceeds u32"));
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Adds `k` isolated nodes, returning the id of the first.
+    ///
+    /// The new nodes are `first, first+1, …, first+k-1` (ids are dense).
+    pub fn add_nodes(&mut self, k: usize) -> NodeId {
+        let first = NodeId(u32::try_from(self.ports.len()).expect("node count exceeds u32"));
+        for _ in 0..k {
+            self.ports.push(Vec::new());
+        }
+        first
+    }
+
+    /// Adds an edge between `u` and `v` (they may coincide: a self-loop) and
+    /// returns its id. The new edge occupies the next free port at each
+    /// endpoint (both ports of `u` for a self-loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u.index() < self.ports.len(), "endpoint {u:?} out of range");
+        assert!(v.index() < self.ports.len(), "endpoint {v:?} out of range");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
+        self.edges.push([u, v]);
+        self.ports[u.index()].push(HalfEdge::new(id, Side::A));
+        self.ports[v.index()].push(HalfEdge::new(id, Side::B));
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of edges (self-loops count once).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.ports.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over all half-edges (each edge yields both sides).
+    pub fn half_edges(&self) -> impl Iterator<Item = HalfEdge> + '_ {
+        self.edges().flat_map(|e| [HalfEdge::new(e, Side::A), HalfEdge::new(e, Side::B)])
+    }
+
+    /// Degree of `v` (self-loops contribute 2).
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v.index()].len()
+    }
+
+    /// Maximum degree `Δ` over all nodes (0 for the empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.ports.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The two endpoints of `e`, indexed by [`Side`] (`[A, B]`).
+    #[must_use]
+    pub fn endpoints(&self, e: EdgeId) -> [NodeId; 2] {
+        self.edges[e.index()]
+    }
+
+    /// The node a half-edge is attached to.
+    #[must_use]
+    pub fn half_edge_node(&self, h: HalfEdge) -> NodeId {
+        self.edges[h.edge.index()][h.side.index()]
+    }
+
+    /// The node at the *other* end of the half-edge's edge.
+    #[must_use]
+    pub fn half_edge_peer(&self, h: HalfEdge) -> NodeId {
+        self.edges[h.edge.index()][h.side.flip().index()]
+    }
+
+    /// The ordered incidences (port table) of `v`.
+    #[must_use]
+    pub fn ports(&self, v: NodeId) -> &[HalfEdge] {
+        &self.ports[v.index()]
+    }
+
+    /// The half-edge plugged into port `p` of `v`, if `p < degree(v)`.
+    #[must_use]
+    pub fn half_edge_at_port(&self, v: NodeId, p: usize) -> Option<HalfEdge> {
+        self.ports[v.index()].get(p).copied()
+    }
+
+    /// The neighbor reached through port `p` of `v` (the node itself for a
+    /// self-loop), if the port exists.
+    #[must_use]
+    pub fn neighbor_via_port(&self, v: NodeId, p: usize) -> Option<NodeId> {
+        self.half_edge_at_port(v, p).map(|h| self.half_edge_peer(h))
+    }
+
+    /// The port number of half-edge `h` at its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-edge does not belong to this graph (internal
+    /// inconsistency).
+    #[must_use]
+    pub fn port_of(&self, h: HalfEdge) -> usize {
+        let v = self.half_edge_node(h);
+        self.ports[v.index()]
+            .iter()
+            .position(|&x| x == h)
+            .expect("half-edge missing from its node's port table")
+    }
+
+    /// Iterator over `(neighbor, half_edge)` pairs at `v`, in port order.
+    /// The half-edge is the one attached to `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, HalfEdge)> + '_ {
+        self.ports[v.index()].iter().map(move |&h| (self.half_edge_peer(h), h))
+    }
+
+    /// True if `e` is a self-loop.
+    #[must_use]
+    pub fn is_self_loop(&self, e: EdgeId) -> bool {
+        let [a, b] = self.endpoints(e);
+        a == b
+    }
+
+    /// True if some pair of distinct edges joins the same two nodes, or a
+    /// self-loop exists. Used by generators that promise simple graphs.
+    #[must_use]
+    pub fn has_multi_edges_or_loops(&self) -> bool {
+        use std::collections::HashSet;
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        for &[a, b] in &self.edges {
+            if a == b {
+                return true;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            if !seen.insert(key) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Builds the subgraph induced by `keep`, returning it together with the
+    /// mapping `new id -> old id`. Ports of kept nodes preserve the relative
+    /// order of surviving incidences.
+    #[must_use]
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut old_to_new = vec![None; self.node_count()];
+        let mut sub = Graph::with_capacity(keep.len(), 0);
+        let mut new_to_old = Vec::with_capacity(keep.len());
+        for &v in keep {
+            if old_to_new[v.index()].is_none() {
+                let nv = sub.add_node();
+                old_to_new[v.index()] = Some(nv);
+                new_to_old.push(v);
+            }
+        }
+        for e in self.edges() {
+            let [a, b] = self.endpoints(e);
+            if let (Some(na), Some(nb)) = (old_to_new[a.index()], old_to_new[b.index()]) {
+                sub.add_edge(na, nb);
+            }
+        }
+        (sub, new_to_old)
+    }
+
+    /// Disjoint union: appends all of `other`'s nodes and edges to `self`,
+    /// returning the id offset applied to `other`'s nodes (its node `k`
+    /// becomes `offset + k`).
+    pub fn append(&mut self, other: &Graph) -> NodeId {
+        let offset = self.node_count() as u32;
+        for _ in 0..other.node_count() {
+            self.add_node();
+        }
+        for e in other.edges() {
+            let [a, b] = other.endpoints(e);
+            self.add_edge(NodeId(a.0 + offset), NodeId(b.0 + offset));
+        }
+        NodeId(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn triangle_degrees_and_ports() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_edge(a, b);
+        let bc = g.add_edge(b, c);
+        let ca = g.add_edge(c, a);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(c), 2);
+        // Port order follows insertion order.
+        assert_eq!(g.half_edge_at_port(a, 0).unwrap().edge, ab);
+        assert_eq!(g.half_edge_at_port(a, 1).unwrap().edge, ca);
+        assert_eq!(g.neighbor_via_port(b, 0), Some(a));
+        assert_eq!(g.neighbor_via_port(b, 1), Some(c));
+        assert_eq!(g.endpoints(bc), [b, c]);
+        assert!(!g.has_multi_edges_or_loops());
+    }
+
+    #[test]
+    fn self_loop_occupies_two_ports_and_counts_twice() {
+        let mut g = Graph::new();
+        let v = g.add_node();
+        let e = g.add_edge(v, v);
+        assert_eq!(g.degree(v), 2);
+        assert!(g.is_self_loop(e));
+        assert!(g.has_multi_edges_or_loops());
+        let h0 = g.half_edge_at_port(v, 0).unwrap();
+        let h1 = g.half_edge_at_port(v, 1).unwrap();
+        assert_eq!(h0.edge, e);
+        assert_eq!(h1.edge, e);
+        assert_ne!(h0.side, h1.side);
+        assert_eq!(g.half_edge_peer(h0), v);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(a, b);
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(a), 2);
+        assert!(g.has_multi_edges_or_loops());
+        assert!(!g.is_self_loop(e1));
+    }
+
+    #[test]
+    fn port_of_inverts_half_edge_at_port() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(a, a);
+        for p in 0..g.degree(a) {
+            let h = g.half_edge_at_port(a, p).unwrap();
+            assert_eq!(g.port_of(h), p);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        let (sub, back) = g.induced_subgraph(&[a, b]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn append_offsets_ids() {
+        let mut g = Graph::new();
+        g.add_node();
+        let mut h = Graph::new();
+        let x = h.add_node();
+        let y = h.add_node();
+        h.add_edge(x, y);
+        let off = g.append(&h);
+        assert_eq!(off, NodeId(1));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.endpoints(EdgeId(0)), [NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn half_edges_iterates_both_sides() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        let hs: Vec<_> = g.half_edges().collect();
+        assert_eq!(hs.len(), 2);
+        assert_eq!(g.half_edge_node(hs[0]), a);
+        assert_eq!(g.half_edge_node(hs[1]), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_validates_endpoints() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_edge(a, NodeId(99));
+    }
+}

@@ -1,0 +1,163 @@
+//! Strongly-typed identifiers for nodes, edges, and half-edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`crate::Graph`].
+///
+/// Node ids are dense: the nodes of a graph with `n` nodes are exactly
+/// `NodeId(0), …, NodeId(n-1)`. They are *not* the LOCAL-model identifiers
+/// (those are assigned separately by the simulator from `1..poly(n)`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge in a [`crate::Graph`]. Dense, like [`NodeId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// One of the two endpoint slots of an edge.
+///
+/// Even a self-loop has two distinct sides; this is what lets the paper's
+/// set `B = {(v, e) | v ∈ e}` carry a label *per incidence* rather than per
+/// (node, edge) pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Side {
+    /// The endpoint stored first (the `u` of `add_edge(u, v)`).
+    A,
+    /// The endpoint stored second (the `v` of `add_edge(u, v)`).
+    B,
+}
+
+impl Side {
+    /// The other side.
+    #[must_use]
+    pub fn flip(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+
+    /// Index (0 or 1) of this side in an endpoints array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+/// A half-edge: one incidence `(v, e)` of the paper's set `B`.
+///
+/// A half-edge is identified by an edge together with a [`Side`]; the node it
+/// is attached to is recoverable through the graph. Half-edges are the
+/// carriers of per-endpoint labels (e.g. the `in`/`out` labels of sinkless
+/// orientation, Figure 3 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HalfEdge {
+    /// The edge this half-edge belongs to.
+    pub edge: EdgeId,
+    /// Which endpoint slot of the edge.
+    pub side: Side,
+}
+
+impl HalfEdge {
+    /// Creates the half-edge on `side` of `edge`.
+    #[must_use]
+    pub fn new(edge: EdgeId, side: Side) -> Self {
+        HalfEdge { edge, side }
+    }
+
+    /// The half-edge at the opposite endpoint of the same edge.
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        HalfEdge { edge: self.edge, side: self.side.flip() }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for HalfEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}{}", self.edge, if self.side == Side::A { "a" } else { "b" })
+    }
+}
+
+impl NodeId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_flip_is_involutive() {
+        assert_eq!(Side::A.flip(), Side::B);
+        assert_eq!(Side::B.flip(), Side::A);
+        assert_eq!(Side::A.flip().flip(), Side::A);
+    }
+
+    #[test]
+    fn half_edge_opposite_swaps_side_only() {
+        let h = HalfEdge::new(EdgeId(7), Side::A);
+        let o = h.opposite();
+        assert_eq!(o.edge, EdgeId(7));
+        assert_eq!(o.side, Side::B);
+        assert_eq!(o.opposite(), h);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty_and_stable() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(5)), "e5");
+        assert_eq!(format!("{:?}", HalfEdge::new(EdgeId(5), Side::B)), "e5b");
+    }
+}

@@ -1,0 +1,134 @@
+//! Breadth-first traversal utilities: distances, components.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance from `source` to every node, `None` for unreachable nodes.
+///
+/// Self-loops never shorten distances; parallel edges are harmless.
+#[must_use]
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    bfs_distances_capped(g, source, u32::MAX)
+}
+
+/// Like [`bfs_distances`] but stops expanding beyond distance `cap`.
+/// Nodes farther than `cap` report `None`.
+#[must_use]
+pub fn bfs_distances_capped(g: &Graph, source: NodeId, cap: u32) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued node has a distance");
+        if d >= cap {
+            continue;
+        }
+        for (w, _) in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A connected component: its nodes, in BFS discovery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Nodes of the component in discovery order (the first is the
+    /// smallest-id node of the component).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Component {
+    /// Number of nodes in the component.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the component is empty (never produced by
+    /// [`connected_components`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// All connected components, ordered by their smallest node id.
+#[must_use]
+pub fn connected_components(g: &Graph) -> Vec<Component> {
+    let mut seen = vec![false; g.node_count()];
+    let mut out = Vec::new();
+    for s in g.nodes() {
+        if seen[s.index()] {
+            continue;
+        }
+        let mut nodes = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[s.index()] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            nodes.push(v);
+            for (w, _) in g.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        out.push(Component { nodes });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn distances_on_path() {
+        let g = gen::path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn capped_distances_stop() {
+        let g = gen::path(5);
+        let d = bfs_distances_capped(&g, NodeId(0), 2);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let mut g = gen::path(3);
+        g.add_node(); // isolated
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn self_loop_does_not_affect_distances() {
+        let mut g = gen::path(3);
+        g.add_edge(NodeId(1), NodeId(1));
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let mut g = gen::cycle(3);
+        g.append(&gen::path(2));
+        g.add_node();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2].len(), 1);
+        assert!(!comps[2].is_empty());
+    }
+}

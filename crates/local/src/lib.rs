@@ -1,0 +1,51 @@
+//! A simulator for the LOCAL model of distributed computing.
+//!
+//! Section 2 of the paper defines the model this crate implements:
+//!
+//! * computation proceeds in synchronous rounds; per round every node
+//!   exchanges messages with its neighbors (unbounded size) and computes
+//!   (unbounded power);
+//! * equivalently, a `T`-round algorithm is a function from each node's
+//!   radius-`T` neighborhood (structure + identifiers + input labels) to its
+//!   local output;
+//! * nodes know `n`, `Δ`, their own unique identifier from `{1, …, poly(n)}`,
+//!   and their degree.
+//!
+//! Correspondingly there are two engines:
+//!
+//! * the **view engine** ([`run_views`], [`ViewAlgorithm`]): each node maps
+//!   its radius-`r` ball to an output, growing `r` adaptively; the simulator
+//!   records the radius each node needed, and the run's **measured
+//!   complexity** is the maximum (this is the number the experiments plot);
+//! * the **round engine** ([`run_rounds`], [`RoundAlgorithm`]): explicit
+//!   synchronous message passing, for algorithms whose natural unit is the
+//!   round (the randomized propose/retry algorithms).
+//!
+//! Randomness is reproducible: every node draws from its own
+//! counter-mode RNG stream derived from `(run seed, node index)`.
+//!
+//! ```
+//! use lcl_graph::gen;
+//! use lcl_local::{Network, IdAssignment};
+//!
+//! let net = Network::new(gen::cycle(8), IdAssignment::Shuffled { seed: 1 });
+//! assert_eq!(net.len(), 8);
+//! let ids: Vec<u64> = net.graph().nodes().map(|v| net.id_of(v)).collect();
+//! let mut sorted = ids.clone();
+//! sorted.sort_unstable();
+//! sorted.dedup();
+//! assert_eq!(sorted.len(), 8, "identifiers are unique");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod rounds;
+mod trace;
+mod views;
+
+pub use network::{IdAssignment, Network};
+pub use rounds::{run_rounds, NodeCtx, RoundAlgorithm, RoundOutcome};
+pub use trace::{LocalityTrace, RoundTrace};
+pub use views::{run_views, run_views_capped, Decision, View, ViewAlgorithm, ViewCtx, ViewOutcome};

@@ -1,0 +1,313 @@
+//! The round engine: explicit synchronous message passing.
+
+use crate::network::Network;
+use crate::trace::RoundTrace;
+use crate::views::rand_word;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-node context handed to a [`RoundAlgorithm`]: the quantities the
+/// LOCAL model announces, plus the node's identity and degree.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeCtx {
+    /// The node's LOCAL identifier.
+    pub id: u64,
+    /// The node's degree (ports are `0..degree`).
+    pub degree: usize,
+    /// The announced number of nodes.
+    pub known_n: usize,
+    /// The maximum degree `Δ`.
+    pub max_degree: usize,
+}
+
+/// A synchronous message-passing algorithm.
+///
+/// One round = every node computes its outgoing messages from its state
+/// ([`RoundAlgorithm::send`]), messages are delivered along edges (a message
+/// sent on port `p` arrives at the neighbor's port for the same edge), and
+/// every node updates its state from its inbox ([`RoundAlgorithm::receive`]).
+/// A node that returns an output from [`RoundAlgorithm::output`] is
+/// finished; the engine stops when all nodes are finished or the round cap
+/// is hit. Finished nodes keep participating in message exchange (their
+/// `send` is still called) — in the LOCAL model producing an output does not
+/// silence a node.
+pub trait RoundAlgorithm {
+    /// Per-node mutable state.
+    type State;
+    /// Message type (unbounded size, per the model).
+    type Msg: Clone;
+    /// Per-node final output.
+    type Output: Clone;
+
+    /// Initial state of a node.
+    fn init(&self, ctx: &NodeCtx, rng: &mut ChaCha8Rng) -> Self::State;
+
+    /// Messages to send this round, as `(port, message)` pairs. Ports must
+    /// be valid (`< ctx.degree`); at most one message per port.
+    fn send(&self, state: &Self::State, ctx: &NodeCtx) -> Vec<(usize, Self::Msg)>;
+
+    /// Digest this round's inbox: `(port, message)` pairs, in port order.
+    /// For a self-loop, a message sent on one of the loop's ports arrives on
+    /// the other.
+    fn receive(
+        &self,
+        state: &mut Self::State,
+        ctx: &NodeCtx,
+        inbox: &[(usize, Self::Msg)],
+        rng: &mut ChaCha8Rng,
+    );
+
+    /// The node's output, once it has decided. Must be stable: after
+    /// returning `Some`, later rounds must return the same value.
+    fn output(&self, state: &Self::State, ctx: &NodeCtx) -> Option<Self::Output>;
+}
+
+/// Result of a round-engine run.
+#[derive(Clone, Debug)]
+pub struct RoundOutcome<O> {
+    /// Per-node outputs, `None` for nodes that had not decided when the
+    /// engine stopped.
+    pub outputs: Vec<Option<O>>,
+    /// Round accounting.
+    pub trace: RoundTrace,
+}
+
+impl<O> RoundOutcome<O> {
+    /// Unwraps all outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node never decided (run hit the round cap).
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
+            .into_iter()
+            .map(|o| o.expect("node did not decide before the round cap"))
+            .collect()
+    }
+}
+
+/// Runs a round algorithm for at most `max_rounds` rounds.
+///
+/// Determinism: node `v`'s RNG stream is seeded from `(seed, id(v))`, so a
+/// run is reproducible and independent of node iteration order.
+pub fn run_rounds<A: RoundAlgorithm>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+) -> RoundOutcome<A::Output> {
+    let g = net.graph();
+    let n = g.node_count();
+    let ctxs: Vec<NodeCtx> = g
+        .nodes()
+        .map(|v| NodeCtx {
+            id: net.id_of(v),
+            degree: g.degree(v),
+            known_n: net.known_n(),
+            max_degree: net.max_degree(),
+        })
+        .collect();
+    let mut rngs: Vec<ChaCha8Rng> = g
+        .nodes()
+        .map(|v| ChaCha8Rng::seed_from_u64(rand_word(seed, net.id_of(v), 0x0C0D_E5EED)))
+        .collect();
+    let mut states: Vec<A::State> = (0..n)
+        .map(|i| alg.init(&ctxs[i], &mut rngs[i]))
+        .collect();
+
+    let mut rounds = 0;
+    let mut completed = all_decided(alg, &states, &ctxs);
+    while !completed && rounds < max_rounds {
+        // Collect outgoing messages: per node, per port.
+        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+        for v in g.nodes() {
+            for (port, msg) in alg.send(&states[v.index()], &ctxs[v.index()]) {
+                let h = g
+                    .half_edge_at_port(v, port)
+                    .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
+                let peer_half = h.opposite();
+                let w = g.half_edge_node(peer_half);
+                let peer_port = g.port_of(peer_half);
+                inboxes[w.index()].push((peer_port, msg));
+            }
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|(p, _)| *p);
+        }
+        for v in g.nodes() {
+            alg.receive(
+                &mut states[v.index()],
+                &ctxs[v.index()],
+                &inboxes[v.index()],
+                &mut rngs[v.index()],
+            );
+        }
+        rounds += 1;
+        completed = all_decided(alg, &states, &ctxs);
+    }
+
+    let outputs = states
+        .iter()
+        .zip(&ctxs)
+        .map(|(s, c)| alg.output(s, c))
+        .collect();
+    RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
+}
+
+fn all_decided<A: RoundAlgorithm>(alg: &A, states: &[A::State], ctxs: &[NodeCtx]) -> bool {
+    states.iter().zip(ctxs).all(|(s, c)| alg.output(s, c).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::IdAssignment;
+    use lcl_graph::gen;
+
+    /// Flood the maximum id: each round every node broadcasts the largest id
+    /// it has seen; a node decides once its value has been stable for one
+    /// round. On a path of n nodes this takes Θ(n) rounds.
+    struct FloodMax;
+
+    struct FloodState {
+        best: u64,
+        stable_for: u32,
+    }
+
+    impl RoundAlgorithm for FloodMax {
+        type State = FloodState;
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> FloodState {
+            FloodState { best: ctx.id, stable_for: 0 }
+        }
+
+        fn send(&self, state: &FloodState, ctx: &NodeCtx) -> Vec<(usize, u64)> {
+            (0..ctx.degree).map(|p| (p, state.best)).collect()
+        }
+
+        fn receive(
+            &self,
+            state: &mut FloodState,
+            _ctx: &NodeCtx,
+            inbox: &[(usize, u64)],
+            _rng: &mut ChaCha8Rng,
+        ) {
+            let incoming = inbox.iter().map(|&(_, m)| m).max().unwrap_or(0);
+            if incoming > state.best {
+                state.best = incoming;
+                state.stable_for = 0;
+            } else {
+                state.stable_for += 1;
+            }
+        }
+
+        fn output(&self, state: &FloodState, ctx: &NodeCtx) -> Option<u64> {
+            // Decide after the value has been stable for known_n rounds —
+            // a crude but correct termination rule for tests.
+            (state.stable_for >= ctx.known_n as u32).then_some(state.best)
+        }
+    }
+
+    #[test]
+    fn flood_max_converges_on_path() {
+        let net = Network::new(gen::path(6), IdAssignment::Shuffled { seed: 1 });
+        let out = run_rounds(&net, &FloodMax, 0, 100);
+        assert!(out.trace.completed);
+        let vals = out.into_outputs();
+        assert!(vals.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn round_cap_stops_early() {
+        let net = Network::new(gen::path(6), IdAssignment::Sequential);
+        let out = run_rounds(&net, &FloodMax, 0, 2);
+        assert!(!out.trace.completed);
+        assert_eq!(out.trace.rounds, 2);
+        assert!(out.outputs.iter().any(Option::is_none));
+    }
+
+    /// Message routing sanity: every node sends its id on every port and
+    /// checks the inbox matches its neighbors in port order.
+    struct PortEcho;
+
+    impl RoundAlgorithm for PortEcho {
+        type State = Option<Vec<u64>>;
+        type Msg = u64;
+        type Output = Vec<u64>;
+
+        fn init(&self, _ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> Self::State {
+            None
+        }
+
+        fn send(&self, _state: &Self::State, ctx: &NodeCtx) -> Vec<(usize, u64)> {
+            (0..ctx.degree).map(|p| (p, ctx.id)).collect()
+        }
+
+        fn receive(
+            &self,
+            state: &mut Self::State,
+            _ctx: &NodeCtx,
+            inbox: &[(usize, u64)],
+            _rng: &mut ChaCha8Rng,
+        ) {
+            if state.is_none() {
+                *state = Some(inbox.iter().map(|&(_, m)| m).collect());
+            }
+        }
+
+        fn output(&self, state: &Self::State, _ctx: &NodeCtx) -> Option<Vec<u64>> {
+            state.clone()
+        }
+    }
+
+    #[test]
+    fn messages_arrive_from_correct_neighbors() {
+        let net = Network::new(gen::cycle(5), IdAssignment::Sequential);
+        let out = run_rounds(&net, &PortEcho, 0, 10);
+        let vals = out.into_outputs();
+        // Node 0 of cycle(5) neighbors nodes 1 (port 0) and 4 (port 1):
+        // ids are sequential = index + 1.
+        assert_eq!(vals[0], vec![2, 5]);
+        assert_eq!(vals[2], vec![2, 4]);
+    }
+
+    #[test]
+    fn self_loop_messages_cross_the_loop() {
+        let mut g = lcl_graph::Graph::new();
+        let v = g.add_node();
+        g.add_edge(v, v);
+        let net = Network::new(g, IdAssignment::Sequential);
+        let out = run_rounds(&net, &PortEcho, 0, 10);
+        // The node hears itself on both ports of the loop.
+        assert_eq!(out.into_outputs()[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible() {
+        struct CoinOnce;
+        impl RoundAlgorithm for CoinOnce {
+            type State = u64;
+            type Msg = ();
+            type Output = u64;
+            fn init(&self, _ctx: &NodeCtx, rng: &mut ChaCha8Rng) -> u64 {
+                rand::Rng::gen(rng)
+            }
+            fn send(&self, _s: &u64, _c: &NodeCtx) -> Vec<(usize, ())> {
+                Vec::new()
+            }
+            fn receive(&self, _s: &mut u64, _c: &NodeCtx, _i: &[(usize, ())], _r: &mut ChaCha8Rng) {}
+            fn output(&self, s: &u64, _c: &NodeCtx) -> Option<u64> {
+                Some(*s)
+            }
+        }
+        let net = Network::new(gen::cycle(4), IdAssignment::Sequential);
+        let a = run_rounds(&net, &CoinOnce, 9, 1).into_outputs();
+        let b = run_rounds(&net, &CoinOnce, 9, 1).into_outputs();
+        assert_eq!(a, b);
+        let c = run_rounds(&net, &CoinOnce, 10, 1).into_outputs();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hard instances (Lemma 5) and corrupted instances.
+//!
+//! Lemma 5 with `f(x) = ⌊√x⌋`: to make `Π'` hard at size `n`, take a hard
+//! base instance for `Π` on `f(n)` nodes (for sinkless orientation: a
+//! random 3-regular graph — high-girth-like, minimum degree 3) and replace
+//! each base node by the balanced gadget `Ĝ_N` with `N = Θ(n / f(n))`
+//! nodes, so gadget diameters are `Θ(log n)` while the base is as large as
+//! the padding allows. The same recipe applied to a level-2 hard instance
+//! yields level-3 hard instances.
+
+use crate::hierarchy::{pi2, Pi2In};
+use crate::lifted::PadIn;
+use crate::padded::{pad_graph, PaddedInstance};
+use crate::problem::InnerProblem;
+use lcl_core::Labeling;
+use lcl_gadget::{Dir, GadgetIn, LogGadgetFamily};
+use lcl_graph::gen;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The balance function `f(x) = ⌊√x⌋` of Section 5.
+#[must_use]
+pub fn balance(n: usize) -> usize {
+    (n as f64).sqrt().floor() as usize
+}
+
+/// A Lemma-5 hard instance for `Π_2` with roughly `n_target` nodes:
+/// a random 3-regular base on `≈ √n_target` nodes, padded with balanced
+/// gadgets of `≈ √n_target` nodes each.
+///
+/// # Panics
+///
+/// Panics if `n_target < 64` (the construction needs a non-degenerate
+/// base) or if the base generator fails.
+#[must_use]
+pub fn hard_pi2_instance(n_target: usize, delta: usize, seed: u64) -> PaddedInstance<()> {
+    assert!(n_target >= 64, "hard instances need n ≥ 64");
+    assert!(delta >= 3, "sinkless orientation needs Δ ≥ 3");
+    let mut base_size = balance(n_target).max(4);
+    if base_size * 3 % 2 != 0 {
+        base_size += 1; // 3-regularity needs even n·d
+    }
+    let base = gen::random_regular(base_size, 3, seed).expect("3-regular base generable");
+    let gadget_size = (n_target / base_size).max(4);
+    let family = LogGadgetFamily::new(delta);
+    pad_graph(&base, &Labeling::uniform(&base, ()), &family, gadget_size, ())
+}
+
+/// A Lemma-5 hard instance for `Π_3`: a level-2 hard instance on
+/// `≈ √n_target` nodes, padded again with balanced gadgets. The level-3
+/// family needs `Δ ≥ 5` (interior tree nodes of level-2 gadgets have
+/// degree 5).
+///
+/// # Panics
+///
+/// Panics if `n_target < 4096` (two levels of `√·` need room) or
+/// `delta3 < 5`.
+#[must_use]
+pub fn hard_pi3_instance(
+    n_target: usize,
+    delta2: usize,
+    delta3: usize,
+    seed: u64,
+) -> PaddedInstance<Pi2In> {
+    assert!(n_target >= 4096, "level-3 hard instances need n ≥ 4096");
+    assert!(delta3 >= 5, "level-2 padded graphs have degree-5 nodes");
+    let level2 = hard_pi2_instance(balance(n_target).max(64), delta2, seed);
+    let gadget_size = (n_target / level2.graph.node_count()).max(4);
+    let family3 = LogGadgetFamily::new(delta3);
+    let filler = pi2(delta2).filler_in();
+    pad_graph(&level2.graph, &level2.input, &family3, gadget_size, filler)
+}
+
+/// Corrupts the gadgets of the given base nodes **in place** (labels only,
+/// no structural change): one gadget-internal half-edge per victim gets a
+/// wrong direction label, making the gadget invalid while keeping the
+/// instance checkable. Used by the port-mapping experiment (E4).
+///
+/// # Panics
+///
+/// Panics if a victim index is out of range.
+pub fn corrupt_gadgets<I: Clone + std::fmt::Debug>(
+    inst: &mut PaddedInstance<I>,
+    victims: &[u32],
+    seed: u64,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBAD_6AD6E7);
+    for &b in victims {
+        assert!((b as usize) < inst.base.node_count(), "victim {b} out of range");
+        // Gather the gadget's internal half-edges.
+        let halves: Vec<lcl_graph::HalfEdge> = inst
+            .graph
+            .nodes()
+            .filter(|v| inst.gadget_of[v.index()] == b)
+            .flat_map(|v| inst.graph.ports(v).iter().copied().collect::<Vec<_>>())
+            .filter(|h| !inst.input.edge(h.edge).port_edge)
+            .collect();
+        let h = halves[rng.gen_range(0..halves.len())];
+        let lab = inst.input.half(h).clone();
+        if let Some(GadgetIn::Half { dir, color }) = lab.gadget {
+            // Pick a different direction; Up in the middle of a tree (or
+            // anything at the center) reliably breaks pairing/shape.
+            let new_dir = if dir == Dir::Up { Dir::Right } else { Dir::Up };
+            *inst.input.half_mut(h) = PadIn {
+                pi: lab.pi,
+                gadget: Some(GadgetIn::Half { dir: new_dir, color }),
+                port_edge: false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifted::gadget_components;
+    use lcl_gadget::GadgetFamily as _;
+
+    #[test]
+    fn balance_is_sqrt() {
+        assert_eq!(balance(100), 10);
+        assert_eq!(balance(99), 9);
+        assert_eq!(balance(1 << 16), 256);
+    }
+
+    #[test]
+    fn hard_instance_has_expected_shape() {
+        let inst = hard_pi2_instance(1000, 3, 5);
+        let b = inst.base.node_count();
+        // Base ≈ √1000 ≈ 31..32; gadgets ≈ 1000/32 ≈ 31 nodes each.
+        assert!((25..=40).contains(&b), "base size {b}");
+        assert!(inst.graph.node_count() >= 800);
+        assert!(inst.graph.node_count() <= 3000);
+        // All gadget components must be valid.
+        let mut sink = Vec::new();
+        let (comps, _) = gadget_components(&inst.graph, &inst.input, &mut sink);
+        assert_eq!(comps.len(), b);
+        let fam = LogGadgetFamily::new(3);
+        for c in &comps {
+            assert!(fam.verify(&c.sub, &c.sub_input, inst.graph.node_count()).all_ok());
+        }
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn corruption_invalidates_chosen_gadgets_only() {
+        let mut inst = hard_pi2_instance(500, 3, 7);
+        corrupt_gadgets(&mut inst, &[0, 2], 9);
+        let mut sink = Vec::new();
+        let (comps, _) = gadget_components(&inst.graph, &inst.input, &mut sink);
+        let fam = LogGadgetFamily::new(3);
+        let mut invalid = Vec::new();
+        for c in &comps {
+            if !fam.verify(&c.sub, &c.sub_input, inst.graph.node_count()).all_ok() {
+                // Identify which base node this component belongs to.
+                invalid.push(inst.gadget_of[c.nodes[0].index()]);
+            }
+        }
+        invalid.sort_unstable();
+        assert_eq!(invalid, vec![0, 2]);
+    }
+
+    #[test]
+    fn gadget_sizes_balance_against_base() {
+        // Lemma 5's tradeoff: gadget diameter ≈ log n while base ≈ √n.
+        let inst = hard_pi2_instance(2000, 3, 3);
+        let mut sink = Vec::new();
+        let (comps, _) = gadget_components(&inst.graph, &inst.input, &mut sink);
+        let n = inst.graph.node_count();
+        for c in &comps {
+            let dia = lcl_graph::diameter(&c.sub);
+            let log = (n as f64).log2();
+            assert!(f64::from(dia) <= 2.5 * log, "gadget diameter {dia} vs log n {log}");
+            assert!(f64::from(dia) >= 0.3 * log);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Padded graphs `G(G)` (Definition 3, Figure 2).
+
+use crate::lifted::PadIn;
+use lcl_core::Labeling;
+use lcl_gadget::{BuiltGadget, GadgetFamily, LogGadgetFamily};
+use lcl_graph::{EdgeId, Graph, HalfEdge, NodeId, Side};
+
+/// A padded graph: every node of `base` replaced by a gadget, every base
+/// edge realized as a `PortEdge` between the corresponding ports.
+#[derive(Clone, Debug)]
+pub struct PaddedInstance<I> {
+    /// The padded graph.
+    pub graph: Graph,
+    /// The complete `Π'` input labeling.
+    pub input: Labeling<PadIn<I>>,
+    /// The base graph `G` that was padded.
+    pub base: Graph,
+    /// Padded node → index of the base node whose gadget contains it.
+    pub gadget_of: Vec<u32>,
+    /// Base node → its gadget's center in the padded graph.
+    pub centers: Vec<NodeId>,
+    /// Base node → its gadget's port nodes (`ports[v][i]` is `Port_{i+1}`).
+    pub ports: Vec<Vec<NodeId>>,
+    /// Base edge → the `PortEdge` realizing it.
+    pub port_edge_of: Vec<EdgeId>,
+}
+
+impl<I> PaddedInstance<I> {
+    /// Number of padded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Padded instances are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Pads `base` with balanced gadgets of (at least) `gadget_size` nodes
+/// each, carrying over the base's `Π`-inputs:
+///
+/// * the base node's input is copied onto **every** node of its gadget
+///   (constraint 5 of Section 3.3 reads it off the `Port_1` node; copying
+///   it everywhere keeps the instance oblivious to that choice);
+/// * the base edge's input goes onto the realizing `PortEdge`; the base
+///   half-edge inputs go onto the `PortEdge`'s halves, sides matching;
+/// * gadget-internal elements carry `filler` as their `Π`-input.
+///
+/// The base edge at port `p` of base node `v` (0-based) attaches to
+/// `Port_{p+1}` of `v`'s gadget, exactly as in Definition 3.
+///
+/// # Panics
+///
+/// Panics if some base node's degree exceeds the family's `Δ`.
+#[must_use]
+pub fn pad_graph<I: Clone + std::fmt::Debug>(
+    base: &Graph,
+    base_input: &Labeling<I>,
+    family: &LogGadgetFamily,
+    gadget_size: usize,
+    filler: I,
+) -> PaddedInstance<I> {
+    assert!(
+        base.max_degree() <= family.delta(),
+        "base degree {} exceeds family Δ = {}",
+        base.max_degree(),
+        family.delta()
+    );
+    assert!(base_input.fits(base), "base input does not fit the base graph");
+
+    let template: BuiltGadget = family.balanced(gadget_size);
+    let mut graph = Graph::with_capacity(
+        base.node_count() * template.len(),
+        base.node_count() * template.graph.edge_count() + base.edge_count(),
+    );
+
+    let mut gadget_of: Vec<u32> = Vec::new();
+    let mut centers = Vec::with_capacity(base.node_count());
+    let mut ports = Vec::with_capacity(base.node_count());
+    // Per padded element, the gadget-layer input (None for PortEdges).
+    let mut node_gadget = Vec::new();
+    let mut edge_gadget: Vec<Option<lcl_gadget::GadgetIn>> = Vec::new();
+    let mut half_gadget: Vec<[Option<lcl_gadget::GadgetIn>; 2]> = Vec::new();
+    // Per padded element, the Π-layer input.
+    let mut node_pi: Vec<I> = Vec::new();
+    let mut edge_pi: Vec<I> = Vec::new();
+    let mut half_pi: Vec<[I; 2]> = Vec::new();
+
+    for v in base.nodes() {
+        let offset = graph.node_count() as u32;
+        graph.append(&template.graph);
+        for u in template.graph.nodes() {
+            gadget_of.push(v.0);
+            node_gadget.push(*template.input.node(u));
+            node_pi.push(base_input.node(v).clone());
+        }
+        for e in template.graph.edges() {
+            edge_gadget.push(Some(*template.input.edge(e)));
+            edge_pi.push(filler.clone());
+            half_gadget.push([
+                Some(*template.input.half(HalfEdge::new(e, Side::A))),
+                Some(*template.input.half(HalfEdge::new(e, Side::B))),
+            ]);
+            half_pi.push([filler.clone(), filler.clone()]);
+        }
+        centers.push(NodeId(offset + template.center.0));
+        ports.push(template.ports.iter().map(|p| NodeId(offset + p.0)).collect::<Vec<_>>());
+    }
+
+    // PortEdges: base edge at port p of u and port q of w connects
+    // Port_{p+1} of C_u to Port_{q+1} of C_w, side A at u's side.
+    let mut port_edge_of = Vec::with_capacity(base.edge_count());
+    for e in base.edges() {
+        let ha = HalfEdge::new(e, Side::A);
+        let hb = HalfEdge::new(e, Side::B);
+        let u = base.half_edge_node(ha);
+        let w = base.half_edge_node(hb);
+        let pu = base.port_of(ha);
+        let pw = base.port_of(hb);
+        let pe = graph.add_edge(ports[u.index()][pu], ports[w.index()][pw]);
+        port_edge_of.push(pe);
+        edge_gadget.push(None);
+        half_gadget.push([None, None]);
+        edge_pi.push(base_input.edge(e).clone());
+        half_pi.push([base_input.half(ha).clone(), base_input.half(hb).clone()]);
+    }
+
+    let input = Labeling::from_parts(
+        node_pi
+            .into_iter()
+            .zip(node_gadget)
+            .map(|(pi, gadget)| PadIn { pi, gadget: Some(gadget), port_edge: false })
+            .collect(),
+        edge_pi
+            .into_iter()
+            .zip(edge_gadget.iter())
+            .map(|(pi, gadget)| PadIn {
+                pi,
+                gadget: *gadget,
+                port_edge: gadget.is_none(),
+            })
+            .collect(),
+        half_pi
+            .into_iter()
+            .zip(half_gadget.iter())
+            .map(|(pi, gadget)| {
+                [
+                    PadIn {
+                        pi: pi[0].clone(),
+                        gadget: gadget[0],
+                        port_edge: gadget[0].is_none(),
+                    },
+                    PadIn {
+                        pi: pi[1].clone(),
+                        gadget: gadget[1],
+                        port_edge: gadget[1].is_none(),
+                    },
+                ]
+            })
+            .collect(),
+    );
+
+    PaddedInstance {
+        graph,
+        input,
+        base: base.clone(),
+        gadget_of,
+        centers,
+        ports,
+        port_edge_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    #[test]
+    fn padding_a_cycle() {
+        let base = gen::cycle(5);
+        let input = Labeling::uniform(&base, ());
+        let fam = LogGadgetFamily::new(3);
+        let p = pad_graph(&base, &input, &fam, 30, ());
+        assert_eq!(p.base.node_count(), 5);
+        assert_eq!(p.centers.len(), 5);
+        assert_eq!(p.port_edge_of.len(), 5);
+        // 5 gadgets of ≥30 nodes plus nothing else.
+        assert!(p.len() >= 150);
+        assert_eq!(p.len() % 5, 0);
+        assert!(!p.is_empty());
+        // Every node belongs to a gadget.
+        assert_eq!(p.gadget_of.len(), p.len());
+    }
+
+    #[test]
+    fn port_edges_connect_correct_ports() {
+        let base = gen::cycle(4);
+        let input = Labeling::uniform(&base, ());
+        let fam = LogGadgetFamily::new(3);
+        let p = pad_graph(&base, &input, &fam, 20, ());
+        for (be, &pe) in base.edges().zip(&p.port_edge_of) {
+            let ha = HalfEdge::new(be, Side::A);
+            let hb = HalfEdge::new(be, Side::B);
+            let u = base.half_edge_node(ha);
+            let w = base.half_edge_node(hb);
+            let [a, b] = p.graph.endpoints(pe);
+            assert_eq!(a, p.ports[u.index()][base.port_of(ha)]);
+            assert_eq!(b, p.ports[w.index()][base.port_of(hb)]);
+            // And the PortEdge is marked as such.
+            assert!(p.input.edge(pe).port_edge);
+        }
+    }
+
+    #[test]
+    fn distances_are_inflated_by_theta_d() {
+        // Figure 2 / E2: padding must scale base distances by Θ(d).
+        let base = gen::cycle(6);
+        let input = Labeling::uniform(&base, ());
+        let fam = LogGadgetFamily::new(3);
+        let p = pad_graph(&base, &input, &fam, 50, ());
+        let base_diam = lcl_graph::diameter(&base);
+        let padded_diam = lcl_graph::diameter(&p.graph);
+        let d = fam.d(50) as u32;
+        assert!(
+            padded_diam >= base_diam * (d / 2).max(1),
+            "padded diameter {padded_diam} vs base {base_diam}, d = {d}"
+        );
+        assert!(padded_diam <= (base_diam + 2) * (3 * d + 6));
+    }
+
+    #[test]
+    fn pi_inputs_land_where_expected() {
+        let base = gen::path(3);
+        let input = Labeling::build(&base, |v| v.0 as u64, |e| 100 + e.0 as u64, |_| 7u64);
+        let fam = LogGadgetFamily::new(3);
+        let p = pad_graph(&base, &input, &fam, 20, 0u64);
+        // Every node of gadget 1 carries base node 1's Π-input.
+        for v in p.graph.nodes() {
+            if p.gadget_of[v.index()] == 1 {
+                assert_eq!(p.input.node(v).pi, 1);
+            }
+        }
+        // The PortEdge of base edge 0 carries 100.
+        assert_eq!(p.input.edge(p.port_edge_of[0]).pi, 100);
+        let h = HalfEdge::new(p.port_edge_of[0], Side::A);
+        assert_eq!(p.input.half(h).pi, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds family")]
+    fn degree_overflow_rejected() {
+        let base = gen::star(5);
+        let input = Labeling::uniform(&base, ());
+        let fam = LogGadgetFamily::new(3);
+        let _ = pad_graph(&base, &input, &fam, 20, ());
+    }
+}

@@ -1,0 +1,97 @@
+//! Pipeline fuzzing: random base graphs (not just Lemma-5 instances) run
+//! through pad → solve → check, deterministic and randomized.
+
+use lcl_core::Labeling;
+use lcl_gadget::LogGadgetFamily;
+use lcl_graph::gen;
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::hierarchy::{pi2_det, pi2_rand};
+use lcl_padding::{check_padded, pad_graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn padded_random_regular_bases_solve_and_check(
+        base_n in 4usize..20,
+        gadget_size in 8usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let base_n = base_n * 2; // 3-regularity needs even n
+        let Ok(base) = gen::random_regular(base_n, 3, seed) else {
+            return Ok(());
+        };
+        let fam = LogGadgetFamily::new(3);
+        let inst = pad_graph(&base, &Labeling::uniform(&base, ()), &fam, gadget_size, ());
+        let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+
+        let det = pi2_det(3);
+        let run = det.run(&net, &inst.input, seed);
+        let violations = check_padded(&det.problem, net.graph(), &inst.input, &run.output);
+        prop_assert!(violations.is_empty(), "det: {violations:?}");
+
+        let rand = pi2_rand(3);
+        let run = rand.run(&net, &inst.input, seed);
+        let violations = check_padded(&rand.problem, net.graph(), &inst.input, &run.output);
+        prop_assert!(violations.is_empty(), "rand: {violations:?}");
+    }
+
+    #[test]
+    fn padded_cycles_solve_and_check(
+        base_n in 3usize..24,
+        seed in 0u64..1_000,
+    ) {
+        // Cycles: every virtual node has degree 2 < 3, so sinkless
+        // orientation is unconstrained on the virtual graph — but the
+        // whole Π' scaffolding (Ψ_G, flags, Σ_list plumbing) still has to
+        // hold together.
+        let base = gen::cycle(base_n);
+        let fam = LogGadgetFamily::new(3);
+        let inst = pad_graph(&base, &Labeling::uniform(&base, ()), &fam, 20, ());
+        let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+        let det = pi2_det(3);
+        let run = det.run(&net, &inst.input, seed);
+        let violations = check_padded(&det.problem, net.graph(), &inst.input, &run.output);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn corrupting_random_victims_stays_checkable(
+        victims in proptest::collection::btree_set(0u32..12, 0..4),
+        seed in 0u64..1_000,
+    ) {
+        let mut inst = lcl_padding::hard::hard_pi2_instance(400, 3, seed);
+        let victims: Vec<u32> = victims
+            .into_iter()
+            .filter(|&v| (v as usize) < inst.base.node_count())
+            .collect();
+        lcl_padding::hard::corrupt_gadgets(&mut inst, &victims, seed);
+        let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+        let det = pi2_det(3);
+        let run = det.run(&net, &inst.input, seed);
+        prop_assert_eq!(run.stats.invalid_gadgets, victims.len());
+        let violations = check_padded(&det.problem, net.graph(), &inst.input, &run.output);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+}
+
+#[test]
+fn base_with_self_loop_and_parallel_edges_pads_correctly() {
+    // Section 2: the model allows multigraph bases; a base self-loop
+    // becomes a PortEdge between two ports of the same gadget, parallel
+    // base edges become parallel virtual edges.
+    let mut base = gen::cycle(4);
+    // Raise degrees to 3 with a parallel edge and a loop.
+    base.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(1));
+    base.add_edge(lcl_graph::NodeId(2), lcl_graph::NodeId(2));
+    // Degrees now: 0:3, 1:3, 2:4, 3:2 — cap is Δ=4.
+    let fam = LogGadgetFamily::new(4);
+    let inst = pad_graph(&base, &Labeling::uniform(&base, ()), &fam, 24, ());
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed: 5 });
+    let det = pi2_det(4);
+    let run = det.run(&net, &inst.input, 5);
+    assert_eq!(run.stats.virtual_nodes, 4);
+    let violations = check_padded(&det.problem, net.graph(), &inst.input, &run.output);
+    assert!(violations.is_empty(), "{violations:?}");
+}

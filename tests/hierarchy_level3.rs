@@ -1,0 +1,46 @@
+//! Level 3 of the Theorem-11 hierarchy: `Π₃ = pad(pad(sinkless))`,
+//! solved end to end by two nested applications of the Lemma-4 algorithm
+//! and verified by the recursive `Π'` checker.
+
+use lcl_local::{IdAssignment, Network};
+use lcl_padding::check_padded;
+use lcl_padding::hard::hard_pi3_instance;
+use lcl_padding::hierarchy::{pi3_det, pi3_rand};
+
+#[test]
+fn pi3_det_end_to_end() {
+    let inst = hard_pi3_instance(4_096, 3, 6, 1);
+    let n = inst.graph.node_count();
+    assert!(n >= 3_000, "level-3 instance materialized ({n} nodes)");
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed: 1 });
+    let solver = pi3_det(3, 6);
+    let run = solver.run(&net, &inst.input, 1);
+    // The cost decomposes twice: V₃ + T₂·(D₃+1), with T₂ itself of the
+    // form V₂ + T₁·(D₂+1).
+    assert!(run.stats.v_radius > 0);
+    assert!(run.stats.inner_rounds > run.stats.v_radius, "inner Π₂ cost dominates");
+    let violations = check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
+    assert!(violations.is_empty(), "{:?}", &violations[..violations.len().min(5)]);
+}
+
+#[test]
+fn pi3_rand_end_to_end() {
+    let inst = hard_pi3_instance(4_096, 3, 6, 2);
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed: 2 });
+    let solver = pi3_rand(3, 6);
+    let run = solver.run(&net, &inst.input, 9);
+    let violations = check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
+    assert!(violations.is_empty(), "{:?}", &violations[..violations.len().min(5)]);
+}
+
+#[test]
+fn pi3_level2_base_is_itself_checkable() {
+    // The base graph of the level-3 instance is a level-2 padded graph
+    // whose own input labeling must be well-formed.
+    let inst = hard_pi3_instance(4_096, 3, 6, 3);
+    // Base nodes of level 3 = nodes of the level-2 padded graph.
+    assert!(inst.base.node_count() >= 60);
+    assert!(inst.base.max_degree() <= 6);
+    // Gadgets at level 3 wrap every level-2 node.
+    assert_eq!(inst.centers.len(), inst.base.node_count());
+}

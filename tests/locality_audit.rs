@@ -1,0 +1,146 @@
+//! Locality audits: the centralized simulations must behave like genuine
+//! LOCAL algorithms — a node's output may depend only on its reported
+//! view radius. We verify this operationally: mutate the graph strictly
+//! outside a node's reported radius and check its decision is unchanged.
+
+use lcl_algos::sinkless_det;
+use lcl_core::problems::Orient;
+use lcl_graph::{bfs_distances, gen, Graph, NodeId};
+use lcl_local::{IdAssignment, Network};
+
+/// The incident orientation profile of `v`: the labels of its half-edges
+/// in port order.
+fn profile(out: &lcl_core::Labeling<Orient>, g: &Graph, v: NodeId) -> Vec<Orient> {
+    g.ports(v).iter().map(|&h| *out.half(h)).collect()
+}
+
+#[test]
+fn det_sinkless_is_local_under_far_appendage() {
+    // Append a far-away (disconnected) component: every original node's
+    // ball is untouched, so no decision may move. Both runs announce the
+    // same n (LOCAL algorithms receive n as global knowledge; holding it
+    // fixed isolates the topology change).
+    let g = gen::random_regular(128, 3, 3).expect("generable");
+    let net = Network::new(g.clone(), IdAssignment::Sequential).with_known_n(256);
+    let base = sinkless_det::run(&net, &sinkless_det::Params::default());
+
+    let mut g2 = g.clone();
+    g2.append(&gen::cycle(3));
+    let mut ids: Vec<u64> = (1..=128u64).collect();
+    ids.extend([1001, 1002, 1003]);
+    let net2 = Network::with_ids(g2, ids).with_known_n(256);
+    let mutant = sinkless_det::run(&net2, &sinkless_det::Params::default());
+
+    for v in net.graph().nodes() {
+        let r = base.trace.radii()[v.index()];
+        assert_eq!(
+            profile(&base.labeling, net.graph(), v),
+            profile(&mutant.labeling, net2.graph(), v),
+            "node {v:?} (radius {r}) changed its decision under a far mutation"
+        );
+    }
+}
+
+#[test]
+fn det_sinkless_is_local_under_far_rewiring() {
+    // Stronger: rewire edges *within* the graph but beyond the audited
+    // node's reported radius; its decision must survive.
+    let g = gen::random_regular(256, 3, 5).expect("generable");
+    let net = Network::new(g.clone(), IdAssignment::Sequential).with_known_n(512);
+    let base = sinkless_det::run(&net, &sinkless_det::Params::default());
+
+    // Audit node 0.
+    let v = NodeId(0);
+    let r = base.trace.radii()[v.index()];
+    let dist = bfs_distances(&g, v);
+
+    // Find two disjoint far edges {a,b}, {c,d} (all endpoints beyond r+1)
+    // and swap partners: {a,c}, {b,d}. Degrees are preserved.
+    let far_edges: Vec<_> = g
+        .edges()
+        .filter(|&e| {
+            let [a, b] = g.endpoints(e);
+            let far = |x: NodeId| dist[x.index()].map_or(true, |d| d > r + 1);
+            far(a) && far(b)
+        })
+        .collect();
+    let mut chosen = None;
+    'outer: for (i, &e1) in far_edges.iter().enumerate() {
+        for &e2 in far_edges.iter().skip(i + 1) {
+            let [a, b] = g.endpoints(e1);
+            let [c, d] = g.endpoints(e2);
+            let set = [a, b, c, d];
+            let mut uniq = set.to_vec();
+            uniq.sort();
+            uniq.dedup();
+            if uniq.len() == 4 {
+                chosen = Some((e1, e2));
+                break 'outer;
+            }
+        }
+    }
+    let Some((e1, e2)) = chosen else {
+        // Graph too small for the audit radius: nothing beyond r+1.
+        return;
+    };
+
+    // Rebuild the graph with the two edges swapped.
+    let mut g2 = Graph::new();
+    g2.add_nodes(g.node_count());
+    for e in g.edges() {
+        let [a, b] = g.endpoints(e);
+        if e == e1 {
+            let [c, _d] = g.endpoints(e2);
+            g2.add_edge(a, c);
+        } else if e == e2 {
+            let [_a, b1] = g.endpoints(e1);
+            let [_c, d] = g.endpoints(e2);
+            g2.add_edge(b1, d);
+        } else {
+            g2.add_edge(a, b);
+        }
+    }
+    let net2 = Network::new(g2, IdAssignment::Sequential).with_known_n(512);
+    let mutant = sinkless_det::run(&net2, &sinkless_det::Params::default());
+    assert_eq!(
+        profile(&base.labeling, net.graph(), v),
+        profile(&mutant.labeling, net2.graph(), v),
+        "audited node {v:?} (radius {r}) changed under a beyond-radius rewiring"
+    );
+}
+
+#[test]
+fn verifier_is_local_on_valid_gadgets() {
+    // A valid gadget's verification must not depend on what other
+    // components exist: V run on a gadget alone equals V run on the
+    // gadget plus far junk.
+    use lcl_gadget::{GadgetFamily, LogGadgetFamily};
+    let fam = LogGadgetFamily::new(3);
+    let b = fam.balanced(100);
+    let solo = fam.verify(&b.graph, &b.input, 500);
+
+    // Add an isolated mislabeled node (its own broken component).
+    let mut g2 = b.graph.clone();
+    g2.add_node();
+    let input2 = lcl_core::Labeling::build(
+        &g2,
+        |v| {
+            if v.index() < b.graph.node_count() {
+                *b.input.node(v)
+            } else {
+                lcl_gadget::GadgetIn::Node {
+                    kind: lcl_gadget::NodeKind::Tree { index: 1, port: false },
+                    color: 9_999,
+                }
+            }
+        },
+        |e| *b.input.edge(e),
+        |h| *b.input.half(h),
+    );
+    let both = fam.verify(&g2, &input2, 500);
+    for v in b.graph.nodes() {
+        assert_eq!(solo.output[v.index()], both.output[v.index()]);
+    }
+    // The junk node fails alone.
+    assert!(both.output[b.graph.node_count()].is_error_label());
+}

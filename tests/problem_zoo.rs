@@ -1,0 +1,132 @@
+//! Grid test: every algorithm × every suitable generator, always verified
+//! by the ne-LCL checker (the integration behind the E1 landscape).
+
+use lcl_algos::{linial, luby, matching, sinkless_det, sinkless_rand};
+use lcl_core::problems::{
+    MaximalIndependentSet, MaximalMatching, SinklessOrientation, VertexColoring,
+};
+use lcl_core::{check, Labeling};
+use lcl_graph::{gen, Graph};
+use lcl_local::{IdAssignment, Network};
+
+fn instances(min_degree_3: bool) -> Vec<(String, Graph)> {
+    let mut out: Vec<(String, Graph)> = Vec::new();
+    if !min_degree_3 {
+        out.push(("cycle-31".into(), gen::cycle(31)));
+        out.push(("path-40".into(), gen::path(40)));
+        out.push(("grid-8x5".into(), gen::grid(8, 5)));
+        out.push(("tree-63".into(), gen::complete_binary_tree(6)));
+        out.push(("random-tree-50".into(), gen::random_tree(50, 5)));
+    }
+    out.push(("torus-6x6".into(), gen::torus(6, 6)));
+    out.push(("3reg-60".into(), gen::random_regular(60, 3, 9).unwrap()));
+    out.push(("4reg-50".into(), gen::random_regular(50, 4, 9).unwrap()));
+    out.push(("5reg-40".into(), gen::random_regular(40, 5, 9).unwrap()));
+    out.push(("disjoint-cycles".into(), gen::disjoint_cycles(3, 9)));
+    out
+}
+
+#[test]
+fn coloring_everywhere() {
+    for (name, g) in instances(false) {
+        if g.edges().any(|e| g.is_self_loop(e)) {
+            continue;
+        }
+        let palette = g.max_degree() as u32 + 1;
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 3 });
+        let out = linial::run(&net);
+        let input = Labeling::uniform(net.graph(), ());
+        let res = check(&VertexColoring::new(palette), net.graph(), &input, &out.labeling);
+        assert!(res.is_ok(), "{name}: {:?}", res.violations.first());
+    }
+}
+
+#[test]
+fn mis_everywhere() {
+    for (name, g) in instances(false) {
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
+        let out = luby::run(&net, 4);
+        let input = Labeling::uniform(net.graph(), ());
+        let res = check(&MaximalIndependentSet, net.graph(), &input, &out.labeling);
+        assert!(res.is_ok(), "{name}: {:?}", res.violations.first());
+    }
+}
+
+#[test]
+fn matching_everywhere() {
+    for (name, g) in instances(false) {
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 5 });
+        let out = matching::run(&net, 5);
+        let input = Labeling::uniform(net.graph(), ());
+        let res = check(&MaximalMatching, net.graph(), &input, &out.labeling);
+        assert!(res.is_ok(), "{name}: {:?}", res.violations.first());
+    }
+}
+
+#[test]
+fn sinkless_everywhere_on_min_degree_3() {
+    for (name, g) in instances(true) {
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 6 });
+        let input = Labeling::uniform(net.graph(), ());
+        let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+        let res = check(&SinklessOrientation::new(), net.graph(), &input, &det.labeling);
+        assert!(res.is_ok(), "{name} det: {:?}", res.violations.first());
+        let rand = sinkless_rand::run(&net, &sinkless_rand::Params::default(), 6);
+        let res = check(&SinklessOrientation::new(), net.graph(), &input, &rand.labeling);
+        assert!(res.is_ok(), "{name} rand: {:?}", res.violations.first());
+    }
+}
+
+#[test]
+fn sinkless_on_low_degree_graphs_respects_default_variant() {
+    // Trees and paths have low-degree nodes only where the default variant
+    // relaxes the constraint; the algorithms must still orient everything.
+    for (name, g) in [
+        ("tree".to_string(), gen::complete_binary_tree(5)),
+        ("path".to_string(), gen::path(20)),
+        ("cycle".to_string(), gen::cycle(20)),
+    ] {
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
+        let input = Labeling::uniform(net.graph(), ());
+        let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+        let res = check(&SinklessOrientation::new(), net.graph(), &input, &det.labeling);
+        assert!(res.is_ok(), "{name}: {:?}", res.violations.first());
+    }
+}
+
+#[test]
+fn adversarial_sequential_ids_are_fine() {
+    // Sequential ids are the classic adversarial assignment for greedy
+    // symmetry breaking; all algorithms must still verify.
+    let g = gen::random_regular(64, 3, 8).unwrap();
+    let net = Network::new(g, IdAssignment::Sequential);
+    let input = Labeling::uniform(net.graph(), ());
+    let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+    check(&SinklessOrientation::new(), net.graph(), &input, &det.labeling).expect_ok();
+    let col = linial::run(&net);
+    check(&VertexColoring::new(4), net.graph(), &input, &col.labeling).expect_ok();
+}
+
+#[test]
+fn sparse_id_space_is_fine() {
+    let g = gen::random_regular(64, 3, 9).unwrap();
+    let net = Network::new(g, IdAssignment::SparseShuffled { seed: 9 });
+    let input = Labeling::uniform(net.graph(), ());
+    let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+    check(&SinklessOrientation::new(), net.graph(), &input, &det.labeling).expect_ok();
+}
+
+#[test]
+fn sinkless_on_margulis_expanders() {
+    // The explicit 8-regular Margulis expander: a deterministic hard
+    // family (no rejection sampling), with native self-loops/parallels.
+    for m in [8usize, 16] {
+        let g = gen::margulis(m);
+        let net = Network::new(g, IdAssignment::Shuffled { seed: m as u64 });
+        let input = Labeling::uniform(net.graph(), ());
+        let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+        check(&SinklessOrientation::new(), net.graph(), &input, &det.labeling).expect_ok();
+        let rand = sinkless_rand::run(&net, &sinkless_rand::Params::default(), 3);
+        check(&SinklessOrientation::new(), net.graph(), &input, &rand.labeling).expect_ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Lemma 9 (soundness of `Ψ`): **no** error labeling passes the checker on
+//! a valid gadget. The proof's case analysis is adversarially probed with
+//! random pointer assignments and with structured "smart" cheats.
+
+use lcl_gadget::{
+    build_gadget, check_psi, Dir, GadgetSpec, PsiOutput,
+};
+use proptest::prelude::*;
+
+fn pointer_alphabet(delta: u8) -> Vec<PsiOutput> {
+    let mut out = vec![
+        PsiOutput::Pointer(Dir::Right),
+        PsiOutput::Pointer(Dir::Left),
+        PsiOutput::Pointer(Dir::Parent),
+        PsiOutput::Pointer(Dir::RChild),
+        PsiOutput::Pointer(Dir::Up),
+    ];
+    for i in 1..=delta {
+        out.push(PsiOutput::Pointer(Dir::Down(i)));
+    }
+    out.push(PsiOutput::Error);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_error_labelings_rejected_on_valid_gadgets(
+        picks in proptest::collection::vec(0usize..8, 64),
+        delta in 2usize..=3,
+        height in 2u32..=4,
+    ) {
+        let b = build_gadget(&GadgetSpec::uniform(delta, height));
+        let alphabet = pointer_alphabet(delta as u8);
+        let out: Vec<PsiOutput> = (0..b.len())
+            .map(|i| alphabet[picks[i % picks.len()] % alphabet.len()])
+            .collect();
+        // All-error labelings (no Ok at all) on a *valid* gadget must be
+        // rejected: constraint 2 forbids Error outputs outright, and pure
+        // pointer labelings must break some chain (Lemma 9).
+        let violations = check_psi(&b.graph, &b.input, &out, delta);
+        prop_assert!(
+            !violations.is_empty(),
+            "an error labeling passed on a valid gadget: {out:?}"
+        );
+    }
+}
+
+/// The structured cheats from the Lemma 9 proof text.
+#[test]
+fn structured_cheats_rejected() {
+    let b = build_gadget(&GadgetSpec::uniform(3, 4));
+    let g = &b.graph;
+    let input = &b.input;
+    let step = |v: lcl_graph::NodeId, d: Dir| {
+        g.ports(v)
+            .iter()
+            .find(|&&h| input.half(h).dir() == Some(d))
+            .map(|&h| g.half_edge_peer(h))
+    };
+
+    // Cheat 1: everything points down-right (RChild chains).
+    let cheat1: Vec<PsiOutput> = g
+        .nodes()
+        .map(|v| {
+            if step(v, Dir::RChild).is_some() {
+                PsiOutput::Pointer(Dir::RChild)
+            } else if step(v, Dir::Left).is_some() {
+                PsiOutput::Pointer(Dir::Left)
+            } else {
+                PsiOutput::Pointer(Dir::Up)
+            }
+        })
+        .collect();
+    assert!(!check_psi(g, input, &cheat1, 3).is_empty());
+
+    // Cheat 2: every sub-gadget blames another one cyclically.
+    let cheat2: Vec<PsiOutput> = g
+        .nodes()
+        .map(|v| match input.node(v).kind() {
+            Some(lcl_gadget::NodeKind::Center) => PsiOutput::Pointer(Dir::Down(2)),
+            _ => {
+                if step(v, Dir::Parent).is_some() {
+                    PsiOutput::Pointer(Dir::Parent)
+                } else {
+                    PsiOutput::Pointer(Dir::Up)
+                }
+            }
+        })
+        .collect();
+    assert!(!check_psi(g, input, &cheat2, 3).is_empty());
+
+    // Cheat 3: mixed Ok and pointers (violates the all-or-nothing clause
+    // even where chains would be locally fine).
+    let mut cheat3 = vec![PsiOutput::Ok; b.len()];
+    cheat3[b.ports[0].index()] = PsiOutput::Pointer(Dir::Left);
+    assert!(!check_psi(g, input, &cheat3, 3).is_empty());
+
+    // The honest labeling is of course accepted.
+    let honest = vec![PsiOutput::Ok; b.len()];
+    assert!(check_psi(g, input, &honest, 3).is_empty());
+}
