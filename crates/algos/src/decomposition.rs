@@ -98,7 +98,7 @@ pub fn linial_saks(net: &Network, seed: u64) -> Decomposition {
                 let dx = dist[x.index()];
                 if alive[x.index()] {
                     let entry = &mut best[x.index()];
-                    if entry.map_or(true, |(bid, _)| idy > bid) {
+                    if entry.is_none_or(|(bid, _)| idy > bid) {
                         *entry = Some((idy, dx));
                     }
                 }
@@ -121,10 +121,7 @@ pub fn linial_saks(net: &Network, seed: u64) -> Decomposition {
             if let Some((leader_id, d)) = best[v.index()] {
                 // Find the leader's radius: leaders are identified by id;
                 // strictness compares against r_{y*}.
-                let leader = g
-                    .nodes()
-                    .find(|&y| net.id_of(y) == leader_id)
-                    .expect("leader exists");
+                let leader = g.nodes().find(|&y| net.id_of(y) == leader_id).expect("leader exists");
                 if d < radii[leader.index()] {
                     color[v.index()] = iteration;
                     cluster[v.index()] = leader_id;
@@ -156,7 +153,7 @@ pub fn linial_saks(net: &Network, seed: u64) -> Decomposition {
 /// Returns a diagnostic for the first violated property.
 pub fn validate(net: &Network, d: &Decomposition) -> Result<(), String> {
     let g = net.graph();
-    if d.color.iter().any(|&c| c == u32::MAX) {
+    if d.color.contains(&u32::MAX) {
         return Err("some node is uncolored".into());
     }
     // Same-color adjacent nodes must share a cluster.
@@ -166,9 +163,7 @@ pub fn validate(net: &Network, d: &Decomposition) -> Result<(), String> {
             && d.color[u.index()] == d.color[v.index()]
             && d.cluster[u.index()] != d.cluster[v.index()]
         {
-            return Err(format!(
-                "adjacent same-color nodes {u:?}, {v:?} in different clusters"
-            ));
+            return Err(format!("adjacent same-color nodes {u:?}, {v:?} in different clusters"));
         }
     }
     // Weak diameter: every node is within 2B of every clustermate (via
@@ -206,11 +201,7 @@ mod tests {
             let d = linial_saks(&net, seed);
             validate(&net, &d).expect("valid decomposition");
             let log = (128f64).log2();
-            assert!(
-                f64::from(d.colors_used) <= 4.0 * log,
-                "too many colors: {}",
-                d.colors_used
-            );
+            assert!(f64::from(d.colors_used) <= 4.0 * log, "too many colors: {}", d.colors_used);
         }
     }
 

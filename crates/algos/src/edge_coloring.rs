@@ -31,10 +31,7 @@ pub struct EdgeColoringOutcome {
 #[must_use]
 pub fn run(net: &Network) -> EdgeColoringOutcome {
     let g = net.graph();
-    assert!(
-        g.edges().all(|e| !g.is_self_loop(e)),
-        "edge coloring requires a loopless graph"
-    );
+    assert!(g.edges().all(|e| !g.is_self_loop(e)), "edge coloring requires a loopless graph");
     let delta = g.max_degree().max(1) as u64;
     let line_degree = 2 * (delta - 1);
     let target = 2 * delta - 1;
@@ -154,7 +151,7 @@ fn is_prime(x: u64) -> bool {
     }
     let mut f = 2;
     while f * f <= x {
-        if x % f == 0 {
+        if x.is_multiple_of(f) {
             return false;
         }
         f += 1;

@@ -53,10 +53,7 @@ impl LinialOutcome {
 #[must_use]
 pub fn run(net: &Network) -> LinialOutcome {
     let g = net.graph();
-    assert!(
-        g.edges().all(|e| !g.is_self_loop(e)),
-        "proper coloring requires a loopless graph"
-    );
+    assert!(g.edges().all(|e| !g.is_self_loop(e)), "proper coloring requires a loopless graph");
     let delta = g.max_degree().max(1) as u64;
 
     // Colors start as identifiers (unique ⇒ proper).
@@ -70,15 +67,11 @@ pub fn run(net: &Network) -> LinialOutcome {
             .nodes()
             .map(|v| {
                 let pv = poly(colors[v.index()], q, d);
-                let forbidden: Vec<Vec<u64>> = g
-                    .neighbors(v)
-                    .map(|(w, _)| poly(colors[w.index()], q, d))
-                    .collect();
+                let forbidden: Vec<Vec<u64>> =
+                    g.neighbors(v).map(|(w, _)| poly(colors[w.index()], q, d)).collect();
                 let x = (0..q)
                     .find(|&x| {
-                        forbidden.iter().all(|pw| {
-                            pw == &pv || eval(&pv, x, q) != eval(pw, x, q)
-                        })
+                        forbidden.iter().all(|pw| pw == &pv || eval(&pv, x, q) != eval(pw, x, q))
                     })
                     .expect("q > Δ(d-1) guarantees a free point");
                 // Neighbors with an *identical* polynomial would collide at
@@ -103,8 +96,7 @@ pub fn run(net: &Network) -> LinialOutcome {
                 if colors[v.index()] != top {
                     return colors[v.index()];
                 }
-                let used: Vec<u64> =
-                    g.neighbors(v).map(|(w, _)| colors[w.index()]).collect();
+                let used: Vec<u64> = g.neighbors(v).map(|(w, _)| colors[w.index()]).collect();
                 (0..target)
                     .find(|c| !used.contains(c))
                     .expect("degree ≤ Δ leaves a free color in a (Δ+1)-palette")
@@ -122,12 +114,7 @@ pub fn run(net: &Network) -> LinialOutcome {
         |_| ColoringLabel::Blank,
         |_| ColoringLabel::Blank,
     );
-    LinialOutcome {
-        labeling,
-        reduction_rounds,
-        elimination_rounds,
-        colors: colors_u32,
-    }
+    LinialOutcome { labeling, reduction_rounds, elimination_rounds, colors: colors_u32 }
 }
 
 /// Number of base-`q` digits needed for values below `k`.
@@ -165,7 +152,7 @@ fn is_prime(x: u64) -> bool {
     }
     let mut f = 2;
     while f * f <= x {
-        if x % f == 0 {
+        if x.is_multiple_of(f) {
             return false;
         }
         f += 1;
@@ -241,15 +228,13 @@ mod tests {
             let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
             let out = run(&net);
             let input = L::uniform(net.graph(), ());
-            check(&VertexColoring::new(delta + 1), net.graph(), &input, &out.labeling)
-                .expect_ok();
+            check(&VertexColoring::new(delta + 1), net.graph(), &input, &out.labeling).expect_ok();
         }
     }
 
     #[test]
     fn sparse_id_space_is_fine() {
-        let net =
-            Network::new(gen::cycle(64), IdAssignment::SparseShuffled { seed: 8 });
+        let net = Network::new(gen::cycle(64), IdAssignment::SparseShuffled { seed: 8 });
         let out = run(&net);
         let input = L::uniform(net.graph(), ());
         check(&VertexColoring::new(3), net.graph(), &input, &out.labeling).expect_ok();

@@ -48,7 +48,7 @@ pub fn run(net: &Network, seed: u64) -> LubyOutcome {
     let mut state = vec![St::Undecided; n];
     let mut rounds = 0;
 
-    while state.iter().any(|&s| s == St::Undecided) {
+    while state.contains(&St::Undecided) {
         rounds += 1;
         let priority: Vec<(u64, u64)> =
             g.nodes().map(|v| (rng.gen::<u64>(), net.id_of(v))).collect();

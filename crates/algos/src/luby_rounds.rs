@@ -113,9 +113,7 @@ impl RoundAlgorithm for DistributedLuby {
                 if state.status == Status::Undecided {
                     if state.tentative_join {
                         state.status = Status::In;
-                    } else if let Some((port, _)) =
-                        inbox.iter().find(|(_, m)| *m == Msg::Joined)
-                    {
+                    } else if let Some((port, _)) = inbox.iter().find(|(_, m)| *m == Msg::Joined) {
                         state.status = Status::Out;
                         state.dominator_port = Some(*port);
                     }
@@ -172,13 +170,7 @@ pub fn run(net: &Network, seed: u64) -> DistributedLubyOutcome {
             NodeLocalOutput {
                 node: label,
                 halves: (0..degree)
-                    .map(|p| {
-                        if dom == Some(p) {
-                            MisLabel::Pointer
-                        } else {
-                            MisLabel::NoPointer
-                        }
-                    })
+                    .map(|p| if dom == Some(p) { MisLabel::Pointer } else { MisLabel::NoPointer })
                     .collect(),
                 edges: vec![MisLabel::Blank; degree],
             }
@@ -191,8 +183,8 @@ pub fn run(net: &Network, seed: u64) -> DistributedLubyOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcl_core::problems::MaximalIndependentSet;
     use lcl_core::check;
+    use lcl_core::problems::MaximalIndependentSet;
     use lcl_graph::gen;
     use lcl_local::IdAssignment;
 

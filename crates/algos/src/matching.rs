@@ -37,14 +37,12 @@ pub fn run(net: &Network, seed: u64) -> MatchingOutcome {
         In,
         Out,
     }
-    let mut state: Vec<St> = g
-        .edges()
-        .map(|e| if g.is_self_loop(e) { St::Out } else { St::Undecided })
-        .collect();
+    let mut state: Vec<St> =
+        g.edges().map(|e| if g.is_self_loop(e) { St::Out } else { St::Undecided }).collect();
     let mut matched_node = vec![false; g.node_count()];
     let mut rounds = 0;
 
-    while state.iter().any(|&s| s == St::Undecided) {
+    while state.contains(&St::Undecided) {
         rounds += 1;
         let priority: Vec<u64> = g.edges().map(|_| rng.gen()).collect();
         let mut joins = Vec::new();

@@ -108,18 +108,19 @@ impl RoundAlgorithm for DistributedMatching {
                     return (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
                 };
                 (0..ctx.degree)
-                    .map(|p| {
-                        if p == port {
-                            (p, Msg::Propose(state.priority))
-                        } else {
-                            (p, Msg::Idle)
-                        }
-                    })
+                    .map(
+                        |p| {
+                            if p == port {
+                                (p, Msg::Propose(state.priority))
+                            } else {
+                                (p, Msg::Idle)
+                            }
+                        },
+                    )
                     .collect()
             }
             Phase::Accept => {
-                let mut out: Vec<(usize, Msg)> =
-                    (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
+                let mut out: Vec<(usize, Msg)> = (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
                 if let Some(p) = state.accepted_port {
                     out[p] = (p, Msg::Accept);
                 }
@@ -143,10 +144,12 @@ impl RoundAlgorithm for DistributedMatching {
                 for (port, msg) in inbox {
                     match msg {
                         Msg::Retired => state.available[*port] = false,
-                        Msg::Propose(pr) if state.acceptor && !state.done => {
-                            if best.map_or(true, |(b, _)| (*pr) < b) {
-                                best = Some((*pr, *port));
-                            }
+                        Msg::Propose(pr)
+                            if state.acceptor
+                                && !state.done
+                                && best.is_none_or(|(b, _)| (*pr) < b) =>
+                        {
+                            best = Some((*pr, *port));
                         }
                         _ => {}
                     }
@@ -161,15 +164,13 @@ impl RoundAlgorithm for DistributedMatching {
             Phase::Accept => {
                 for (port, msg) in inbox {
                     match msg {
-                        Msg::Accept => {
+                        Msg::Accept
                             // Only my own proposal port can be accepted,
                             // and only one neighbor can hold it.
-                            if state.proposal_port == Some(*port) && state.matched_port.is_none()
-                            {
+                            if state.proposal_port == Some(*port) && state.matched_port.is_none() => {
                                 state.matched_port = Some(*port);
                                 state.done = true;
                             }
-                        }
                         Msg::Retired => state.available[*port] = false,
                         _ => {}
                     }
@@ -226,11 +227,7 @@ pub fn run(net: &Network, seed: u64) -> DistributedMatchingOutcome {
             let v = lcl_graph::NodeId(i as u32);
             let degree = net.graph().degree(v);
             NodeLocalOutput {
-                node: if matched.is_some() {
-                    MatchingLabel::Matched
-                } else {
-                    MatchingLabel::Free
-                },
+                node: if matched.is_some() { MatchingLabel::Matched } else { MatchingLabel::Free },
                 halves: vec![MatchingLabel::Blank; degree],
                 edges: (0..degree)
                     .map(|p| {
@@ -252,8 +249,8 @@ pub fn run(net: &Network, seed: u64) -> DistributedMatchingOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcl_core::problems::MaximalMatching;
     use lcl_core::check;
+    use lcl_core::problems::MaximalMatching;
     use lcl_graph::gen;
     use lcl_local::IdAssignment;
 
@@ -296,10 +293,7 @@ mod tests {
         g.add_node();
         let net = Network::new(g, IdAssignment::Sequential);
         let out = run(&net, 1);
-        assert_eq!(
-            *out.labeling.node(lcl_graph::NodeId(2)),
-            MatchingLabel::Free
-        );
+        assert_eq!(*out.labeling.node(lcl_graph::NodeId(2)), MatchingLabel::Free);
         let input = Labeling::uniform(net.graph(), ());
         check(&MaximalMatching, net.graph(), &input, &out.labeling).expect_ok();
     }

@@ -108,12 +108,7 @@ pub fn orient_globally(
         } else {
             // Any cycle at all? The component is acyclic iff |E| = |V| - 1
             // within it (connected).
-            let internal_edges = comp
-                .nodes
-                .iter()
-                .map(|&v| g.ports(v).len())
-                .sum::<usize>()
-                / 2;
+            let internal_edges = comp.nodes.iter().map(|&v| g.ports(v).len()).sum::<usize>() / 2;
             if internal_edges >= comp.nodes.len() {
                 branch = Branch::LongCycle;
                 // Canonical minimum girth cycle of the component.
@@ -168,8 +163,7 @@ pub fn orient_globally(
             }
         }
         for &v in &comp.nodes {
-            analysis[v.index()] =
-                NodeAnalysis { dist_to_core: dist[v.index()], branch };
+            analysis[v.index()] = NodeAnalysis { dist_to_core: dist[v.index()], branch };
         }
     }
 
@@ -296,8 +290,7 @@ mod tests {
         let (out, analysis) = orient_globally(&g, &ids, 9, &CycleSearch::default());
         assert!(analysis.iter().all(|a| a.branch == Branch::LongCycle));
         let input = L::uniform(&g, ());
-        check(&SinklessOrientation { min_constrained_degree: 2 }, &g, &input, &out)
-            .expect_ok();
+        check(&SinklessOrientation { min_constrained_degree: 2 }, &g, &input, &out).expect_ok();
     }
 
     #[test]

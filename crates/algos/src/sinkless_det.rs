@@ -85,8 +85,7 @@ pub fn run(net: &Network, params: &Params) -> DetOutcome {
     for comp in lcl_graph::connected_components(g) {
         let anchor = comp.nodes[0];
         let d = lcl_graph::bfs_distances(g, anchor);
-        let ecc_anchor =
-            comp.nodes.iter().filter_map(|w| d[w.index()]).max().unwrap_or(0);
+        let ecc_anchor = comp.nodes.iter().filter_map(|w| d[w.index()]).max().unwrap_or(0);
         for &v in &comp.nodes {
             let dav = d[v.index()].expect("component member reachable");
             ecc_lb[v.index()] = dav.max(ecc_anchor.saturating_sub(dav));
@@ -117,11 +116,8 @@ pub fn run(net: &Network, params: &Params) -> DetOutcome {
             match need {
                 Some(r) if r <= ecc_lb[v.index()] => r,
                 _ => {
-                    let ecc = lcl_graph::bfs_distances(g, v)
-                        .into_iter()
-                        .flatten()
-                        .max()
-                        .unwrap_or(0);
+                    let ecc =
+                        lcl_graph::bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0);
                     need.map_or(ecc, |r| r.min(ecc))
                 }
             }

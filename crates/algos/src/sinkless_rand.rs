@@ -165,8 +165,8 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
             if a == b {
                 continue;
             }
-            let pa = proposals[a.index()].map_or(false, |h| h.edge == e);
-            let pb = proposals[b.index()].map_or(false, |h| h.edge == e);
+            let pa = proposals[a.index()].is_some_and(|h| h.edge == e);
+            let pb = proposals[b.index()].is_some_and(|h| h.edge == e);
             if pa && pb {
                 if rng.gen_bool(0.5) {
                     proposals[b.index()] = None;
@@ -201,8 +201,7 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
     }
 
     // --- Phase 2: exact finish on residual components ---------------------
-    let shattered: Vec<NodeId> =
-        g.nodes().filter(|v| !satisfied[v.index()]).collect();
+    let shattered: Vec<NodeId> = g.nodes().filter(|v| !satisfied[v.index()]).collect();
     let shattered_nodes = shattered.len();
 
     // Residual graph = unoriented edges *between unsatisfied nodes*: the
@@ -268,8 +267,7 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
     );
 
     let finish_radius = finish_radius_per_node.iter().copied().max().unwrap_or(0);
-    let radii: Vec<u32> =
-        finish_radius_per_node.iter().map(|&r| phase1_rounds + r).collect();
+    let radii: Vec<u32> = finish_radius_per_node.iter().map(|&r| phase1_rounds + r).collect();
     RandOutcome {
         labeling,
         phase1_rounds,
@@ -360,13 +358,7 @@ fn solve_residual_component(
     // Remainder: unsatisfied nodes whose unoriented edges all lead to
     // unsatisfied nodes; each has ≥ 2 such edges (reserve invariant), so
     // every connected piece contains a cycle.
-    loop {
-        let Some(&start) = comp
-            .iter()
-            .find(|v| !satisfied[v.index()])
-        else {
-            break;
-        };
+    while let Some(&start) = comp.iter().find(|v| !satisfied[v.index()]) {
         // Walk unoriented unsatisfied-to-unsatisfied edges until a repeat:
         // that closes a cycle.
         let open_edges = |v: NodeId, st: &[EdgeState]| -> Vec<HalfEdge> {

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcl_local::{IdAssignment, Network};
+use lcl_padding::check_padded;
 use lcl_padding::hard::hard_pi2_instance;
 use lcl_padding::hierarchy::pi2_det;
-use lcl_padding::check_padded;
 
 fn bench_padding(c: &mut Criterion) {
     let mut group = c.benchmark_group("padding");

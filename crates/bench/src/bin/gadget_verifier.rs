@@ -3,9 +3,7 @@
 //! checkability on corrupted gadgets.
 
 use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
-use lcl_gadget::{
-    check_psi, corrupt, GadgetFamily, LogGadgetFamily,
-};
+use lcl_gadget::{check_psi, corrupt, GadgetFamily, LogGadgetFamily};
 
 fn main() {
     let (json, quick) = cli_flags();
@@ -45,10 +43,7 @@ fn main() {
             if !out.all_ok() {
                 caught += 1;
                 let violations = check_psi(&g, &input, &out.output, 3);
-                assert!(
-                    violations.is_empty(),
-                    "proof must verify for {c:?}: {violations:?}"
-                );
+                assert!(violations.is_empty(), "proof must verify for {c:?}: {violations:?}");
             }
             radius_sum += f64::from(out.trace.max_radius());
         }

@@ -5,122 +5,130 @@
 //! rand complexities on Lemma-5 hard instances, plus the headline ratio
 //! `D(n)/R(n)`, which the paper's discussion section pins at
 //! `Θ(log n / log log n)` for every level.
+//!
+//! Level cells run through the parallel batch engine (`--seq` forces
+//! sequential execution; reports are byte-identical either way).
 
 use lcl_algos::{sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::{hard_pi2_instance, hard_pi3_instance};
 use lcl_padding::hierarchy::{pi2_det, pi2_rand, pi3_det, pi3_rand};
 
+/// Hierarchy level of a grid cell.
+#[derive(Clone, Copy, Debug)]
+enum Level {
+    /// Sinkless orientation on random 3-regular graphs.
+    One,
+    /// `Π₂` on Lemma-5 hard instances.
+    Two,
+    /// `Π₃` (heavy; only with `--level3`).
+    Three,
+}
+
+fn level1_rows(n: usize, seed: u64) -> Vec<Row> {
+    let g = gen::random_regular(n, 3, seed).expect("generable");
+    let net = Network::new(g, IdAssignment::Shuffled { seed });
+    let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+    let rand = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
+    let (d, r) = (f64::from(det.trace.max_radius()), f64::from(rand.total_rounds()));
+    vec![
+        Row { experiment: "T11", series: "pi1-det".into(), n, seed, measured: d, extra: vec![] },
+        Row {
+            experiment: "T11",
+            series: "pi1-rand".into(),
+            n,
+            seed,
+            measured: r,
+            extra: vec![("ratio".into(), d / r.max(1.0))],
+        },
+    ]
+}
+
+fn level2_rows(n: usize, seed: u64) -> Vec<Row> {
+    let inst = hard_pi2_instance(n, 3, seed);
+    let real_n = inst.graph.node_count();
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+    let det = pi2_det(3).run(&net, &inst.input, seed);
+    let rand = pi2_rand(3).run(&net, &inst.input, seed);
+    let (d, r) = (f64::from(det.stats.physical_rounds()), f64::from(rand.stats.physical_rounds()));
+    vec![
+        Row {
+            experiment: "T11",
+            series: "pi2-det".into(),
+            n: real_n,
+            seed,
+            measured: d,
+            extra: vec![
+                ("virtual".into(), f64::from(det.stats.inner_rounds)),
+                ("v_radius".into(), f64::from(det.stats.v_radius)),
+            ],
+        },
+        Row {
+            experiment: "T11",
+            series: "pi2-rand".into(),
+            n: real_n,
+            seed,
+            measured: r,
+            extra: vec![
+                ("virtual".into(), f64::from(rand.stats.inner_rounds)),
+                ("ratio".into(), d / r.max(1.0)),
+            ],
+        },
+    ]
+}
+
+fn level3_rows(n: usize, seed: u64) -> Vec<Row> {
+    let inst = hard_pi3_instance(n, 3, 6, seed);
+    let real_n = inst.graph.node_count();
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+    let det = pi3_det(3, 6).run(&net, &inst.input, seed);
+    let rand = pi3_rand(3, 6).run(&net, &inst.input, seed);
+    let (d, r) = (f64::from(det.stats.physical_rounds()), f64::from(rand.stats.physical_rounds()));
+    vec![
+        Row {
+            experiment: "T11",
+            series: "pi3-det".into(),
+            n: real_n,
+            seed,
+            measured: d,
+            extra: vec![],
+        },
+        Row {
+            experiment: "T11",
+            series: "pi3-rand".into(),
+            n: real_n,
+            seed,
+            measured: r,
+            extra: vec![("ratio".into(), d / r.max(1.0))],
+        },
+    ]
+}
+
+/// Builds the T11 grid and measures it through the given runner.
+fn run_experiment(runner: BatchRunner, quick: bool, level3: bool) -> Report {
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let max1 = if quick { 1 << 11 } else { 1 << 14 };
+    let max2 = if quick { 10_000 } else { 80_000 };
+
+    let mut cells = grid(&[Level::One], &doubling_sizes(256, max1), &seeds);
+    cells.extend(grid(&[Level::Two], &doubling_sizes(2_500, max2), &seeds));
+    if level3 {
+        cells.extend(grid(&[Level::Three], &[8_192, 32_768], &seeds[..1]));
+    }
+
+    runner.run(&cells, |cell: &Cell<Level>| match cell.family {
+        Level::One => level1_rows(cell.n, cell.seed),
+        Level::Two => level2_rows(cell.n, cell.seed),
+        Level::Three => level3_rows(cell.n, cell.seed),
+    })
+}
+
 fn main() {
     let (json, quick) = cli_flags();
     let level3 = std::env::args().any(|a| a == "--level3");
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
-    let mut rep = Report::new();
-
-    // Level 1: sinkless orientation on random 3-regular graphs.
-    let max1 = if quick { 1 << 11 } else { 1 << 14 };
-    for n in doubling_sizes(256, max1) {
-        for &seed in &seeds {
-            let g = gen::random_regular(n, 3, seed).expect("generable");
-            let net = Network::new(g, IdAssignment::Shuffled { seed });
-            let det = sinkless_det::run(&net, &sinkless_det::Params::default());
-            let rand = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
-            let (d, r) =
-                (f64::from(det.trace.max_radius()), f64::from(rand.total_rounds()));
-            rep.push(Row {
-                experiment: "T11",
-                series: "pi1-det".into(),
-                n,
-                seed,
-                measured: d,
-                extra: vec![],
-            });
-            rep.push(Row {
-                experiment: "T11",
-                series: "pi1-rand".into(),
-                n,
-                seed,
-                measured: r,
-                extra: vec![("ratio".into(), d / r.max(1.0))],
-            });
-        }
-    }
-
-    // Level 2: Π₂ on Lemma-5 hard instances.
-    let max2 = if quick { 10_000 } else { 80_000 };
-    for n in doubling_sizes(2_500, max2) {
-        for &seed in &seeds {
-            let inst = hard_pi2_instance(n, 3, seed);
-            let real_n = inst.graph.node_count();
-            let net =
-                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-            let det = pi2_det(3).run(&net, &inst.input, seed);
-            let rand = pi2_rand(3).run(&net, &inst.input, seed);
-            let (d, r) = (
-                f64::from(det.stats.physical_rounds()),
-                f64::from(rand.stats.physical_rounds()),
-            );
-            rep.push(Row {
-                experiment: "T11",
-                series: "pi2-det".into(),
-                n: real_n,
-                seed,
-                measured: d,
-                extra: vec![
-                    ("virtual".into(), f64::from(det.stats.inner_rounds)),
-                    ("v_radius".into(), f64::from(det.stats.v_radius)),
-                ],
-            });
-            rep.push(Row {
-                experiment: "T11",
-                series: "pi2-rand".into(),
-                n: real_n,
-                seed,
-                measured: r,
-                extra: vec![
-                    ("virtual".into(), f64::from(rand.stats.inner_rounds)),
-                    ("ratio".into(), d / r.max(1.0)),
-                ],
-            });
-        }
-    }
-
-    // Level 3 (optional: heavy).
-    if level3 {
-        for n in [8_192usize, 32_768] {
-            for &seed in &seeds[..1] {
-                let inst = hard_pi3_instance(n, 3, 6, seed);
-                let real_n = inst.graph.node_count();
-                let net =
-                    Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-                let det = pi3_det(3, 6).run(&net, &inst.input, seed);
-                let rand = pi3_rand(3, 6).run(&net, &inst.input, seed);
-                let (d, r) = (
-                    f64::from(det.stats.physical_rounds()),
-                    f64::from(rand.stats.physical_rounds()),
-                );
-                rep.push(Row {
-                    experiment: "T11",
-                    series: "pi3-det".into(),
-                    n: real_n,
-                    seed,
-                    measured: d,
-                    extra: vec![],
-                });
-                rep.push(Row {
-                    experiment: "T11",
-                    series: "pi3-rand".into(),
-                    n: real_n,
-                    seed,
-                    measured: r,
-                    extra: vec![("ratio".into(), d / r.max(1.0))],
-                });
-            }
-        }
-    }
-
+    let rep = run_experiment(BatchRunner::from_cli(), quick, level3);
     println!("{}", rep.render(json));
     if !json {
         println!("Paper: det Θ(log^i n), rand Θ(log^(i-1) n · loglog n);");

@@ -13,129 +13,153 @@
 //! * `pi2-rand` — `Θ(log n · log log n)` — the paper's new subexponential
 //!   gap: compare with `pi2-det` (ratio `log n / log log n`).
 //!
-//! Run with `--json` for machine-readable rows, `--quick` for a smoke run.
+//! Cells of the `(family, n, seed)` grid run through the parallel batch
+//! engine; pass `--seq` to force sequential execution (the reports are
+//! byte-identical either way). `--json` prints machine-readable rows,
+//! `--quick` shrinks the sweep.
 
 use lcl_algos::{linial, luby, matching, sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::hard_pi2_instance;
 use lcl_padding::hierarchy::{pi2_det, pi2_rand};
 
-fn main() {
-    let (json, quick) = cli_flags();
+/// The two workload families of E1.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    /// The flat problem zoo on cycles and random 3-regular graphs.
+    Flat,
+    /// `Π₂` on Lemma-5 hard instances.
+    Padded,
+}
+
+fn flat_rows(n: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Trivial problem: constant.
+    rows.push(Row {
+        experiment: "E1",
+        series: "trivial".into(),
+        n,
+        seed,
+        measured: 0.0,
+        extra: vec![],
+    });
+
+    // 3-coloring cycles: Θ(log* n).
+    let net = Network::new(gen::cycle(n), IdAssignment::Shuffled { seed });
+    let out = linial::run(&net);
+    rows.push(Row {
+        experiment: "E1",
+        series: "3col-cycle-det".into(),
+        n,
+        seed,
+        measured: f64::from(out.total_rounds()),
+        extra: vec![("reduction".into(), f64::from(out.reduction_rounds))],
+    });
+
+    let g = gen::random_regular(n, 3, seed).expect("generable");
+    let net = Network::new(g, IdAssignment::Shuffled { seed });
+
+    // Luby MIS: O(log n) randomized.
+    let out = luby::run(&net, seed);
+    rows.push(Row {
+        experiment: "E1",
+        series: "mis-rand".into(),
+        n,
+        seed,
+        measured: f64::from(out.rounds),
+        extra: vec![],
+    });
+
+    // Maximal matching: O(log n) randomized.
+    let out = matching::run(&net, seed);
+    rows.push(Row {
+        experiment: "E1",
+        series: "matching-rand".into(),
+        n,
+        seed,
+        measured: f64::from(out.rounds),
+        extra: vec![],
+    });
+
+    // Sinkless orientation, deterministic: Θ(log n).
+    let out = sinkless_det::run(&net, &sinkless_det::Params::default());
+    rows.push(Row {
+        experiment: "E1",
+        series: "sinkless-det".into(),
+        n,
+        seed,
+        measured: f64::from(out.trace.max_radius()),
+        extra: vec![],
+    });
+
+    // Sinkless orientation, randomized: Θ(log log n).
+    let out = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
+    rows.push(Row {
+        experiment: "E1",
+        series: "sinkless-rand".into(),
+        n,
+        seed,
+        measured: f64::from(out.total_rounds()),
+        extra: vec![
+            ("phase1".into(), f64::from(out.phase1_rounds)),
+            ("finish".into(), f64::from(out.finish_radius)),
+        ],
+    });
+
+    rows
+}
+
+fn padded_rows(n: usize, seed: u64) -> Vec<Row> {
+    // Π₂ on Lemma-5 hard instances: physical rounds.
+    let inst = hard_pi2_instance(n, 3, seed);
+    let real_n = inst.graph.node_count();
+    let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+    let det = pi2_det(3).run(&net, &inst.input, seed);
+    let rand = pi2_rand(3).run(&net, &inst.input, seed);
+    vec![
+        Row {
+            experiment: "E1",
+            series: "pi2-det".into(),
+            n: real_n,
+            seed,
+            measured: f64::from(det.stats.physical_rounds()),
+            extra: vec![
+                ("virtual".into(), f64::from(det.stats.inner_rounds)),
+                ("diam".into(), f64::from(det.stats.gadget_diameter)),
+            ],
+        },
+        Row {
+            experiment: "E1",
+            series: "pi2-rand".into(),
+            n: real_n,
+            seed,
+            measured: f64::from(rand.stats.physical_rounds()),
+            extra: vec![("virtual".into(), f64::from(rand.stats.inner_rounds))],
+        },
+    ]
+}
+
+/// Builds the full E1 grid and measures it through the given runner.
+fn run_experiment(runner: BatchRunner, quick: bool) -> Report {
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
     let max_flat = if quick { 1 << 10 } else { 1 << 14 };
     let max_padded = if quick { 4_000 } else { 40_000 };
-    let mut rep = Report::new();
 
-    for n in doubling_sizes(256, max_flat) {
-        for &seed in &seeds {
-            // Trivial problem: constant.
-            rep.push(Row {
-                experiment: "E1",
-                series: "trivial".into(),
-                n,
-                seed,
-                measured: 0.0,
-                extra: vec![],
-            });
+    let mut cells = grid(&[Family::Flat], &doubling_sizes(256, max_flat), &seeds);
+    cells.extend(grid(&[Family::Padded], &doubling_sizes(2_500, max_padded), &seeds));
 
-            // 3-coloring cycles: Θ(log* n).
-            let net = Network::new(gen::cycle(n), IdAssignment::Shuffled { seed });
-            let out = linial::run(&net);
-            rep.push(Row {
-                experiment: "E1",
-                series: "3col-cycle-det".into(),
-                n,
-                seed,
-                measured: f64::from(out.total_rounds()),
-                extra: vec![("reduction".into(), f64::from(out.reduction_rounds))],
-            });
+    runner.run(&cells, |cell: &Cell<Family>| match cell.family {
+        Family::Flat => flat_rows(cell.n, cell.seed),
+        Family::Padded => padded_rows(cell.n, cell.seed),
+    })
+}
 
-            let g = gen::random_regular(n, 3, seed).expect("generable");
-            let net = Network::new(g, IdAssignment::Shuffled { seed });
-
-            // Luby MIS: O(log n) randomized.
-            let out = luby::run(&net, seed);
-            rep.push(Row {
-                experiment: "E1",
-                series: "mis-rand".into(),
-                n,
-                seed,
-                measured: f64::from(out.rounds),
-                extra: vec![],
-            });
-
-            // Maximal matching: O(log n) randomized.
-            let out = matching::run(&net, seed);
-            rep.push(Row {
-                experiment: "E1",
-                series: "matching-rand".into(),
-                n,
-                seed,
-                measured: f64::from(out.rounds),
-                extra: vec![],
-            });
-
-            // Sinkless orientation, deterministic: Θ(log n).
-            let out = sinkless_det::run(&net, &sinkless_det::Params::default());
-            rep.push(Row {
-                experiment: "E1",
-                series: "sinkless-det".into(),
-                n,
-                seed,
-                measured: f64::from(out.trace.max_radius()),
-                extra: vec![],
-            });
-
-            // Sinkless orientation, randomized: Θ(log log n).
-            let out = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
-            rep.push(Row {
-                experiment: "E1",
-                series: "sinkless-rand".into(),
-                n,
-                seed,
-                measured: f64::from(out.total_rounds()),
-                extra: vec![
-                    ("phase1".into(), f64::from(out.phase1_rounds)),
-                    ("finish".into(), f64::from(out.finish_radius)),
-                ],
-            });
-        }
-    }
-
-    // Π₂ on Lemma-5 hard instances: physical rounds.
-    for n in doubling_sizes(2_500, max_padded) {
-        for &seed in &seeds {
-            let inst = hard_pi2_instance(n, 3, seed);
-            let real_n = inst.graph.node_count();
-            let net =
-                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-            let det = pi2_det(3).run(&net, &inst.input, seed);
-            rep.push(Row {
-                experiment: "E1",
-                series: "pi2-det".into(),
-                n: real_n,
-                seed,
-                measured: f64::from(det.stats.physical_rounds()),
-                extra: vec![
-                    ("virtual".into(), f64::from(det.stats.inner_rounds)),
-                    ("diam".into(), f64::from(det.stats.gadget_diameter)),
-                ],
-            });
-            let rand = pi2_rand(3).run(&net, &inst.input, seed);
-            rep.push(Row {
-                experiment: "E1",
-                series: "pi2-rand".into(),
-                n: real_n,
-                seed,
-                measured: f64::from(rand.stats.physical_rounds()),
-                extra: vec![("virtual".into(), f64::from(rand.stats.inner_rounds))],
-            });
-        }
-    }
-
+fn main() {
+    let (json, quick) = cli_flags();
+    let rep = run_experiment(BatchRunner::from_cli(), quick);
     println!("{}", rep.render(json));
     if !json {
         println!("Reference shapes: 3col ≈ const, sinkless-det ≈ c·log2(n),");

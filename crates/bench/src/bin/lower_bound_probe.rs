@@ -35,10 +35,7 @@ fn main() {
                 n,
                 seed,
                 measured: failing as f64 / n as f64,
-                extra: vec![
-                    ("cap".into(), f64::from(cap)),
-                    ("needed".into(), f64::from(needed)),
-                ],
+                extra: vec![("cap".into(), f64::from(cap)), ("needed".into(), f64::from(needed))],
             });
         }
     }

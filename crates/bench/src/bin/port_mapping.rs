@@ -22,12 +22,10 @@ fn main() {
             let mut inst = hard_pi2_instance(n, 3, seed);
             let victims: Vec<u32> = (0..k as u32).collect();
             corrupt_gadgets(&mut inst, &victims, seed);
-            let net =
-                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+            let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
             let solver = pi2_det(3);
             let run = solver.run(&net, &inst.input, seed);
-            let violations =
-                check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
+            let violations = check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
             assert!(
                 violations.is_empty(),
                 "Π' must stay solvable with invalid gadgets: {violations:?}"

@@ -26,15 +26,12 @@ fn main() {
             let log_n = (real_n as f64).log2();
 
             // Inner problem on the base graph alone.
-            let base_net =
-                Network::new(inst.base.clone(), IdAssignment::Shuffled { seed });
+            let base_net = Network::new(inst.base.clone(), IdAssignment::Shuffled { seed });
             let base_det = sinkless_det::run(&base_net, &sinkless_det::Params::default());
-            let base_rand =
-                sinkless_rand::run(&base_net, &sinkless_rand::Params::default(), seed);
+            let base_rand = sinkless_rand::run(&base_net, &sinkless_rand::Params::default(), seed);
 
             // Π' on the padded instance.
-            let net =
-                Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+            let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
             let det = pi2_det(3).run(&net, &inst.input, seed);
             let rand = pi2_rand(3).run(&net, &inst.input, seed);
 

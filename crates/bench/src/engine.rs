@@ -1,0 +1,175 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Experiment binaries describe their work as a flat list of **cells**
+//! (typically one per `(graph family, n, seed)` grid point, see [`grid`])
+//! plus a pure function from a cell to its measurement [`Row`]s. The
+//! [`BatchRunner`] fans independent cells across cores with the vendored
+//! rayon shim and stitches the per-cell rows back together **in cell
+//! order**, so a parallel run's report is byte-identical to a sequential
+//! run's — randomness never leaks between cells because every cell derives
+//! its own counter-mode RNG streams from its `(run seed, node index)` pairs,
+//! exactly as the single-run engines do.
+//!
+//! [`Parallel`] additionally implements [`lcl_local::NodeExecutor`], so a
+//! *single* simulation can fan its per-node work across cores through the
+//! `run_views_with` / `run_rounds_with` hooks, with the same bit-identical
+//! guarantee (enforced by `tests/determinism.rs`).
+
+use crate::{Report, Row};
+use lcl_local::NodeExecutor;
+use rayon::prelude::*;
+
+/// Rayon-backed [`NodeExecutor`]: per-node work fans across cores, results
+/// land in node order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Parallel;
+
+impl NodeExecutor for Parallel {
+    fn map_nodes<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..len).into_par_iter().map(f).collect()
+    }
+
+    fn update_nodes<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        items.par_iter_mut().enumerate().for_each(|(i, item)| f(i, item));
+    }
+}
+
+/// One point of an experiment grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell<F> {
+    /// The graph family / workload descriptor.
+    pub family: F,
+    /// Instance size.
+    pub n: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+/// The full cartesian grid `families × sizes × seeds`, in row-major order
+/// (family outermost, seed innermost) — the order the old sequential bins
+/// iterated in, so ported reports stay byte-identical.
+pub fn grid<F: Clone>(families: &[F], sizes: &[usize], seeds: &[u64]) -> Vec<Cell<F>> {
+    let mut cells = Vec::with_capacity(families.len() * sizes.len() * seeds.len());
+    for family in families {
+        for &n in sizes {
+            for &seed in seeds {
+                cells.push(Cell { family: family.clone(), n, seed });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs experiment cells and collects their rows into a [`Report`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    parallel: bool,
+}
+
+impl BatchRunner {
+    /// A runner that fans cells across cores.
+    #[must_use]
+    pub fn parallel() -> Self {
+        BatchRunner { parallel: true }
+    }
+
+    /// A runner that executes cells one by one on the calling thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        BatchRunner { parallel: false }
+    }
+
+    /// Parallel unless the process was started with `--seq` or the
+    /// `LCL_BENCH_SEQUENTIAL` environment variable is set — the escape
+    /// hatch the determinism regression test uses to compare engines.
+    #[must_use]
+    pub fn from_cli() -> Self {
+        let seq = std::env::args().any(|a| a == "--seq")
+            || std::env::var_os("LCL_BENCH_SEQUENTIAL").is_some();
+        BatchRunner { parallel: !seq }
+    }
+
+    /// True if this runner fans out across cores.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Evaluates `measure` on every cell and returns the combined report.
+    /// Rows appear grouped by cell, in `cells` order, regardless of which
+    /// core ran which cell.
+    pub fn run<C, M>(&self, cells: &[C], measure: M) -> Report
+    where
+        C: Sync,
+        M: Fn(&C) -> Vec<Row> + Sync,
+    {
+        let per_cell: Vec<Vec<Row>> = if self.parallel {
+            cells.par_iter().map(&measure).collect()
+        } else {
+            cells.iter().map(&measure).collect()
+        };
+        let mut report = Report::new();
+        for rows in per_cell {
+            for row in rows {
+                report.push(row);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major() {
+        let cells = grid(&["a", "b"], &[4, 8], &[1, 2]);
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0], Cell { family: "a", n: 4, seed: 1 });
+        assert_eq!(cells[1], Cell { family: "a", n: 4, seed: 2 });
+        assert_eq!(cells[2], Cell { family: "a", n: 8, seed: 1 });
+        assert_eq!(cells[4], Cell { family: "b", n: 4, seed: 1 });
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_match() {
+        let cells = grid(&["fam"], &[2, 3, 5, 7, 11], &[1, 2, 3]);
+        let measure = |c: &Cell<&str>| {
+            vec![Row {
+                experiment: "T",
+                series: c.family.to_string(),
+                n: c.n,
+                seed: c.seed,
+                measured: (c.n as f64).sqrt() * c.seed as f64,
+                extra: vec![("twice".into(), 2.0 * c.n as f64)],
+            }]
+        };
+        let seq = BatchRunner::sequential().run(&cells, measure);
+        let par = BatchRunner::parallel().run(&cells, measure);
+        assert_eq!(seq.render(true), par.render(true));
+        assert_eq!(seq.render(false), par.render(false));
+        assert_eq!(seq.rows().len(), cells.len());
+    }
+
+    #[test]
+    fn node_executor_parallel_matches_sequential() {
+        use lcl_local::{NodeExecutor, Sequential};
+        let a = Sequential.map_nodes(100, |i| i * 7);
+        let b = Parallel.map_nodes(100, |i| i * 7);
+        assert_eq!(a, b);
+        let mut xs = vec![1u64; 64];
+        let mut ys = vec![1u64; 64];
+        Sequential.update_nodes(&mut xs, |i, x| *x += i as u64);
+        Parallel.update_nodes(&mut ys, |i, y| *y += i as u64);
+        assert_eq!(xs, ys);
+    }
+}

@@ -8,7 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod engine;
+
+pub use engine::{grid, BatchRunner, Cell, Parallel};
+
+use serde::{Deserialize, Serialize};
 
 /// One measurement row: an experiment id, the instance parameters, and the
 /// measured quantities.
@@ -26,6 +30,39 @@ pub struct Row {
     pub measured: f64,
     /// Optional extra fields, rendered as-is.
     pub extra: Vec<(String, f64)>,
+}
+
+/// An owned measurement record: the deserializable twin of [`Row`]
+/// (whose `experiment` field is `&'static str`). JSON emitted for a `Row`
+/// parses into a `RowRecord` and re-serializes to the identical string —
+/// the contract that lets downstream tooling re-ingest `--json` output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowRecord {
+    /// Experiment id.
+    pub experiment: String,
+    /// Series label within the experiment.
+    pub series: String,
+    /// Instance size `n`.
+    pub n: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// The measured complexity.
+    pub measured: f64,
+    /// Optional extra fields.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl From<&Row> for RowRecord {
+    fn from(row: &Row) -> Self {
+        RowRecord {
+            experiment: row.experiment.to_string(),
+            series: row.series.clone(),
+            n: row.n,
+            seed: row.seed,
+            measured: row.measured,
+            extra: row.extra.clone(),
+        }
+    }
 }
 
 /// Collects rows and renders them.
@@ -70,12 +107,8 @@ impl Report {
             "exp", "series", "n", "seed", "measured"
         ));
         for r in &self.rows {
-            let extra = r
-                .extra
-                .iter()
-                .map(|(k, v)| format!("{k}={v:.2}"))
-                .collect::<Vec<_>>()
-                .join(" ");
+            let extra =
+                r.extra.iter().map(|(k, v)| format!("{k}={v:.2}")).collect::<Vec<_>>().join(" ");
             out.push_str(&format!(
                 "{:<4} {:<28} {:>9} {:>6} {:>10.2}  {}\n",
                 r.experiment, r.series, r.n, r.seed, r.measured, extra

@@ -1,0 +1,115 @@
+//! Determinism regression tests: the parallel experiment engine must be
+//! **bit-identical** to sequential execution at every level — whole batch
+//! grids, per-node view simulation, and per-node round simulation.
+
+use lcl_algos::{luby_rounds, matching_rounds, sinkless_det};
+use lcl_bench::{grid, BatchRunner, Cell, Parallel, Row};
+use lcl_graph::gen;
+use lcl_local::{
+    run_rounds, run_rounds_with, run_views, run_views_with, Decision, IdAssignment, Network,
+    Sequential, View, ViewAlgorithm, ViewCtx,
+};
+
+/// A realistic measurement closure: real generators, real algorithms, real
+/// per-`(seed, node)` randomness.
+fn measure(cell: &Cell<&'static str>) -> Vec<Row> {
+    let g = gen::random_regular(cell.n, 3, cell.seed).expect("generable");
+    let net = Network::new(g, IdAssignment::Shuffled { seed: cell.seed });
+    let mis = luby_rounds::run(&net, cell.seed);
+    let det = sinkless_det::run(&net, &sinkless_det::Params::default());
+    vec![
+        Row {
+            experiment: "DET",
+            series: format!("{}-mis", cell.family),
+            n: cell.n,
+            seed: cell.seed,
+            measured: f64::from(mis.rounds),
+            extra: vec![],
+        },
+        Row {
+            experiment: "DET",
+            series: format!("{}-sinkless", cell.family),
+            n: cell.n,
+            seed: cell.seed,
+            measured: f64::from(det.trace.max_radius()),
+            extra: vec![("mean".into(), det.trace.mean_radius())],
+        },
+    ]
+}
+
+#[test]
+fn batch_grid_parallel_is_byte_identical_to_sequential() {
+    let cells = grid(&["3reg"], &[16, 32, 64], &[1, 2, 3, 4]);
+    let seq = BatchRunner::sequential().run(&cells, measure);
+    let par = BatchRunner::parallel().run(&cells, measure);
+    assert_eq!(
+        seq.render(true),
+        par.render(true),
+        "parallel JSON report must match sequential byte for byte"
+    );
+    assert_eq!(seq.render(false), par.render(false));
+    assert_eq!(seq.rows().len(), 2 * cells.len());
+}
+
+/// Reads every visible node's random tape at radius 2 — output depends on
+/// structure, identifiers, *and* tapes, so any engine-level divergence
+/// (ordering, RNG stream sharing) would show up here.
+struct TapeSummary;
+
+impl ViewAlgorithm for TapeSummary {
+    type Output = Vec<(u64, u64)>;
+
+    fn decide(&self, view: &View, _ctx: &ViewCtx) -> Decision<Self::Output> {
+        if view.radius() < 2 && !view.saturated() {
+            return Decision::Extend(view.radius() + 1);
+        }
+        let mut words: Vec<(u64, u64)> =
+            view.graph().nodes().map(|v| (view.id(v), view.rand_word(v, 0))).collect();
+        words.sort_unstable();
+        Decision::Output(words)
+    }
+}
+
+#[test]
+fn view_engine_parallel_matches_sequential() {
+    for (name, g) in [
+        ("torus", gen::torus(5, 7)),
+        ("3reg", gen::random_regular(60, 3, 9).expect("generable")),
+        ("disjoint", gen::disjoint_cycles(4, 7)),
+    ] {
+        let net = Network::new(g, IdAssignment::Shuffled { seed: 11 });
+        let baseline = run_views(&net, &TapeSummary, 42);
+        let seq = run_views_with(&net, &TapeSummary, 42, &Sequential);
+        let par = run_views_with(&net, &TapeSummary, 42, &Parallel);
+        assert_eq!(baseline.outputs, seq.outputs, "{name}: hook changed sequential results");
+        assert_eq!(seq.outputs, par.outputs, "{name}: parallel outputs diverged");
+        assert_eq!(seq.trace, par.trace, "{name}: parallel radii diverged");
+    }
+}
+
+#[test]
+fn round_engine_parallel_matches_sequential() {
+    for seed in [1u64, 7, 23] {
+        let g = gen::random_regular(50, 4, seed).expect("generable");
+        let net = Network::new(g, IdAssignment::Shuffled { seed });
+        let cap = 10 * net.len() as u32;
+
+        let alg = luby_rounds::DistributedLuby;
+        let seq = run_rounds(&net, &alg, seed, cap);
+        let par = run_rounds_with(&net, &alg, seed, cap, &Parallel);
+        assert_eq!(seq.outputs, par.outputs, "luby outputs diverged (seed {seed})");
+        assert_eq!(seq.trace, par.trace, "luby trace diverged (seed {seed})");
+
+        let alg = matching_rounds::DistributedMatching;
+        let seq = run_rounds(&net, &alg, seed, cap);
+        let par = run_rounds_with(&net, &alg, seed, cap, &Parallel);
+        assert_eq!(seq.outputs, par.outputs, "matching outputs diverged (seed {seed})");
+        assert_eq!(seq.trace, par.trace, "matching trace diverged (seed {seed})");
+    }
+}
+
+#[test]
+fn engine_respects_sequential_escape_hatches() {
+    assert!(BatchRunner::parallel().is_parallel());
+    assert!(!BatchRunner::sequential().is_parallel());
+}

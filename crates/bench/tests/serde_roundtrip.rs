@@ -1,0 +1,61 @@
+//! Serde roundtrips for the measurement pipeline's persistent records:
+//! `--json` rows must re-ingest losslessly, and the simulator traces they
+//! are derived from must survive serialization unchanged.
+
+use lcl_bench::{Row, RowRecord};
+use lcl_local::{LocalityTrace, RoundTrace};
+
+#[test]
+fn row_json_reingests_as_row_record() {
+    let row = Row {
+        experiment: "E1",
+        series: "sinkless-det".into(),
+        n: 16_384,
+        seed: u64::MAX, // exercise full-width integer fidelity
+        measured: 13.5,
+        extra: vec![("phase1".into(), 3.0), ("finish".into(), 0.25)],
+    };
+    let json = serde_json::to_string(&row).expect("row serializes");
+    let record: RowRecord = serde_json::from_str(&json).expect("row JSON re-ingests");
+    assert_eq!(record, RowRecord::from(&row));
+    // Re-serializing the owned record reproduces the original bytes.
+    assert_eq!(serde_json::to_string(&record).unwrap(), json);
+}
+
+#[test]
+fn row_record_roundtrips_through_json() {
+    let record = RowRecord {
+        experiment: "T11".into(),
+        series: "pi2-rand".into(),
+        n: 0,
+        seed: 42,
+        measured: 0.0,
+        extra: vec![],
+    };
+    let json = serde_json::to_string(&record).unwrap();
+    let back: RowRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, record);
+}
+
+#[test]
+fn round_trace_roundtrips_through_json() {
+    for trace in [
+        RoundTrace { rounds: 0, completed: false },
+        RoundTrace { rounds: 17, completed: true },
+        RoundTrace { rounds: u32::MAX, completed: false },
+    ] {
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RoundTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}
+
+#[test]
+fn locality_trace_roundtrips_through_json() {
+    for trace in [LocalityTrace::default(), LocalityTrace::new(vec![0, 1, 2, 3, 100, u32::MAX])] {
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: LocalityTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.max_radius(), trace.max_radius());
+    }
+}

@@ -144,10 +144,7 @@ mod tests {
             NodeLocalOutput { node: 0u32, halves: vec![0], edges: vec![1] },
             NodeLocalOutput { node: 0, halves: vec![0], edges: vec![2] },
         ];
-        assert_eq!(
-            assemble(&g, &outs),
-            Err(AssembleError::EdgeDisagreement { edge: EdgeId(0) })
-        );
+        assert_eq!(assemble(&g, &outs), Err(AssembleError::EdgeDisagreement { edge: EdgeId(0) }));
     }
 
     #[test]

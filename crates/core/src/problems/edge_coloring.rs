@@ -84,10 +84,7 @@ mod tests {
     use crate::problem::{check, Violation};
     use lcl_graph::{gen, EdgeId, NodeId};
 
-    fn color_edges(
-        g: &lcl_graph::Graph,
-        f: impl Fn(EdgeId) -> u32,
-    ) -> Labeling<EdgeColoringLabel> {
+    fn color_edges(g: &lcl_graph::Graph, f: impl Fn(EdgeId) -> u32) -> Labeling<EdgeColoringLabel> {
         Labeling::build(
             g,
             |_| EdgeColoringLabel::Blank,

@@ -49,9 +49,7 @@ impl NeLcl for MaximalMatching {
                 Err(format!("Matched node with {incident_matched} matched edges"))
             }
             MatchingLabel::Free if incident_matched == 0 => Ok(()),
-            MatchingLabel::Free => {
-                Err(format!("Free node with {incident_matched} matched edges"))
-            }
+            MatchingLabel::Free => Err(format!("Free node with {incident_matched} matched edges")),
             other => Err(format!("node must be Matched or Free, got {other:?}")),
         }
     }

@@ -15,6 +15,6 @@ mod trivial;
 pub use coloring::{ColoringLabel, VertexColoring};
 pub use edge_coloring::{EdgeColoring, EdgeColoringLabel};
 pub use matching::{MatchingLabel, MaximalMatching};
-pub use mis::{MisLabel, MaximalIndependentSet};
+pub use mis::{MaximalIndependentSet, MisLabel};
 pub use sinkless::{Orient, SinklessOrientation};
 pub use trivial::Trivial;

@@ -1,9 +1,52 @@
 //! Property tests for labeling assembly and the checker plumbing.
 
-use lcl_core::problems::{Orient, SinklessOrientation};
-use lcl_core::{assemble, check, Labeling, NodeLocalOutput, Violation};
-use lcl_graph::{gen, NodeId};
+use lcl_core::problems::{
+    ColoringLabel, EdgeColoring, EdgeColoringLabel, MatchingLabel, MaximalIndependentSet,
+    MaximalMatching, MisLabel, Orient, SinklessOrientation, Trivial, VertexColoring,
+};
+use lcl_core::{assemble, check, Labeling, NeLcl, NodeLocalOutput, Violation};
+use lcl_graph::{gen, Graph, NodeId};
 use proptest::prelude::*;
+
+/// Splits a global labeling into the per-node outputs each node would emit
+/// (agreeing by construction, since they come from one labeling).
+fn split<L: Clone>(g: &Graph, lab: &Labeling<L>) -> Vec<NodeLocalOutput<L>> {
+    g.nodes()
+        .map(|v| NodeLocalOutput {
+            node: lab.node(v).clone(),
+            halves: g.ports(v).iter().map(|&h| lab.half(h).clone()).collect(),
+            edges: g.ports(v).iter().map(|h| lab.edge(h.edge).clone()).collect(),
+        })
+        .collect()
+}
+
+/// The assemble → check roundtrip: splitting any output labeling into
+/// per-node outputs and reassembling is the identity, and the checker's
+/// verdict (including the exact violation list) is unchanged by the trip.
+fn roundtrip_holds<P: NeLcl>(
+    p: &P,
+    g: &Graph,
+    input: &Labeling<P::In>,
+    out: &Labeling<P::Out>,
+) -> Result<(), TestCaseError>
+where
+    P::Out: Eq,
+{
+    let assembled = assemble(g, &split(g, out)).expect("splits agree by construction");
+    prop_assert_eq!(&assembled, out, "split + assemble must be the identity");
+    prop_assert_eq!(check(p, g, input, out), check(p, g, input, &assembled));
+    Ok(())
+}
+
+/// Deterministic per-element label noise.
+fn mix(seed: u64, tag: u64, idx: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -88,5 +131,105 @@ proptest! {
             .violations
             .iter()
             .all(|v| matches!(v, Violation::Node(_, _))));
+    }
+
+    // --- assemble → check roundtrip across the whole problem zoo ---------
+    //
+    // For every problem, arbitrary (not necessarily correct) output
+    // labelings are split into per-node outputs and reassembled; the trip
+    // must be the identity and must not change the checker's verdict.
+
+    #[test]
+    fn roundtrip_sinkless(n in 2usize..14, seed in 0u64..200) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::build(
+            &g,
+            |_| Orient::Blank,
+            |_| Orient::Blank,
+            |h| if mix(seed, 1, u64::from(h.edge.0) * 2 + h.side.index() as u64) & 1 == 0 {
+                Orient::Out
+            } else {
+                Orient::In
+            },
+        );
+        roundtrip_holds(&SinklessOrientation::new(), &g, &input, &out)?;
+    }
+
+    #[test]
+    fn roundtrip_vertex_coloring(n in 2usize..14, seed in 0u64..200, palette in 2u32..6) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::build(
+            &g,
+            // One extra color so out-of-palette violations occur too.
+            |v| ColoringLabel::Color(mix(seed, 2, u64::from(v.0)) as u32 % (palette + 1)),
+            |_| ColoringLabel::Blank,
+            |_| ColoringLabel::Blank,
+        );
+        roundtrip_holds(&VertexColoring::new(palette), &g, &input, &out)?;
+    }
+
+    #[test]
+    fn roundtrip_matching(n in 2usize..14, seed in 0u64..200) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::build(
+            &g,
+            |v| if mix(seed, 3, u64::from(v.0)) & 1 == 0 {
+                MatchingLabel::Matched
+            } else {
+                MatchingLabel::Free
+            },
+            |e| if mix(seed, 4, u64::from(e.0)) & 3 == 0 {
+                MatchingLabel::InMatching
+            } else {
+                MatchingLabel::NotInMatching
+            },
+            |_| MatchingLabel::Blank,
+        );
+        roundtrip_holds(&MaximalMatching, &g, &input, &out)?;
+    }
+
+    #[test]
+    fn roundtrip_mis(n in 2usize..14, seed in 0u64..200) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::build(
+            &g,
+            |v| if mix(seed, 5, u64::from(v.0)) & 1 == 0 {
+                MisLabel::InSet
+            } else {
+                MisLabel::OutSet
+            },
+            |_| MisLabel::Blank,
+            |h| if mix(seed, 6, u64::from(h.edge.0) * 2 + h.side.index() as u64) & 3 == 0 {
+                MisLabel::Pointer
+            } else {
+                MisLabel::NoPointer
+            },
+        );
+        roundtrip_holds(&MaximalIndependentSet, &g, &input, &out)?;
+    }
+
+    #[test]
+    fn roundtrip_edge_coloring(n in 2usize..14, seed in 0u64..200, palette in 2u32..6) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::build(
+            &g,
+            |_| EdgeColoringLabel::Blank,
+            |e| EdgeColoringLabel::Color(mix(seed, 7, u64::from(e.0)) as u32 % (palette + 1)),
+            |_| EdgeColoringLabel::Blank,
+        );
+        roundtrip_holds(&EdgeColoring::new(palette), &g, &input, &out)?;
+    }
+
+    #[test]
+    fn roundtrip_trivial(n in 2usize..14, seed in 0u64..200) {
+        let g = gen::random_regular_multigraph(n * 2, 3, seed).unwrap();
+        let input = Labeling::uniform(&g, ());
+        let out = Labeling::uniform(&g, ());
+        roundtrip_holds(&Trivial, &g, &input, &out)?;
     }
 }

@@ -22,7 +22,7 @@ impl GadgetSpec {
     /// Panics if `delta == 0` or `delta > 255` or `height == 0`.
     #[must_use]
     pub fn uniform(delta: usize, height: u32) -> Self {
-        assert!(delta >= 1 && delta <= 255, "Δ must be in 1..=255");
+        assert!((1..=255).contains(&delta), "Δ must be in 1..=255");
         assert!(height >= 1, "sub-gadget height must be ≥ 1");
         GadgetSpec { heights: vec![height; delta] }
     }
@@ -94,10 +94,7 @@ fn build_subgadget_into(
         let mut level = Vec::with_capacity(width);
         for x in 0..width {
             let v = g.add_node();
-            draft.kind.push(NodeKind::Tree {
-                index,
-                port: l == height - 1 && x == width - 1,
-            });
+            draft.kind.push(NodeKind::Tree { index, port: l == height - 1 && x == width - 1 });
             level.push(v);
             // Parent edge: (ℓ-1, ⌊x/2⌋).
             if l > 0 {
@@ -222,7 +219,7 @@ mod tests {
     #[test]
     fn exactly_one_port_per_subgadget() {
         let b = build_gadget(&GadgetSpec::uniform(4, 4));
-        let mut count = vec![0usize; 5];
+        let mut count = [0usize; 5];
         for v in b.graph.nodes() {
             if let GadgetIn::Node { kind: NodeKind::Tree { index, port: true }, .. } =
                 b.input.node(v)
@@ -266,11 +263,8 @@ mod tests {
     #[test]
     fn colors_are_distance_2_proper() {
         let b = build_gadget(&GadgetSpec::uniform(3, 4));
-        let colors: Vec<u32> = b
-            .graph
-            .nodes()
-            .map(|v| b.input.node(v).color().expect("node colored"))
-            .collect();
+        let colors: Vec<u32> =
+            b.graph.nodes().map(|v| b.input.node(v).color().expect("node colored")).collect();
         assert!(lcl_graph::is_distance_k_coloring(&b.graph, &colors, 2));
     }
 

@@ -26,11 +26,7 @@ struct Inc {
     peer: NodeId,
 }
 
-fn incidences(
-    g: &Graph,
-    input: &Labeling<GadgetIn>,
-    v: NodeId,
-) -> Result<Vec<Inc>, String> {
+fn incidences(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId) -> Result<Vec<Inc>, String> {
     let mut out = Vec::with_capacity(g.degree(v));
     for &h in g.ports(v) {
         match input.half(h) {
@@ -55,10 +51,7 @@ fn incidences(
 
 /// Follows the unique `dir`-labeled half-edge out of `v`, if present.
 fn step(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId, dir: Dir) -> Option<NodeId> {
-    g.ports(v)
-        .iter()
-        .find(|&&h| input.half(h).dir() == Some(dir))
-        .map(|&h| g.half_edge_peer(h))
+    g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(dir)).map(|&h| g.half_edge_peer(h))
 }
 
 fn far_dir(g: &Graph, input: &Labeling<GadgetIn>, h: HalfEdge) -> Option<Dir> {
@@ -120,9 +113,7 @@ pub fn node_check(
 
     match kind {
         NodeKind::Center => check_center(g, input, delta, &inc),
-        NodeKind::Tree { index, port } => {
-            check_tree_node(g, input, v, *index, *port, &inc)
-        }
+        NodeKind::Tree { index, port } => check_tree_node(g, input, v, *index, *port, &inc),
     }
 }
 
@@ -197,10 +188,8 @@ fn check_tree_node(
     }
 
     // 4.3-1: a parentless node has exactly one Center neighbor (via Up).
-    let center_neighbors = inc
-        .iter()
-        .filter(|i| input.node(i.peer).kind() == Some(NodeKind::Center))
-        .count();
+    let center_neighbors =
+        inc.iter().filter(|i| input.node(i.peer).kind() == Some(NodeKind::Center)).count();
     if !has(Dir::Parent) && center_neighbors != 1 {
         return Err(format!("4.3-1: parentless node with {center_neighbors} Center neighbors"));
     }
@@ -450,8 +439,7 @@ mod tests {
         let mut input = b.input.clone();
         let p = b.ports[0];
         if let GadgetIn::Node { kind: NodeKind::Tree { port, .. }, color } = *input.node(p) {
-            *input.node_mut(p) =
-                GadgetIn::Node { kind: NodeKind::Tree { index: 2, port }, color };
+            *input.node_mut(p) = GadgetIn::Node { kind: NodeKind::Tree { index: 2, port }, color };
         }
         let errs = structure_errors(&b.graph, &input, 3);
         // The neighbor over the Left/Parent edge sees an index mismatch

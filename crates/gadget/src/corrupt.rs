@@ -83,9 +83,7 @@ pub fn apply(b: &BuiltGadget, c: &Corruption) -> (Graph, Labeling<GadgetIn>) {
         Corruption::TogglePort(node) => {
             let mut input = b.input.clone();
             let v = NodeId(*node);
-            if let GadgetIn::Node { kind: NodeKind::Tree { index, port }, color } =
-                *input.node(v)
-            {
+            if let GadgetIn::Node { kind: NodeKind::Tree { index, port }, color } = *input.node(v) {
                 *input.node_mut(v) =
                     GadgetIn::Node { kind: NodeKind::Tree { index, port: !port }, color };
             }
@@ -233,10 +231,7 @@ pub fn is_effective(b: &BuiltGadget, c: &Corruption) -> bool {
         }
         Corruption::TogglePort(node) => {
             // The center carries no port flag: toggling it is a no-op.
-            matches!(
-                b.input.node(NodeId(*node)).kind(),
-                Some(NodeKind::Tree { .. })
-            )
+            matches!(b.input.node(NodeId(*node)).kind(), Some(NodeKind::Tree { .. }))
         }
         _ => true,
     }
@@ -262,10 +257,7 @@ mod tests {
         let b = build_gadget(&GadgetSpec::uniform(2, 3));
         for k in 0..b.graph.edge_count() as u32 {
             let (g, input) = apply(&b, &Corruption::DeleteEdge(k));
-            assert!(
-                !is_valid_gadget(&g, &input, 2),
-                "deleting edge {k} left the gadget 'valid'"
-            );
+            assert!(!is_valid_gadget(&g, &input, 2), "deleting edge {k} left the gadget 'valid'");
         }
     }
 
@@ -274,10 +266,7 @@ mod tests {
         let b = build_gadget(&GadgetSpec::uniform(3, 3));
         for v in 0..b.graph.node_count() as u32 {
             let c = Corruption::TogglePort(v);
-            if !matches!(
-                b.input.node(NodeId(v)).kind(),
-                Some(NodeKind::Tree { .. })
-            ) {
+            if !matches!(b.input.node(NodeId(v)).kind(), Some(NodeKind::Tree { .. })) {
                 continue;
             }
             let (g, input) = apply(&b, &c);

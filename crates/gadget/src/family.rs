@@ -28,12 +28,7 @@ pub trait GadgetFamily {
     fn balanced(&self, n: usize) -> BuiltGadget;
 
     /// Algorithm `V`: solves `Ψ_G` in `O(d(n))` rounds.
-    fn verify(
-        &self,
-        g: &Graph,
-        input: &Labeling<GadgetIn>,
-        known_n: usize,
-    ) -> VerifierOutcome;
+    fn verify(&self, g: &Graph, input: &Labeling<GadgetIn>, known_n: usize) -> VerifierOutcome;
 }
 
 /// The `(log, Δ)`-gadget family of Section 4 (Theorem 6).
@@ -50,7 +45,7 @@ impl LogGadgetFamily {
     /// Panics if `delta` is 0 or exceeds 255.
     #[must_use]
     pub fn new(delta: usize) -> Self {
-        assert!(delta >= 1 && delta <= 255, "Δ must be in 1..=255");
+        assert!((1..=255).contains(&delta), "Δ must be in 1..=255");
         LogGadgetFamily { delta }
     }
 }
@@ -74,12 +69,7 @@ impl GadgetFamily for LogGadgetFamily {
         build_gadget(&GadgetSpec::uniform(self.delta, h))
     }
 
-    fn verify(
-        &self,
-        g: &Graph,
-        input: &Labeling<GadgetIn>,
-        known_n: usize,
-    ) -> VerifierOutcome {
+    fn verify(&self, g: &Graph, input: &Labeling<GadgetIn>, known_n: usize) -> VerifierOutcome {
         run_verifier(g, input, self.delta, known_n)
     }
 }
@@ -132,8 +122,7 @@ mod tests {
         let fam = LogGadgetFamily::new(3);
         let b = fam.balanced(100);
         assert!(fam.verify(&b.graph, &b.input, b.len()).all_ok());
-        let (g, input) =
-            crate::corrupt::apply(&b, &crate::corrupt::Corruption::DeleteEdge(5));
+        let (g, input) = crate::corrupt::apply(&b, &crate::corrupt::Corruption::DeleteEdge(5));
         assert!(!fam.verify(&g, &input, g.node_count()).all_ok());
     }
 

@@ -32,13 +32,15 @@ impl Dir {
     /// (constraints 2a–2b of Section 4.2 and 2b–2c of Section 4.3).
     #[must_use]
     pub fn pairs_with(self, other: Dir) -> bool {
-        match (self, other) {
-            (Dir::Right, Dir::Left) | (Dir::Left, Dir::Right) => true,
-            (Dir::Parent, Dir::LChild | Dir::RChild) => true,
-            (Dir::LChild | Dir::RChild, Dir::Parent) => true,
-            (Dir::Up, Dir::Down(_)) | (Dir::Down(_), Dir::Up) => true,
-            _ => false,
-        }
+        matches!(
+            (self, other),
+            (Dir::Right, Dir::Left)
+                | (Dir::Left, Dir::Right)
+                | (Dir::Parent, Dir::LChild | Dir::RChild)
+                | (Dir::LChild | Dir::RChild, Dir::Parent)
+                | (Dir::Up, Dir::Down(_))
+                | (Dir::Down(_), Dir::Up)
+        )
     }
 }
 

@@ -96,10 +96,7 @@ pub fn check_color_proof(
         // Edge constraint: the far half's replicated input color matches.
         let far = input.half(h.opposite()).color();
         if far != Some(proof.color) {
-            return Err(format!(
-                "far half claims color {far:?}, proof claims {}",
-                proof.color
-            ));
+            return Err(format!("far half claims color {far:?}, proof claims {}", proof.color));
         }
     }
     Ok(())
@@ -136,10 +133,7 @@ pub struct ChainProof {
 const CHAIN_DIRS: [Dir; 4] = [Dir::Right, Dir::LChild, Dir::Left, Dir::Parent];
 
 fn step(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId, dir: Dir) -> Option<NodeId> {
-    g.ports(v)
-        .iter()
-        .find(|&&h| input.half(h).dir() == Some(dir))
-        .map(|&h| g.half_edge_peer(h))
+    g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(dir)).map(|&h| g.half_edge_peer(h))
 }
 
 /// Attempts to build a chain proof starting at `u`: succeeds exactly when
@@ -177,9 +171,7 @@ pub fn check_chain_proof(
         match step(g, input, from, *dir) {
             Some(w) if w == to => {}
             Some(w) => {
-                return Err(format!(
-                    "chain step {k} ({dir}) reaches {w:?}, proof says {to:?}"
-                ));
+                return Err(format!("chain step {k} ({dir}) reaches {w:?}, proof says {to:?}"));
             }
             None => return Err(format!("chain step {k} ({dir}) has no edge")),
         }
@@ -211,10 +203,7 @@ mod tests {
         let b = build_gadget(&GadgetSpec::uniform(2, 3));
         // Make two neighbors of the center share a color.
         let n: Vec<_> = b.graph.neighbors(b.center).map(|(w, _)| w).collect();
-        let (g, input) = apply(
-            &b,
-            &Corruption::CopyColor { from: n[0].0, to: n[1].0 },
-        );
+        let (g, input) = apply(&b, &Corruption::CopyColor { from: n[0].0, to: n[1].0 });
         let proof = find_color_proof(&g, &input, b.center).expect("duplicate visible");
         check_color_proof(&g, &input, &proof).expect("proof verifies");
         assert_eq!(proof.color, input.node(n[0]).color().unwrap());
@@ -229,12 +218,7 @@ mod tests {
         };
         let (g, input) = apply(
             &b,
-            &Corruption::AddEdge {
-                a: e0_a.0,
-                b: e0_b.0,
-                dir_a: Dir::Right,
-                dir_b: Dir::Left,
-            },
+            &Corruption::AddEdge { a: e0_a.0, b: e0_b.0, dir_a: Dir::Right, dir_b: Dir::Left },
         );
         let proof = find_color_proof(&g, &input, e0_a).expect("parallel edge repeats color");
         check_color_proof(&g, &input, &proof).expect("verifies");
@@ -244,14 +228,9 @@ mod tests {
     fn bogus_color_proof_rejected() {
         let b = build_gadget(&GadgetSpec::uniform(2, 3));
         let ports = b.graph.ports(b.center);
-        let bogus = ColorProof {
-            witness: b.center,
-            halves: [ports[0], ports[1]],
-            color: 999_999,
-        };
+        let bogus = ColorProof { witness: b.center, halves: [ports[0], ports[1]], color: 999_999 };
         assert!(check_color_proof(&b.graph, &b.input, &bogus).is_err());
-        let degenerate =
-            ColorProof { witness: b.center, halves: [ports[0], ports[0]], color: 0 };
+        let degenerate = ColorProof { witness: b.center, halves: [ports[0], ports[0]], color: 0 };
         assert!(check_color_proof(&b.graph, &b.input, &degenerate).is_err());
     }
 
@@ -284,14 +263,10 @@ mod tests {
             }
         }
         let e = candidate.expect("gadget has Left halves");
-        let (g, input) = apply(
-            &b,
-            &Corruption::RelabelHalf { edge: e.0, side: Side::A, dir: Dir::Parent },
-        );
+        let (g, input) =
+            apply(&b, &Corruption::RelabelHalf { edge: e.0, side: Side::A, dir: Dir::Parent });
         // Some node's 2d walk now goes astray; find and verify a proof.
-        let found = g
-            .nodes()
-            .find_map(|v| find_chain_proof(&g, &input, v));
+        let found = g.nodes().find_map(|v| find_chain_proof(&g, &input, v));
         if let Some(proof) = found {
             check_chain_proof(&g, &input, &proof).expect("proof verifies");
         }

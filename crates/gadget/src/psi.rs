@@ -66,10 +66,7 @@ pub struct PsiViolation {
 
 /// Follows the unique `dir`-labeled half-edge out of `v` (input labels).
 fn step(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId, dir: Dir) -> Option<NodeId> {
-    g.ports(v)
-        .iter()
-        .find(|&&h| input.half(h).dir() == Some(dir))
-        .map(|&h| g.half_edge_peer(h))
+    g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(dir)).map(|&h| g.half_edge_peer(h))
 }
 
 /// Checks a `Ψ` output labeling against the constraints of Section 4.4.
@@ -125,20 +122,14 @@ pub fn check_psi(
             // 3a: Right → u(Right) ∈ {Error, →Right}.
             Dir::Right => match step(g, input, v, Dir::Right) {
                 Some(w)
-                    if matches!(
-                        out_of(w),
-                        PsiOutput::Error | PsiOutput::Pointer(Dir::Right)
-                    ) => {}
+                    if matches!(out_of(w), PsiOutput::Error | PsiOutput::Pointer(Dir::Right)) => {}
                 Some(w) => push(v, format!("3a: →Right points at {}", out_of(w))),
                 None => push(v, "3a: →Right with no Right edge".into()),
             },
             // 3b: Left → u(Left) ∈ {Error, →Left}.
             Dir::Left => match step(g, input, v, Dir::Left) {
                 Some(w)
-                    if matches!(
-                        out_of(w),
-                        PsiOutput::Error | PsiOutput::Pointer(Dir::Left)
-                    ) => {}
+                    if matches!(out_of(w), PsiOutput::Error | PsiOutput::Pointer(Dir::Left)) => {}
                 Some(w) => push(v, format!("3b: →Left points at {}", out_of(w))),
                 None => push(v, "3b: →Left with no Left edge".into()),
             },
@@ -148,9 +139,7 @@ pub fn check_psi(
                     if matches!(
                         out_of(w),
                         PsiOutput::Error
-                            | PsiOutput::Pointer(
-                                Dir::Parent | Dir::Left | Dir::Right | Dir::Up
-                            )
+                            | PsiOutput::Pointer(Dir::Parent | Dir::Left | Dir::Right | Dir::Up)
                     ) => {}
                 Some(w) => push(v, format!("3c: →Parent points at {}", out_of(w))),
                 None => push(v, "3c: →Parent with no Parent edge".into()),
@@ -160,8 +149,7 @@ pub fn check_psi(
                 Some(w)
                     if matches!(
                         out_of(w),
-                        PsiOutput::Error
-                            | PsiOutput::Pointer(Dir::RChild | Dir::Right | Dir::Left)
+                        PsiOutput::Error | PsiOutput::Pointer(Dir::RChild | Dir::Right | Dir::Left)
                     ) => {}
                 Some(w) => push(v, format!("3d: →RChild points at {}", out_of(w))),
                 None => push(v, "3d: →RChild with no RChild edge".into()),
@@ -184,10 +172,7 @@ pub fn check_psi(
             // 3f: Down_i → u(Down_i) ∈ {Error, →RChild}.
             Dir::Down(i) => match step(g, input, v, Dir::Down(i)) {
                 Some(w)
-                    if matches!(
-                        out_of(w),
-                        PsiOutput::Error | PsiOutput::Pointer(Dir::RChild)
-                    ) => {}
+                    if matches!(out_of(w), PsiOutput::Error | PsiOutput::Pointer(Dir::RChild)) => {}
                 Some(w) => push(v, format!("3f: →Down{i} points at {}", out_of(w))),
                 None => push(v, format!("3f: →Down{i} with no Down{i} edge")),
             },

@@ -21,10 +21,7 @@ pub fn render_gadget(b: &BuiltGadget) -> String {
     let g = &b.graph;
     let input = &b.input;
     let step = |v: NodeId, d: Dir| -> Option<NodeId> {
-        g.ports(v)
-            .iter()
-            .find(|&&h| input.half(h).dir() == Some(d))
-            .map(|&h| g.half_edge_peer(h))
+        g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(d)).map(|&h| g.half_edge_peer(h))
     };
 
     let mut out = String::new();
@@ -39,11 +36,14 @@ pub fn render_gadget(b: &BuiltGadget) -> String {
             let mut line = String::new();
             let mut cur = Some(start);
             while let Some(v) = cur {
-                let port = matches!(
-                    input.node(v).kind(),
-                    Some(NodeKind::Tree { port: true, .. })
+                let port = matches!(input.node(v).kind(), Some(NodeKind::Tree { port: true, .. }));
+                let _ = write!(
+                    line,
+                    "{}{:?}{} ",
+                    if line.is_empty() { "" } else { "– " },
+                    v,
+                    if port { "[P]" } else { "" }
                 );
-                let _ = write!(line, "{}{:?}{} ", if line.is_empty() { "" } else { "– " }, v, if port { "[P]" } else { "" });
                 cur = step(v, Dir::Right);
             }
             let _ = writeln!(out, "   {}ℓ{depth}: {line}", "  ".repeat(depth));

@@ -53,10 +53,7 @@ pub fn gather_bound(known_n: usize) -> u32 {
 }
 
 fn step(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId, dir: Dir) -> Option<NodeId> {
-    g.ports(v)
-        .iter()
-        .find(|&&h| input.half(h).dir() == Some(dir))
-        .map(|&h| g.half_edge_peer(h))
+    g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(dir)).map(|&h| g.half_edge_peer(h))
 }
 
 /// Reusable visit-stamp buffer: avoids an `O(n)` allocation per chain walk
@@ -207,8 +204,7 @@ pub fn run_verifier(
         } else {
             let anchor = comp.nodes[0];
             let d = lcl_graph::bfs_distances(g, anchor);
-            let ecc_anchor =
-                comp.nodes.iter().filter_map(|w| d[w.index()]).max().unwrap_or(0);
+            let ecc_anchor = comp.nodes.iter().filter_map(|w| d[w.index()]).max().unwrap_or(0);
             for &v in &comp.nodes {
                 let bound = d[v.index()].unwrap_or(0) + ecc_anchor;
                 radii[v.index()] = r_bound.min(bound);
@@ -236,10 +232,7 @@ fn decide(
     if err[v.index()] {
         return PsiOutput::Error;
     }
-    let is_center = matches!(
-        input.node(v).kind(),
-        Some(crate::labels::NodeKind::Center)
-    );
+    let is_center = matches!(input.node(v).kind(), Some(crate::labels::NodeKind::Center));
     if is_center {
         // Rule 6: smallest Down_i whose probe hits an error.
         let mut indices: Vec<u8> = g
@@ -325,10 +318,8 @@ mod tests {
         let b = build_gadget(&GadgetSpec::uniform(3, 4));
         let mut input = b.input.clone();
         let p = b.ports[1];
-        if let GadgetIn::Node {
-            kind: crate::labels::NodeKind::Tree { index, .. },
-            color,
-        } = *input.node(p)
+        if let GadgetIn::Node { kind: crate::labels::NodeKind::Tree { index, .. }, color } =
+            *input.node(p)
         {
             *input.node_mut(p) = GadgetIn::Node {
                 kind: crate::labels::NodeKind::Tree { index, port: false },

@@ -3,8 +3,8 @@
 
 use lcl_core::Labeling;
 use lcl_gadget::{
-    build_gadget, check_psi, corrupt, GadgetFamily, GadgetIn, GadgetSpec,
-    LogGadgetFamily, PsiOutput,
+    build_gadget, check_psi, corrupt, GadgetFamily, GadgetIn, GadgetSpec, LogGadgetFamily,
+    PsiOutput,
 };
 use lcl_graph::Graph;
 
@@ -61,8 +61,7 @@ fn components_are_judged_independently() {
         assert_eq!(out.output[v], PsiOutput::Ok, "valid component stays Ok");
     }
     assert!(
-        (good.graph.node_count()..g.node_count())
-            .any(|v| out.output[v].is_error_label()),
+        (good.graph.node_count()..g.node_count()).any(|v| out.output[v].is_error_label()),
         "corrupted component must carry error labels"
     );
     assert!(check_psi(&g, &input, &out.output, 2).is_empty());

@@ -11,13 +11,9 @@ fn bench_primitives(c: &mut Criterion) {
     for &n in &[1024usize, 8192] {
         let g = gen::random_regular(n, 3, 1).expect("generable");
         for &r in &[4u32, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("ball-r{r}"), n),
-                &g,
-                |b, g| {
-                    b.iter(|| Ball::extract(g, NodeId(0), r));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("ball-r{r}"), n), &g, |b, g| {
+                b.iter(|| Ball::extract(g, NodeId(0), r));
+            });
         }
         let s = CycleSearch::default();
         group.bench_with_input(BenchmarkId::new("girth-capped-25", n), &g, |b, g| {

@@ -52,7 +52,9 @@ impl CanonicalCycle {
         assert_eq!(nodes.len(), edges.len(), "cycle must have equal node/edge counts");
         assert!(!nodes.is_empty(), "cycle must be nonempty");
         let len = nodes.len();
-        let mut best: Option<(Vec<u64>, Vec<u64>, Vec<NodeId>, Vec<EdgeId>)> = None;
+        // (node keys, edge keys, nodes, edges) of the best rotation so far.
+        type Rotation = (Vec<u64>, Vec<u64>, Vec<NodeId>, Vec<EdgeId>);
+        let mut best: Option<Rotation> = None;
         // All rotations in both directions.
         for start in 0..len {
             for &dir in &[1isize, -1] {
@@ -74,7 +76,9 @@ impl CanonicalCycle {
                 let nk: Vec<u64> = ns.iter().map(|v| node_key[v.index()]).collect();
                 let ek: Vec<u64> = es.iter().map(|e| edge_key[e.index()]).collect();
                 let cand = (nk, ek, ns, es);
-                if best.as_ref().map_or(true, |b| (cand.0.as_slice(), cand.1.as_slice()) < (b.0.as_slice(), b.1.as_slice())) {
+                if best.as_ref().is_none_or(|b| {
+                    (cand.0.as_slice(), cand.1.as_slice()) < (b.0.as_slice(), b.1.as_slice())
+                }) {
                     best = Some(cand);
                 }
             }
@@ -186,12 +190,7 @@ impl CycleSearch {
     /// sinkless-orientation rule uses ("is `γ(e) ≤ L`?") without paying for
     /// a full-graph search.
     #[must_use]
-    pub fn shortest_len_through_edge_capped(
-        &self,
-        g: &Graph,
-        e: EdgeId,
-        cap: u32,
-    ) -> Option<u32> {
+    pub fn shortest_len_through_edge_capped(&self, g: &Graph, e: EdgeId, cap: u32) -> Option<u32> {
         let [u, v] = g.endpoints(e);
         if u == v {
             return (cap >= 1).then_some(1);
@@ -206,10 +205,7 @@ impl CycleSearch {
     /// Length of a shortest cycle through node `v`.
     #[must_use]
     pub fn shortest_len_through_node(&self, g: &Graph, v: NodeId) -> Option<u32> {
-        g.ports(v)
-            .iter()
-            .filter_map(|h| self.shortest_len_through_edge(g, h.edge))
-            .min()
+        g.ports(v).iter().filter_map(|h| self.shortest_len_through_edge(g, h.edge)).min()
     }
 
     /// The canonically smallest cycle among the shortest cycles through `e`
@@ -230,7 +226,8 @@ impl CycleSearch {
         if u == v {
             return Some(CanonicalCycle::from_closed_walk(&[u], &[e], node_key, edge_key));
         }
-        let target_len = dist_avoiding_edge(g, u, v, e)?; // path length u..v
+        // Shortest u..v path length in G - e.
+        let target_len = dist_avoiding_edge(g, u, v, e)?;
         // BFS from v avoiding e: dist_v[x] = dist(x, v) in G - e. Nodes
         // farther than the shortest path cannot lie on a shortest cycle, so
         // the search is capped.
@@ -254,7 +251,7 @@ impl CycleSearch {
                 // Reject non-simple cycles (repeated nodes): BFS-DAG paths
                 // are automatically simple because dist strictly decreases.
                 let c = CanonicalCycle::from_closed_walk(&pnodes, &edges, node_key, edge_key);
-                if best.as_ref().map_or(true, |b| c < *b) {
+                if best.as_ref().is_none_or(|b| c < *b) {
                     best = Some(c);
                 }
                 produced += 1;
@@ -282,12 +279,7 @@ impl CycleSearch {
     }
 }
 
-fn bfs_avoiding_edge_capped(
-    g: &Graph,
-    source: NodeId,
-    skip: EdgeId,
-    cap: u32,
-) -> Vec<Option<u32>> {
+fn bfs_avoiding_edge_capped(g: &Graph, source: NodeId, skip: EdgeId, cap: u32) -> Vec<Option<u32>> {
     let mut dist = vec![None; g.node_count()];
     let mut queue = VecDeque::new();
     dist[source.index()] = Some(0u32);
@@ -323,10 +315,7 @@ mod tests {
     use crate::gen;
 
     fn identity_keys(g: &Graph) -> (Vec<u64>, Vec<u64>) {
-        (
-            g.nodes().map(|v| v.0 as u64).collect(),
-            g.edges().map(|e| e.0 as u64).collect(),
-        )
+        (g.nodes().map(|v| v.0 as u64).collect(), g.edges().map(|e| e.0 as u64).collect())
     }
 
     #[test]
@@ -350,10 +339,8 @@ mod tests {
         let g = gen::cycle(5);
         let (nk, ek) = identity_keys(&g);
         let search = CycleSearch::default();
-        let cycles: Vec<_> = g
-            .edges()
-            .map(|e| search.min_cycle_through_edge(&g, e, &nk, &ek).unwrap())
-            .collect();
+        let cycles: Vec<_> =
+            g.edges().map(|e| search.min_cycle_through_edge(&g, e, &nk, &ek).unwrap()).collect();
         for c in &cycles {
             assert_eq!(c, &cycles[0], "all edges of C5 share the canonical cycle");
         }
@@ -388,11 +375,8 @@ mod tests {
                 .filter_map(|h| search.min_cycle_through_edge(&g, h.edge, &nk, &ek))
                 .min()
                 .unwrap();
-            let incident_on_best: Vec<_> = g
-                .ports(v)
-                .iter()
-                .filter(|h| best.contains_edge(h.edge))
-                .collect();
+            let incident_on_best: Vec<_> =
+                g.ports(v).iter().filter(|h| best.contains_edge(h.edge)).collect();
             assert_eq!(incident_on_best.len(), 2, "node {v:?} has two cycle edges");
             for h in incident_on_best {
                 let fc = search.min_cycle_through_edge(&g, h.edge, &nk, &ek).unwrap();
@@ -458,12 +442,8 @@ mod tests {
         let mut g = gen::cycle(3);
         let off = g.append(&gen::cycle(4));
         let (nk, ek) = identity_keys(&g);
-        let tri = CycleSearch::default()
-            .min_cycle_through_edge(&g, EdgeId(0), &nk, &ek)
-            .unwrap();
-        let quad = CycleSearch::default()
-            .min_cycle_through_edge(&g, EdgeId(3), &nk, &ek)
-            .unwrap();
+        let tri = CycleSearch::default().min_cycle_through_edge(&g, EdgeId(0), &nk, &ek).unwrap();
+        let quad = CycleSearch::default().min_cycle_through_edge(&g, EdgeId(3), &nk, &ek).unwrap();
         assert!(tri < quad);
         let _ = off;
     }

@@ -19,7 +19,7 @@ pub fn girth(g: &Graph) -> Option<u32> {
         // through e.
         if let Some(d) = dist_avoiding_edge(g, u, v, e) {
             let c = d + 1;
-            if best.map_or(true, |b| c < b) {
+            if best.is_none_or(|b| c < b) {
                 best = Some(c);
                 if c == 2 {
                     // Only a self-loop beats this, and we bail on those above

@@ -1,8 +1,8 @@
 //! Property-based tests for the graph substrate's core invariants.
 
 use lcl_graph::{
-    bfs_distances, connected_components, distance_k_coloring, gen, girth,
-    is_distance_k_coloring, Ball, CanonicalCycle, CycleSearch, EdgeId, Graph, NodeId,
+    bfs_distances, connected_components, distance_k_coloring, gen, girth, is_distance_k_coloring,
+    Ball, CanonicalCycle, CycleSearch, EdgeId, Graph, NodeId,
 };
 use proptest::prelude::*;
 
@@ -89,7 +89,7 @@ proptest! {
         }
         // Completeness: every node within distance r is in the ball.
         let in_ball = (0..g.node_count())
-            .filter(|&i| global[i].map_or(false, |d| d <= r))
+            .filter(|&i| global[i].is_some_and(|d| d <= r))
             .count();
         prop_assert_eq!(in_ball, ball.len());
     }

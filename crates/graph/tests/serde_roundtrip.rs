@@ -35,8 +35,7 @@ fn empty_and_loopy_graphs_roundtrip() {
         g.add_edge(v, v);
         g
     }] {
-        let back: Graph =
-            serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        let back: Graph = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
         assert_eq!(g, back);
     }
 }

@@ -40,12 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
 mod network;
 mod rounds;
 mod trace;
 mod views;
 
+pub use exec::{NodeExecutor, Sequential};
 pub use network::{IdAssignment, Network};
-pub use rounds::{run_rounds, NodeCtx, RoundAlgorithm, RoundOutcome};
+pub use rounds::{run_rounds, run_rounds_with, NodeCtx, RoundAlgorithm, RoundOutcome};
 pub use trace::{LocalityTrace, RoundTrace};
-pub use views::{run_views, run_views_capped, Decision, View, ViewAlgorithm, ViewCtx, ViewOutcome};
+pub use views::{
+    run_views, run_views_capped, run_views_capped_with, run_views_with, Decision, View,
+    ViewAlgorithm, ViewCtx, ViewOutcome,
+};

@@ -51,7 +51,7 @@ impl Network {
                 ids
             }
             IdAssignment::SparseShuffled { seed } => {
-                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_1D5);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x05EE_D1D5);
                 let bound = (n as u64).saturating_mul(n as u64).max(1);
                 let mut chosen = std::collections::HashSet::with_capacity(n);
                 let mut ids = Vec::with_capacity(n);
@@ -170,7 +170,7 @@ mod tests {
     fn sparse_ids_fit_poly_bound_and_are_unique() {
         let net = Network::new(gen::cycle(12), IdAssignment::SparseShuffled { seed: 2 });
         let mut ids = net.ids().to_vec();
-        assert!(ids.iter().all(|&x| x >= 1 && x <= 144));
+        assert!(ids.iter().all(|&x| (1..=144).contains(&x)));
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 12);
@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn with_known_n_overrides() {
-        let net =
-            Network::new(gen::path(3), IdAssignment::Sequential).with_known_n(10);
+        let net = Network::new(gen::path(3), IdAssignment::Sequential).with_known_n(10);
         assert_eq!(net.known_n(), 10);
         assert_eq!(net.len(), 3);
         assert!(!net.is_empty());

@@ -1,5 +1,6 @@
 //! The round engine: explicit synchronous message passing.
 
+use crate::exec::NodeExecutor;
 use crate::network::Network;
 use crate::trace::RoundTrace;
 use crate::views::rand_word;
@@ -112,29 +113,14 @@ pub fn run_rounds<A: RoundAlgorithm>(
         .nodes()
         .map(|v| ChaCha8Rng::seed_from_u64(rand_word(seed, net.id_of(v), 0x0C0D_E5EED)))
         .collect();
-    let mut states: Vec<A::State> = (0..n)
-        .map(|i| alg.init(&ctxs[i], &mut rngs[i]))
-        .collect();
+    let mut states: Vec<A::State> = (0..n).map(|i| alg.init(&ctxs[i], &mut rngs[i])).collect();
 
     let mut rounds = 0;
     let mut completed = all_decided(alg, &states, &ctxs);
     while !completed && rounds < max_rounds {
-        // Collect outgoing messages: per node, per port.
-        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
-        for v in g.nodes() {
-            for (port, msg) in alg.send(&states[v.index()], &ctxs[v.index()]) {
-                let h = g
-                    .half_edge_at_port(v, port)
-                    .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
-                let peer_half = h.opposite();
-                let w = g.half_edge_node(peer_half);
-                let peer_port = g.port_of(peer_half);
-                inboxes[w.index()].push((peer_port, msg));
-            }
-        }
-        for inbox in &mut inboxes {
-            inbox.sort_by_key(|(p, _)| *p);
-        }
+        let outgoing: Vec<Vec<(usize, A::Msg)>> =
+            (0..n).map(|i| alg.send(&states[i], &ctxs[i])).collect();
+        let inboxes = route_messages(g, outgoing);
         for v in g.nodes() {
             alg.receive(
                 &mut states[v.index()],
@@ -147,12 +133,94 @@ pub fn run_rounds<A: RoundAlgorithm>(
         completed = all_decided(alg, &states, &ctxs);
     }
 
-    let outputs = states
-        .iter()
-        .zip(&ctxs)
-        .map(|(s, c)| alg.output(s, c))
-        .collect();
+    let outputs = states.iter().zip(&ctxs).map(|(s, c)| alg.output(s, c)).collect();
     RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
+}
+
+/// [`run_rounds`] with a pluggable [`NodeExecutor`].
+///
+/// The `send`, `receive`, and decided-check steps of every round fan out
+/// across the executor; message routing stays sequential (it is a cheap
+/// permutation, and keeping it ordered guarantees inboxes identical to the
+/// sequential engine). Node RNG streams are per-node, so outcomes are
+/// bit-identical to [`run_rounds`] under **any** executor.
+pub fn run_rounds_with<A, X>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+    exec: &X,
+) -> RoundOutcome<A::Output>
+where
+    A: RoundAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: Clone + Send,
+    X: NodeExecutor,
+{
+    let g = net.graph();
+    let n = g.node_count();
+    let ctxs: Vec<NodeCtx> = g
+        .nodes()
+        .map(|v| NodeCtx {
+            id: net.id_of(v),
+            degree: g.degree(v),
+            known_n: net.known_n(),
+            max_degree: net.max_degree(),
+        })
+        .collect();
+    // Per-node state and RNG live side by side so one executor pass can
+    // mutate both.
+    let mut cells: Vec<(A::State, ChaCha8Rng)> = exec.map_nodes(n, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(rand_word(seed, ctxs[i].id, 0x0C0D_E5EED));
+        let state = alg.init(&ctxs[i], &mut rng);
+        (state, rng)
+    });
+
+    let decided = |cells: &[(A::State, ChaCha8Rng)]| {
+        exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]).is_some()).into_iter().all(|d| d)
+    };
+
+    let mut rounds = 0;
+    let mut completed = decided(&cells);
+    while !completed && rounds < max_rounds {
+        let outgoing: Vec<Vec<(usize, A::Msg)>> =
+            exec.map_nodes(n, |i| alg.send(&cells[i].0, &ctxs[i]));
+        let inboxes = route_messages(g, outgoing);
+        exec.update_nodes(&mut cells, |i, (state, rng)| {
+            alg.receive(state, &ctxs[i], &inboxes[i], rng);
+        });
+        rounds += 1;
+        completed = decided(&cells);
+    }
+
+    let outputs = exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]));
+    RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
+}
+
+/// Delivers each node's outgoing `(port, message)` list: a message sent on
+/// port `p` of `v` arrives at the peer's port for the same edge. Inboxes
+/// come back sorted by receiving port (stable, so parallel-engine inboxes
+/// match the sequential engine's exactly).
+fn route_messages<M>(g: &lcl_graph::Graph, outgoing: Vec<Vec<(usize, M)>>) -> Vec<Vec<(usize, M)>> {
+    let mut inboxes: Vec<Vec<(usize, M)>> = Vec::new();
+    inboxes.resize_with(g.node_count(), Vec::new);
+    for (i, msgs) in outgoing.into_iter().enumerate() {
+        let v = lcl_graph::NodeId(i as u32);
+        for (port, msg) in msgs {
+            let h = g
+                .half_edge_at_port(v, port)
+                .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
+            let peer_half = h.opposite();
+            let w = g.half_edge_node(peer_half);
+            let peer_port = g.port_of(peer_half);
+            inboxes[w.index()].push((peer_port, msg));
+        }
+    }
+    for inbox in &mut inboxes {
+        inbox.sort_by_key(|(p, _)| *p);
+    }
+    inboxes
 }
 
 fn all_decided<A: RoundAlgorithm>(alg: &A, states: &[A::State], ctxs: &[NodeCtx]) -> bool {
@@ -298,7 +366,8 @@ mod tests {
             fn send(&self, _s: &u64, _c: &NodeCtx) -> Vec<(usize, ())> {
                 Vec::new()
             }
-            fn receive(&self, _s: &mut u64, _c: &NodeCtx, _i: &[(usize, ())], _r: &mut ChaCha8Rng) {}
+            fn receive(&self, _s: &mut u64, _c: &NodeCtx, _i: &[(usize, ())], _r: &mut ChaCha8Rng) {
+            }
             fn output(&self, s: &u64, _c: &NodeCtx) -> Option<u64> {
                 Some(*s)
             }

@@ -1,5 +1,6 @@
 //! The view engine: adaptive radius-`r` ball algorithms.
 
+use crate::exec::NodeExecutor;
 use crate::network::Network;
 use crate::trace::LocalityTrace;
 use lcl_graph::{Ball, EdgeId, Graph, NodeId};
@@ -21,8 +22,7 @@ pub struct View {
 impl View {
     fn extract(net: &Network, center: NodeId, r: u32, seed: u64) -> View {
         let ball = Ball::extract(net.graph(), center, r);
-        let ids =
-            (0..ball.len()).map(|i| net.id_of(ball.to_host_node(NodeId(i as u32)))).collect();
+        let ids = (0..ball.len()).map(|i| net.id_of(ball.to_host_node(NodeId(i as u32)))).collect();
         let entire_component = ball.is_entire_component(net.graph());
         View { ball, ids, seed, entire_component }
     }
@@ -219,42 +219,93 @@ pub fn run_views_capped<A: ViewAlgorithm>(
     let mut outputs: Vec<Option<A::Output>> = Vec::with_capacity(net.len());
     let mut radii = Vec::with_capacity(net.len());
     for v in net.graph().nodes() {
-        let mut r = alg.initial_radius(&ctx).min(cap);
-        let (out, used) = loop {
-            let view = View::extract(net, v, r, seed);
-            let saturated = view.saturated();
-            match alg.decide(&view, &ctx) {
-                Decision::Output(o) => {
-                    // If the ball saturated early, the node only ever needed
-                    // enough radius to see its whole component.
-                    let effective = if saturated {
-                        let max_dist = (0..view.ball.len() as u32)
-                            .map(|i| view.ball.dist_from_center(NodeId(i)))
-                            .max()
-                            .unwrap_or(0);
-                        r.min(max_dist)
-                    } else {
-                        r
-                    };
-                    break (Some(o), effective);
-                }
-                Decision::Extend(r2) => {
-                    assert!(r2 > r, "Extend must strictly increase the radius");
-                    if r2 > cap {
-                        break (None, r);
-                    }
-                    assert!(
-                        r2 <= net.len() as u32 + 1,
-                        "algorithm did not terminate within radius n+1"
-                    );
-                    r = r2;
-                }
-            }
-        };
+        let (out, used) = decide_one(net, alg, &ctx, v, seed, cap);
         outputs.push(out);
         radii.push(used);
     }
     ViewOutcome { outputs, trace: LocalityTrace::new(radii) }
+}
+
+/// [`run_views`] with a pluggable [`NodeExecutor`].
+///
+/// Per-node decisions are independent (each node reads only its own views
+/// and the shared per-`(seed, id)` tapes), so **any** executor produces
+/// output and trace bit-identical to [`run_views`] on the same inputs.
+pub fn run_views_with<A, X>(net: &Network, alg: &A, seed: u64, exec: &X) -> ViewOutcome<A::Output>
+where
+    A: ViewAlgorithm + Sync,
+    A::Output: Send,
+    X: NodeExecutor,
+{
+    run_views_capped_with(net, alg, seed, net.len() as u32 + 1, exec)
+}
+
+/// [`run_views_capped`] with a pluggable [`NodeExecutor`].
+pub fn run_views_capped_with<A, X>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    cap: u32,
+    exec: &X,
+) -> ViewOutcome<A::Output>
+where
+    A: ViewAlgorithm + Sync,
+    A::Output: Send,
+    X: NodeExecutor,
+{
+    let ctx = ViewCtx { known_n: net.known_n(), max_degree: net.max_degree(), seed };
+    let per_node =
+        exec.map_nodes(net.len(), |i| decide_one(net, alg, &ctx, NodeId(i as u32), seed, cap));
+    let mut outputs = Vec::with_capacity(per_node.len());
+    let mut radii = Vec::with_capacity(per_node.len());
+    for (out, used) in per_node {
+        outputs.push(out);
+        radii.push(used);
+    }
+    ViewOutcome { outputs, trace: LocalityTrace::new(radii) }
+}
+
+/// Runs one node's adaptive view loop: gather, decide, extend.
+fn decide_one<A: ViewAlgorithm>(
+    net: &Network,
+    alg: &A,
+    ctx: &ViewCtx,
+    v: NodeId,
+    seed: u64,
+    cap: u32,
+) -> (Option<A::Output>, u32) {
+    let mut r = alg.initial_radius(ctx).min(cap);
+    loop {
+        let view = View::extract(net, v, r, seed);
+        let saturated = view.saturated();
+        match alg.decide(&view, ctx) {
+            Decision::Output(o) => {
+                // If the ball saturated early, the node only ever needed
+                // enough radius to see its whole component.
+                let effective = if saturated {
+                    let max_dist = (0..view.ball.len() as u32)
+                        .map(|i| view.ball.dist_from_center(NodeId(i)))
+                        .max()
+                        .unwrap_or(0);
+                    r.min(max_dist)
+                } else {
+                    r
+                };
+                return (Some(o), effective);
+            }
+            Decision::Extend(r2) => {
+                assert!(r2 > r, "Extend must strictly increase the radius");
+                if r2 > cap {
+                    return (None, r);
+                }
+                assert!(
+                    r2 <= net.len() as u32 + 1,
+                    "algorithm did not terminate within radius n+1"
+                );
+                r = r2;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,11 +389,8 @@ mod tests {
     impl ViewAlgorithm for NeighborTape {
         type Output = Vec<u64>;
         fn decide(&self, view: &View, _ctx: &ViewCtx) -> Decision<Vec<u64>> {
-            let mut words: Vec<(u64, u64)> = view
-                .graph()
-                .nodes()
-                .map(|v| (view.id(v), view.rand_word(v, 0)))
-                .collect();
+            let mut words: Vec<(u64, u64)> =
+                view.graph().nodes().map(|v| (view.id(v), view.rand_word(v, 0))).collect();
             words.sort_unstable();
             Decision::Output(words.into_iter().map(|(_, w)| w).collect())
         }

@@ -38,7 +38,7 @@ pub fn hard_pi2_instance(n_target: usize, delta: usize, seed: u64) -> PaddedInst
     assert!(n_target >= 64, "hard instances need n ≥ 64");
     assert!(delta >= 3, "sinkless orientation needs Δ ≥ 3");
     let mut base_size = balance(n_target).max(4);
-    if base_size * 3 % 2 != 0 {
+    if !(base_size * 3).is_multiple_of(2) {
         base_size += 1; // 3-regularity needs even n·d
     }
     let base = gen::random_regular(base_size, 3, seed).expect("3-regular base generable");
@@ -93,7 +93,7 @@ pub fn corrupt_gadgets<I: Clone + std::fmt::Debug>(
             .graph
             .nodes()
             .filter(|v| inst.gadget_of[v.index()] == b)
-            .flat_map(|v| inst.graph.ports(v).iter().copied().collect::<Vec<_>>())
+            .flat_map(|v| inst.graph.ports(v).to_vec())
             .filter(|h| !inst.input.edge(h.edge).port_edge)
             .collect();
         let h = halves[rng.gen_range(0..halves.len())];

@@ -35,4 +35,4 @@ pub mod solver;
 pub use lifted::{check_padded, PadIn, PadOut, PaddedProblem, PortFlag, SigmaList};
 pub use padded::{pad_graph, PaddedInstance};
 pub use problem::{InnerProblem, PiAlgorithm, PiRun, SinklessInner};
-pub use solver::{PaddedAlgorithm, PadStats};
+pub use solver::{PadStats, PaddedAlgorithm};

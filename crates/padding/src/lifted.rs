@@ -79,11 +79,7 @@ impl<I: Clone, O: Clone> SigmaList<I, O> {
     /// `k`-th member of `S` (monotone).
     #[must_use]
     pub fn alpha(&self) -> Vec<usize> {
-        self.s
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| m.then_some(i))
-            .collect()
+        self.s.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
     }
 }
 
@@ -233,10 +229,7 @@ pub(crate) fn gadget_components<I: Clone + std::fmt::Debug>(
                                 h.edge,
                                 format!("input: half carries gadget label {other:?}"),
                             ));
-                            GadgetIn::Half {
-                                dir: lcl_gadget::Dir::Up,
-                                color: u32::MAX - h.edge.0,
-                            }
+                            GadgetIn::Half { dir: lcl_gadget::Dir::Up, color: u32::MAX - h.edge.0 }
                         }
                     };
                 }
@@ -303,24 +296,22 @@ pub fn check_padded<P: InnerProblem>(
     // placeholder on GadEdges and their halves.
     for e in g.edges() {
         let want_eps = input.edge(e).port_edge;
-        let ok_edge = matches!(
-            (want_eps, output.edge(e)),
-            (true, PadOut::Eps) | (false, PadOut::GadPad)
-        );
+        let ok_edge =
+            matches!((want_eps, output.edge(e)), (true, PadOut::Eps) | (false, PadOut::GadPad));
         if !ok_edge {
             violations.push(Violation::Edge(
                 e,
-                format!("1: edge output {:?} mismatches its {} tag",
+                format!(
+                    "1: edge output {:?} mismatches its {} tag",
                     output.edge(e),
-                    if want_eps { "PortEdge" } else { "GadEdge" }),
+                    if want_eps { "PortEdge" } else { "GadEdge" }
+                ),
             ));
         }
         for side in [Side::A, Side::B] {
             let h = HalfEdge::new(e, side);
-            let ok_half = matches!(
-                (want_eps, output.half(h)),
-                (true, PadOut::Eps) | (false, PadOut::GadPad)
-            );
+            let ok_half =
+                matches!((want_eps, output.half(h)), (true, PadOut::Eps) | (false, PadOut::GadPad));
             if !ok_half {
                 violations.push(Violation::Edge(e, "1: half-edge output mismatch".into()));
             }
@@ -368,29 +359,18 @@ pub fn check_padded<P: InnerProblem>(
         let (pu, pv) = (input_port(input, u), input_port(input, v));
         let (ou, ov) = (&outs[u.index()], &outs[v.index()]);
         // 4(i): both ports, both GadOk ⇒ neither flag may be PortErr1.
-        if pu.is_some()
-            && pv.is_some()
-            && ou.psi == PsiOutput::Ok
-            && ov.psi == PsiOutput::Ok
-        {
+        if pu.is_some() && pv.is_some() && ou.psi == PsiOutput::Ok && ov.psi == PsiOutput::Ok {
             for (w, o) in [(u, ou), (v, ov)] {
                 if o.flag == PortFlag::PortErr1 {
-                    violations.push(Violation::Node(
-                        w,
-                        "4: PortErr1 on a good port pair".into(),
-                    ));
+                    violations.push(Violation::Node(w, "4: PortErr1 on a good port pair".into()));
                 }
             }
         }
         // 4(ii): a port whose edge touches NoPort or L_Err may not claim
         // NoPortErr.
-        for ((pw, w, ow), (px, ox)) in
-            [((pu, u, ou), (pv, ov)), ((pv, v, ov), (pu, ou))]
-        {
+        for ((pw, w, ow), (px, ox)) in [((pu, u, ou), (pv, ov)), ((pv, v, ov), (pu, ou))] {
             if pw.is_some()
-                && (px.is_none()
-                    || ow.psi.is_error_label()
-                    || ox.psi.is_error_label())
+                && (px.is_none() || ow.psi.is_error_label() || ox.psi.is_error_label())
                 && ow.flag == PortFlag::NoPortErr
             {
                 violations.push(Violation::Node(
@@ -455,17 +435,11 @@ pub fn check_padded<P: InnerProblem>(
         }
         // 5d: the hypothetical virtual node satisfies C_N^Π.
         let alpha = list.alpha();
-        let edges: Vec<(P::In, P::Out)> = alpha
-            .iter()
-            .map(|&k| (list.iota_e[k].clone(), list.o_e[k].clone()))
-            .collect();
-        let halves: Vec<(P::In, P::Out)> = alpha
-            .iter()
-            .map(|&k| (list.iota_b[k].clone(), list.o_b[k].clone()))
-            .collect();
-        if let Err(why) =
-            prob.inner.check_node_config(&list.iota_v, &list.o_v, &edges, &halves)
-        {
+        let edges: Vec<(P::In, P::Out)> =
+            alpha.iter().map(|&k| (list.iota_e[k].clone(), list.o_e[k].clone())).collect();
+        let halves: Vec<(P::In, P::Out)> =
+            alpha.iter().map(|&k| (list.iota_b[k].clone(), list.o_b[k].clone())).collect();
+        if let Err(why) = prob.inner.check_node_config(&list.iota_v, &list.o_v, &edges, &halves) {
             violations.push(Violation::Node(v, format!("5d (C_N^Π): {why}")));
         }
     }
@@ -480,10 +454,7 @@ pub fn check_padded<P: InnerProblem>(
         if !input.edge(e).port_edge {
             // 6 (GadEdge): the whole gadget agrees on Σ_list.
             if ou.list != ov.list {
-                violations.push(Violation::Edge(
-                    e,
-                    "6: Σ_list differs across a GadEdge".into(),
-                ));
+                violations.push(Violation::Edge(e, "6: Σ_list differs across a GadEdge".into()));
             }
             continue;
         }
@@ -584,9 +555,8 @@ impl<P: InnerProblem> InnerProblem for PaddedProblem<P> {
         if list.s.len() != delta || list.iota_e.len() != delta || list.o_e.len() != delta {
             return Err("5: Σ_list has wrong arity".into());
         }
-        if let Some(GadgetIn::Node {
-            kind: NodeKind::Tree { index, port: true }, ..
-        }) = node_in.gadget
+        if let Some(GadgetIn::Node { kind: NodeKind::Tree { index, port: true }, .. }) =
+            node_in.gadget
         {
             let i = usize::from(index) - 1;
             if list.s[i] != (o.flag == PortFlag::NoPortErr) {
@@ -609,14 +579,10 @@ impl<P: InnerProblem> InnerProblem for PaddedProblem<P> {
             }
         }
         let alpha = list.alpha();
-        let e_cfg: Vec<(P::In, P::Out)> = alpha
-            .iter()
-            .map(|&k| (list.iota_e[k].clone(), list.o_e[k].clone()))
-            .collect();
-        let h_cfg: Vec<(P::In, P::Out)> = alpha
-            .iter()
-            .map(|&k| (list.iota_b[k].clone(), list.o_b[k].clone()))
-            .collect();
+        let e_cfg: Vec<(P::In, P::Out)> =
+            alpha.iter().map(|&k| (list.iota_e[k].clone(), list.o_e[k].clone())).collect();
+        let h_cfg: Vec<(P::In, P::Out)> =
+            alpha.iter().map(|&k| (list.iota_b[k].clone(), list.o_b[k].clone())).collect();
         self.inner
             .check_node_config(&list.iota_v, &list.o_v, &e_cfg, &h_cfg)
             .map_err(|e| format!("5d: {e}"))
@@ -719,10 +685,9 @@ fn psi_pointer_compat<I>(
     halves_in: [&PadIn<I>; 2],
 ) -> Result<(), String> {
     use lcl_gadget::Dir;
-    for (me, my_half, other_psi, my_in) in [
-        (psi_u, halves_in[0], psi_v, nodes_in[0]),
-        (psi_v, halves_in[1], psi_u, nodes_in[1]),
-    ] {
+    for (me, my_half, other_psi, my_in) in
+        [(psi_u, halves_in[0], psi_v, nodes_in[0]), (psi_v, halves_in[1], psi_u, nodes_in[1])]
+    {
         let PsiOutput::Pointer(p) = me else { continue };
         let Some(my_dir) = my_half.gadget.and_then(|gi| gi.dir()) else { continue };
         if my_dir != p {
@@ -816,10 +781,7 @@ mod tests {
     fn pointer_compat_allows_legal_chains_and_rejects_illegal() {
         let tree_in = |index: u8| PadIn::<()> {
             pi: (),
-            gadget: Some(GadgetIn::Node {
-                kind: NodeKind::Tree { index, port: false },
-                color: 0,
-            }),
+            gadget: Some(GadgetIn::Node { kind: NodeKind::Tree { index, port: false }, color: 0 }),
             port_edge: false,
         };
         let half_in = |dir: Dir| PadIn::<()> {

@@ -137,41 +137,21 @@ pub fn pad_graph<I: Clone + std::fmt::Debug>(
         edge_pi
             .into_iter()
             .zip(edge_gadget.iter())
-            .map(|(pi, gadget)| PadIn {
-                pi,
-                gadget: *gadget,
-                port_edge: gadget.is_none(),
-            })
+            .map(|(pi, gadget)| PadIn { pi, gadget: *gadget, port_edge: gadget.is_none() })
             .collect(),
         half_pi
             .into_iter()
             .zip(half_gadget.iter())
             .map(|(pi, gadget)| {
                 [
-                    PadIn {
-                        pi: pi[0].clone(),
-                        gadget: gadget[0],
-                        port_edge: gadget[0].is_none(),
-                    },
-                    PadIn {
-                        pi: pi[1].clone(),
-                        gadget: gadget[1],
-                        port_edge: gadget[1].is_none(),
-                    },
+                    PadIn { pi: pi[0].clone(), gadget: gadget[0], port_edge: gadget[0].is_none() },
+                    PadIn { pi: pi[1].clone(), gadget: gadget[1], port_edge: gadget[1].is_none() },
                 ]
             })
             .collect(),
     );
 
-    PaddedInstance {
-        graph,
-        input,
-        base: base.clone(),
-        gadget_of,
-        centers,
-        ports,
-        port_edge_of,
-    }
+    PaddedInstance { graph, input, base: base.clone(), gadget_of, centers, ports, port_edge_of }
 }
 
 #[cfg(test)]
@@ -224,7 +204,7 @@ mod tests {
         let p = pad_graph(&base, &input, &fam, 50, ());
         let base_diam = lcl_graph::diameter(&base);
         let padded_diam = lcl_graph::diameter(&p.graph);
-        let d = fam.d(50) as u32;
+        let d = fam.d(50);
         assert!(
             padded_diam >= base_diam * (d / 2).max(1),
             "padded diameter {padded_diam} vs base {base_diam}, d = {d}"

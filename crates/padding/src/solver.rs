@@ -144,9 +144,7 @@ where
             if comp_valid[c] {
                 let v = vgraph.add_node();
                 vid_of_comp[c] = Some(v.0);
-                vids.push(
-                    comp.nodes.iter().map(|&w| net.id_of(w)).min().expect("nonempty gadget"),
-                );
+                vids.push(comp.nodes.iter().map(|&w| net.id_of(w)).min().expect("nonempty gadget"));
             }
         }
         // Virtual edge records: (host PortEdge, u-side port node, v-side
@@ -221,10 +219,8 @@ where
             self.inner_alg.solve(&vnet, &vinput, seed);
 
         // (6) Assemble Σ_list per component and the final labeling.
-        let mut lists: Vec<SigmaList<P::In, P::Out>> = comps
-            .iter()
-            .map(|_| SigmaList::filler(&self.problem.inner, delta))
-            .collect();
+        let mut lists: Vec<SigmaList<P::In, P::Out>> =
+            comps.iter().map(|_| SigmaList::filler(&self.problem.inner, delta)).collect();
         for (c, comp) in comps.iter().enumerate() {
             if vid_of_comp[c].is_none() {
                 continue;
@@ -306,10 +302,7 @@ fn vids_len(vid_of_comp: &[Option<u32>]) -> usize {
     vid_of_comp.iter().filter(|v| v.is_some()).count()
 }
 
-pub(crate) fn input_port_of<I>(
-    input: &Labeling<PadIn<I>>,
-    v: NodeId,
-) -> Option<usize> {
+pub(crate) fn input_port_of<I>(input: &Labeling<PadIn<I>>, v: NodeId) -> Option<usize> {
     match input.node(v).gadget {
         Some(lcl_gadget::GadgetIn::Node {
             kind: lcl_gadget::NodeKind::Tree { index, port: true },

@@ -7,8 +7,8 @@
 //! ```
 
 use lcl_gadget::{
-    build_gadget, check_psi, corrupt, render_gadget, structure_errors, GadgetFamily,
-    GadgetIn, GadgetSpec, LogGadgetFamily, NodeKind, PsiOutput,
+    build_gadget, check_psi, corrupt, render_gadget, structure_errors, GadgetFamily, GadgetIn,
+    GadgetSpec, LogGadgetFamily, NodeKind, PsiOutput,
 };
 
 fn main() {
@@ -57,8 +57,7 @@ fn main() {
     println!("error-pointer proof verifies against Ψ's constraints ✓");
 
     // Show one chain explicitly.
-    if let Some(start) = g.nodes().find(|&x| matches!(v.output[x.index()], PsiOutput::Pointer(_)))
-    {
+    if let Some(start) = g.nodes().find(|&x| matches!(v.output[x.index()], PsiOutput::Pointer(_))) {
         print!("example chain: ");
         let mut cur = start;
         for _ in 0..g.node_count() {

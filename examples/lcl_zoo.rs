@@ -22,10 +22,7 @@ fn main() {
     let out = linial::run(&net);
     check(&VertexColoring::new(3), net.graph(), &Labeling::uniform(net.graph(), ()), &out.labeling)
         .expect_ok();
-    println!(
-        "3-coloring C_4096:        {:>3} rounds  (log*-flat)",
-        out.total_rounds()
-    );
+    println!("3-coloring C_4096:        {:>3} rounds  (log*-flat)", out.total_rounds());
 
     // --- (Δ+1)-coloring a random 4-regular graph ------------------------
     let g = gen::random_regular(1024, 4, seed).expect("generable");
@@ -39,13 +36,8 @@ fn main() {
     let g = gen::random_regular(1024, 3, seed).expect("generable");
     let net = Network::new(g, IdAssignment::Shuffled { seed });
     let out = luby::run(&net, seed);
-    check(
-        &MaximalIndependentSet,
-        net.graph(),
-        &Labeling::uniform(net.graph(), ()),
-        &out.labeling,
-    )
-    .expect_ok();
+    check(&MaximalIndependentSet, net.graph(), &Labeling::uniform(net.graph(), ()), &out.labeling)
+        .expect_ok();
     println!(
         "MIS 3-regular:            {:>3} rounds  ({} in set)",
         out.rounds,

@@ -46,8 +46,7 @@ fn main() {
         rand.stats.inner_rounds,
         rand.stats.gadget_diameter,
     );
-    let violations =
-        check_padded(&rand_solver.problem, net.graph(), &inst.input, &rand.output);
+    let violations = check_padded(&rand_solver.problem, net.graph(), &inst.input, &rand.output);
     assert!(violations.is_empty(), "{violations:?}");
     println!("  verified against Π' constraints 1-6 ✓");
 

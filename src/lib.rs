@@ -1,0 +1,19 @@
+//! Umbrella crate for the LCL locality-landscape reproduction
+//! (Balliu, Brandt, Olivetti, Suomela; PODC 2020).
+//!
+//! This crate re-exports every workspace crate under one roof and hosts the
+//! cross-crate integration tests (`tests/`) and the guided examples
+//! (`examples/`). Library users should normally depend on the individual
+//! crates; the umbrella exists so the whole reproduction builds, tests, and
+//! demos as a single `cargo` invocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lcl_algos as algos;
+pub use lcl_bench as bench;
+pub use lcl_core as core;
+pub use lcl_gadget as gadget;
+pub use lcl_graph as graph;
+pub use lcl_local as local;
+pub use lcl_padding as padding;

@@ -2,11 +2,11 @@
 //! construction → solving → checking, plus adversarial mutations of
 //! solutions that the Π' checker must localize.
 
+use lcl_gadget::PsiOutput;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::{corrupt_gadgets, hard_pi2_instance};
 use lcl_padding::hierarchy::{pi2_det, pi2_rand};
 use lcl_padding::{check_padded, PadOut, PortFlag};
-use lcl_gadget::PsiOutput;
 
 #[test]
 fn det_pipeline_on_hard_instance() {
@@ -51,9 +51,7 @@ fn pipeline_with_invalid_gadgets() {
     let err1 = net
         .graph()
         .nodes()
-        .filter(|&v| {
-            matches!(run.output.node(v), PadOut::Node(o) if o.flag == PortFlag::PortErr1)
-        })
+        .filter(|&v| matches!(run.output.node(v), PadOut::Node(o) if o.flag == PortFlag::PortErr1))
         .count();
     assert!(err1 >= 3, "each corrupted gadget silences its neighbors' ports: {err1}");
 }
@@ -125,8 +123,7 @@ fn checker_catches_inconsistent_lists() {
     }
     let violations = check_padded(&solver.problem, net.graph(), &inst.input, &run.output);
     assert!(
-        violations.iter().any(|v| v.to_string().contains("6:")
-            || v.to_string().contains("5a")),
+        violations.iter().any(|v| v.to_string().contains("6:") || v.to_string().contains("5a")),
         "{violations:?}"
     );
 }

@@ -4,8 +4,7 @@
 //! that passes the `Ψ` checker.
 
 use lcl_gadget::{
-    build_gadget, check_psi, corrupt, structure_errors, GadgetFamily, GadgetSpec,
-    LogGadgetFamily,
+    build_gadget, check_psi, corrupt, structure_errors, GadgetFamily, GadgetSpec, LogGadgetFamily,
 };
 use proptest::prelude::*;
 

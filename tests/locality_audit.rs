@@ -60,7 +60,7 @@ fn det_sinkless_is_local_under_far_rewiring() {
         .edges()
         .filter(|&e| {
             let [a, b] = g.endpoints(e);
-            let far = |x: NodeId| dist[x.index()].map_or(true, |d| d > r + 1);
+            let far = |x: NodeId| dist[x.index()].is_none_or(|d| d > r + 1);
             far(a) && far(b)
         })
         .collect();

@@ -2,9 +2,7 @@
 //! a valid gadget. The proof's case analysis is adversarially probed with
 //! random pointer assignments and with structured "smart" cheats.
 
-use lcl_gadget::{
-    build_gadget, check_psi, Dir, GadgetSpec, PsiOutput,
-};
+use lcl_gadget::{build_gadget, check_psi, Dir, GadgetSpec, PsiOutput};
 use proptest::prelude::*;
 
 fn pointer_alphabet(delta: u8) -> Vec<PsiOutput> {
@@ -54,10 +52,7 @@ fn structured_cheats_rejected() {
     let g = &b.graph;
     let input = &b.input;
     let step = |v: lcl_graph::NodeId, d: Dir| {
-        g.ports(v)
-            .iter()
-            .find(|&&h| input.half(h).dir() == Some(d))
-            .map(|&h| g.half_edge_peer(h))
+        g.ports(v).iter().find(|&&h| input.half(h).dir() == Some(d)).map(|&h| g.half_edge_peer(h))
     };
 
     // Cheat 1: everything points down-right (RChild chains).

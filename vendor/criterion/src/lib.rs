@@ -1,0 +1,140 @@
+//! Vendored micro-benchmark harness (see `vendor/rand` for why).
+//!
+//! Implements the `criterion` entry points the workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each sample times one execution of the
+//! routine; the harness prints min/mean/max wall-clock per benchmark.
+//! There is no statistical analysis, HTML report, or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, sample_size: 10 }
+    }
+}
+
+/// A named benchmark id with a parameter, rendered as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, untimed.
+        let mut bencher = Bencher { elapsed: Duration::ZERO };
+        f(&mut bencher, input);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed: Duration::ZERO };
+            f(&mut bencher, input);
+            times.push(bencher.elapsed);
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / self.sample_size as u32;
+        println!(
+            "  {:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
+            id.label, min, mean, max, self.sample_size
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times routines inside one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (real criterion loops adaptively;
+    /// the shim charges a single run per sample).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Opaque value sink, preventing the optimizer from deleting the benched
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+    }
+}

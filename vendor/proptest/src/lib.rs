@@ -1,0 +1,461 @@
+//! Vendored property-testing shim (see `vendor/rand` for why it exists).
+//!
+//! API-compatible with the subset of `proptest` this workspace uses:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), integer-range
+//! and tuple strategies, `prop_map` / `prop_flat_map`, `collection::vec` /
+//! `collection::btree_set`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (fully deterministic, no persistence files) and failing
+//! cases are **not shrunk** — the panic message prints the failing inputs
+//! instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation and failure plumbing.
+
+    /// Error carried out of a failing test case body.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator: SplitMix64 seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a named test (FNV-1a over the name).
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)` (rejection sampling; `span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty range");
+            let zone = u64::MAX - u64::MAX % span;
+            loop {
+                let word = self.next_u64();
+                if word < zone {
+                    return word % span;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// Marker so `PhantomData` is not an unused import if tuples change.
+    #[doc(hidden)]
+    pub type _Phantom = PhantomData<()>;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A size specification: fixed or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for a `Vec` of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for a `BTreeSet`; draws `size` samples and dedups, so the
+    /// result may be smaller than requested (matches how the workspace's
+    /// tests use it — they filter the values anyway).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// differences from real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __inputs = format!("{:?}", ($(&$arg,)*));
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(__e) = __result {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}\ninputs: {}\n(vendored shim: no shrinking)",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (Real proptest rejects and regenerates; the shim counts the case as
+/// passed, which keeps case counts deterministic.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u32..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn maps_apply(v in (0u8..4).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 8);
+        }
+
+        #[test]
+        fn flat_maps_chain(v in (1usize..5).prop_flat_map(|n| collection::vec(0u64..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

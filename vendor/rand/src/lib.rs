@@ -1,0 +1,293 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates-io mirror, so the external crates the code depends on are shipped
+//! as minimal shims under `vendor/`. This crate implements exactly the
+//! surface the workspace uses: [`RngCore`], [`SeedableRng`] (including the
+//! SplitMix64-based `seed_from_u64` expansion), the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and [`seq::SliceRandom::shuffle`].
+//!
+//! It is **not** a drop-in replacement for the real crate: distributions,
+//! thread-local RNGs, and OS entropy are deliberately absent, and the
+//! streams it produces do not match upstream `rand` bit-for-bit. Everything
+//! here is deterministic, which is exactly what the reproduction needs.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// (the same scheme upstream `rand` uses, so seeds stay well mixed).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Integer types that [`super::Rng::gen_range`] can sample uniformly.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[low, high]` (inclusive ends).
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1) as u128;
+                    if span == 0 {
+                        // Full-width range: any word is uniform.
+                        return rng.next_u64() as $t;
+                    }
+                    // Rejection sampling on the top multiple of `span`
+                    // keeps the draw exactly uniform.
+                    let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+                    loop {
+                        let word = u128::from(rng.next_u64());
+                        if word <= zone {
+                            return low.wrapping_add((word % span) as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges accepted by [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples a value uniformly from the range.
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + One> SampleRange<T> for Range<T> {
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_inclusive(rng, self.start, self.end.minus_one())
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    /// Helper to turn a half-open bound into an inclusive one.
+    pub trait One {
+        /// `self - 1`, used to close a half-open upper bound.
+        fn minus_one(self) -> Self;
+    }
+    macro_rules! impl_one {
+        ($($t:ty),*) => {$(
+            impl One for $t {
+                fn minus_one(self) -> Self { self - 1 }
+            }
+        )*};
+    }
+    impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Types producible by [`Rng::gen`] (the subset of the upstream `Standard`
+/// distribution the workspace uses).
+pub trait Fill: Sized {
+    /// Draws one value.
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Fill for u8 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Fill for u16 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Fill for u32 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Fill for u64 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Fill for usize {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Fill for bool {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Fill for f64 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl<A: Fill, B: Fill> Fill for (A, B) {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let a = A::fill_from(rng);
+        let b = B::fill_from(rng);
+        (a, b)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an inferable type.
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill_from(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::fill_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence utilities (`shuffle`).
+
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u8 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Lcg(7);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

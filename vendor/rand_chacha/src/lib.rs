@@ -1,0 +1,139 @@
+//! Vendored ChaCha-based RNG for the offline build (see `vendor/rand`).
+//!
+//! Implements the genuine ChaCha8 stream cipher core (32-bit words, 64-byte
+//! blocks, 8 rounds = 4 double-rounds) in counter mode. The keystream does **not** match the upstream
+//! `rand_chacha` crate word-for-word (upstream has its own word-ordering
+//! conventions), but it is a full-strength counter-mode generator: every
+//! `(seed, counter)` pair yields an independent-looking 512-bit block, which
+//! is the property the LOCAL-model simulator's per-node streams rely on.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// ChaCha8 counter-mode RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key schedule: constants ‖ 256-bit key ‖ 64-bit counter ‖ 64-bit nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // Advance the 64-bit block counter (words 12–13).
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([seed[4 * i], seed[4 * i + 1], seed[4 * i + 2], seed[4 * i + 3]]);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng { state, block: [0; 16], cursor: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same == 0, "streams should diverge immediately");
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second, "counter must advance between blocks");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..5 {
+            rng.next_u32();
+        }
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

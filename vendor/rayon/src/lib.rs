@@ -1,0 +1,319 @@
+//! Vendored data-parallelism shim (see `vendor/rand` for why).
+//!
+//! Implements the slice of the `rayon` API the experiment engine uses:
+//! `par_iter()` on slices, `into_par_iter()` on `Vec` and `Range<usize>`,
+//! `.map(...)` and order-preserving `.collect()` / `.for_each(...)`, plus
+//! [`current_num_threads`]. Work is split into contiguous chunks across
+//! `std::thread::scope` threads; results are written back by index, so
+//! collection order always equals input order regardless of scheduling —
+//! the property the deterministic batch runner relies on.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim will use (the available parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Executes `f(i)` for every index, fanning chunks across threads, and
+/// returns the results in index order.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + off));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// A parallel iterator: an exact-size source plus an element function.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+
+    /// Produces the `i`-th element.
+    fn at(&self, i: usize) -> Self::Item;
+
+    /// Maps elements through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> MapIter<Self, F> {
+        MapIter { base: self, f }
+    }
+
+    /// Runs the pipeline, collecting results in input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from(run_indexed(self.par_len(), |i| self.at(i)))
+    }
+
+    /// Runs the pipeline for its side effects.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self: Sync,
+    {
+        run_indexed(self.par_len(), |i| f(self.at(i)));
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn at(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>` (elements are cloned out per
+/// index — the shim favors simplicity over zero-copy moves).
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn at(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Debug)]
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn at(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// See [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct MapIter<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: ParallelIterator, R: Send, F: Fn(S::Item) -> R + Sync> ParallelIterator for MapIter<S, F> {
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn at(&self, i: usize) -> R {
+        (self.f)(self.base.at(i))
+    }
+}
+
+/// Mutable parallel iterator over `&mut [T]` (supports only the
+/// `.enumerate().for_each(...)` pipeline the workspace uses).
+#[derive(Debug)]
+pub struct SliceIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Pairs each element with its index.
+    #[must_use]
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { items: self.items }
+    }
+}
+
+/// See [`SliceIterMut::enumerate`].
+#[derive(Debug)]
+pub struct EnumerateMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Applies `f` to every `(index, &mut element)` pair, in parallel over
+    /// contiguous chunks.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let len = self.items.len();
+        if len == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(len);
+        if threads <= 1 {
+            for (i, item) in self.items.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, item_chunk) in self.items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (off, item) in item_chunk.iter_mut().enumerate() {
+                        f((t * chunk + off, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Types with a mutable by-reference parallel iterator.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator type.
+    type Iter;
+
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { items: self }
+    }
+}
+
+/// Types with a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type.
+    type Iter: ParallelIterator;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The iterator type.
+    type Iter: ParallelIterator;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..37).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 37);
+        assert_eq!(squares[6], 36);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut items: Vec<u64> = vec![0; 300];
+        items.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u64 * 3);
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..128).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 128);
+    }
+}
