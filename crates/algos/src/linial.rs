@@ -22,7 +22,7 @@
 
 use lcl_core::problems::ColoringLabel;
 use lcl_core::Labeling;
-use lcl_local::Network;
+use lcl_local::{Network, NodeExecutor, Sequential};
 
 /// Result of a Linial coloring run.
 #[derive(Clone, Debug)]
@@ -52,8 +52,22 @@ impl LinialOutcome {
 /// Panics if the graph contains a self-loop (no proper coloring exists).
 #[must_use]
 pub fn run(net: &Network) -> LinialOutcome {
+    run_with(net, &Sequential)
+}
+
+/// [`run`] with a pluggable [`NodeExecutor`]: every simulated round's
+/// per-node recoloring step fans out across the executor. Each node reads
+/// only the previous round's colors, so the outcome is bit-identical to
+/// [`run`] under **any** executor.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_with<X: NodeExecutor>(net: &Network, exec: &X) -> LinialOutcome {
     let g = net.graph();
     assert!(g.edges().all(|e| !g.is_self_loop(e)), "proper coloring requires a loopless graph");
+    let n = g.node_count();
     let delta = g.max_degree().max(1) as u64;
 
     // Colors start as identifiers (unique ⇒ proper).
@@ -63,23 +77,21 @@ pub fn run(net: &Network) -> LinialOutcome {
 
     while let Some(q) = linial_prime(k, delta) {
         let d = digits(k, q);
-        let next: Vec<u64> = g
-            .nodes()
-            .map(|v| {
-                let pv = poly(colors[v.index()], q, d);
-                let forbidden: Vec<Vec<u64>> =
-                    g.neighbors(v).map(|(w, _)| poly(colors[w.index()], q, d)).collect();
-                let x = (0..q)
-                    .find(|&x| {
-                        forbidden.iter().all(|pw| pw == &pv || eval(&pv, x, q) != eval(pw, x, q))
-                    })
-                    .expect("q > Δ(d-1) guarantees a free point");
-                // Neighbors with an *identical* polynomial would collide at
-                // every x — impossible, since the current coloring is
-                // proper, so identical polynomials means identical colors.
-                x * q + eval(&pv, x, q)
-            })
-            .collect();
+        let next: Vec<u64> = exec.map_nodes(n, |vi| {
+            let v = lcl_graph::NodeId(vi as u32);
+            let pv = poly(colors[v.index()], q, d);
+            let forbidden: Vec<Vec<u64>> =
+                g.neighbors(v).map(|(w, _)| poly(colors[w.index()], q, d)).collect();
+            let x = (0..q)
+                .find(|&x| {
+                    forbidden.iter().all(|pw| pw == &pv || eval(&pv, x, q) != eval(pw, x, q))
+                })
+                .expect("q > Δ(d-1) guarantees a free point");
+            // Neighbors with an *identical* polynomial would collide at
+            // every x — impossible, since the current coloring is
+            // proper, so identical polynomials means identical colors.
+            x * q + eval(&pv, x, q)
+        });
         colors = next;
         k = q * q;
         reduction_rounds += 1;
@@ -90,18 +102,16 @@ pub fn run(net: &Network) -> LinialOutcome {
     let target = delta + 1;
     while k > target {
         let top = k - 1;
-        let next: Vec<u64> = g
-            .nodes()
-            .map(|v| {
-                if colors[v.index()] != top {
-                    return colors[v.index()];
-                }
-                let used: Vec<u64> = g.neighbors(v).map(|(w, _)| colors[w.index()]).collect();
-                (0..target)
-                    .find(|c| !used.contains(c))
-                    .expect("degree ≤ Δ leaves a free color in a (Δ+1)-palette")
-            })
-            .collect();
+        let next: Vec<u64> = exec.map_nodes(n, |vi| {
+            let v = lcl_graph::NodeId(vi as u32);
+            if colors[v.index()] != top {
+                return colors[v.index()];
+            }
+            let used: Vec<u64> = g.neighbors(v).map(|(w, _)| colors[w.index()]).collect();
+            (0..target)
+                .find(|c| !used.contains(c))
+                .expect("degree ≤ Δ leaves a free color in a (Δ+1)-palette")
+        });
         colors = next;
         k -= 1;
         elimination_rounds += 1;

@@ -16,7 +16,7 @@
 
 use lcl_core::problems::MisLabel;
 use lcl_core::{assemble, Labeling, NodeLocalOutput};
-use lcl_local::{run_rounds, Network, NodeCtx, RoundAlgorithm};
+use lcl_local::{run_rounds_with, Network, NodeCtx, NodeExecutor, RoundAlgorithm, Sequential};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -152,12 +152,24 @@ pub struct DistributedLubyOutcome {
 /// of vanishing probability that would indicate a bug.
 #[must_use]
 pub fn run(net: &Network, seed: u64) -> DistributedLubyOutcome {
+    run_with(net, seed, &Sequential)
+}
+
+/// [`run`] with a pluggable [`NodeExecutor`]: per-node protocol steps fan
+/// out across the executor, with the outcome bit-identical to [`run`]
+/// under **any** executor (per-node RNG streams never interleave).
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> DistributedLubyOutcome {
     assert!(
         net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
         "distributed Luby requires a loopless graph"
     );
     let cap = 16 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
-    let out = run_rounds(net, &DistributedLuby, seed, cap);
+    let out = run_rounds_with(net, &DistributedLuby, seed, cap, exec);
     assert!(out.trace.completed, "Luby did not terminate within {cap} rounds");
     let rounds = out.trace.rounds;
     let locals: Vec<NodeLocalOutput<MisLabel>> = out

@@ -20,7 +20,7 @@
 
 use lcl_core::problems::MatchingLabel;
 use lcl_core::{assemble, Labeling, NodeLocalOutput};
-use lcl_local::{run_rounds, Network, NodeCtx, RoundAlgorithm};
+use lcl_local::{run_rounds_with, Network, NodeCtx, NodeExecutor, RoundAlgorithm, Sequential};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -209,12 +209,24 @@ pub struct DistributedMatchingOutcome {
 /// round cap (vanishing probability).
 #[must_use]
 pub fn run(net: &Network, seed: u64) -> DistributedMatchingOutcome {
+    run_with(net, seed, &Sequential)
+}
+
+/// [`run`] with a pluggable [`NodeExecutor`]: per-node protocol steps fan
+/// out across the executor, with the outcome bit-identical to [`run`]
+/// under **any** executor.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> DistributedMatchingOutcome {
     assert!(
         net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
         "matching requires a loopless graph"
     );
     let cap = 40 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
-    let out = run_rounds(net, &DistributedMatching, seed, cap);
+    let out = run_rounds_with(net, &DistributedMatching, seed, cap, exec);
     assert!(out.trace.completed, "matching did not terminate within {cap} rounds");
     let rounds = out.trace.rounds;
     let decisions = out.into_outputs();

@@ -31,11 +31,17 @@
 use lcl_core::problems::Orient;
 use lcl_core::Labeling;
 use lcl_graph::{Graph, HalfEdge, NodeId};
-use lcl_local::{LocalityTrace, Network};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use lcl_local::{rand_word, LocalityTrace, Network, NodeExecutor, Sequential};
 use std::collections::VecDeque;
+
+/// Domain separators for the counter-mode random draws: every decision of
+/// a round reads its own `(salt, id, round)` word, so draws are a pure
+/// function of the run seed and LOCAL identifiers — independent of node
+/// iteration order, which is what lets [`run_with`] stay bit-identical to
+/// [`run`] under **any** executor.
+const SALT_PROPOSE: u64 = 0x51AC_0001;
+const SALT_COIN: u64 = 0x51AC_0002;
+const SALT_ORDER: u64 = 0x51AC_0003;
 
 /// Tuning knobs for the randomized algorithm.
 #[derive(Clone, Copy, Debug)]
@@ -109,10 +115,28 @@ enum EdgeState {
 /// bug, not bad luck.
 #[must_use]
 pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
+    run_with(net, params, seed, &Sequential)
+}
+
+/// [`run`] with a pluggable [`NodeExecutor`]: the per-node proposal draws
+/// of phase 1 and the per-node eccentricity BFS of phase 2 fan out across
+/// the executor. All randomness is counter-mode (see the `SALT_*`
+/// constants), so the outcome is bit-identical to [`run`] under **any**
+/// executor.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_with<X: NodeExecutor>(
+    net: &Network,
+    params: &Params,
+    seed: u64,
+    exec: &X,
+) -> RandOutcome {
     let g = net.graph();
     let n = g.node_count();
     let budget = params.phase1_rounds.unwrap_or_else(|| phase1_budget(net.known_n()));
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51AC_F0E5);
 
     let mut edge_state = vec![EdgeState::Unoriented; g.edge_count()];
     // A node is constrained if its degree is ≥ the threshold; it is
@@ -141,11 +165,13 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
             break;
         }
         phase1_rounds += 1;
-        // Proposals: per unsatisfied node, one random unoriented port.
-        let mut proposals: Vec<Option<HalfEdge>> = vec![None; n];
-        for v in g.nodes() {
-            if satisfied[v.index()] {
-                continue;
+        let round = u64::from(phase1_rounds);
+        // Proposals: per unsatisfied node, one random unoriented port —
+        // drawn from the node's own counter-mode stream, in parallel.
+        let mut proposals: Vec<Option<HalfEdge>> = exec.map_nodes(n, |vi| {
+            let v = NodeId(vi as u32);
+            if satisfied[vi] {
+                return None;
             }
             let open: Vec<HalfEdge> = g
                 .ports(v)
@@ -154,12 +180,13 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
                 .filter(|h| edge_state[h.edge.index()] == EdgeState::Unoriented)
                 .collect();
             if open.is_empty() {
-                continue; // cannot happen under the invariant; defensive
+                return None; // cannot happen under the invariant; defensive
             }
-            proposals[v.index()] = Some(open[rng.gen_range(0..open.len())]);
-        }
+            let draw = rand_word(seed ^ SALT_PROPOSE, net.id_of(v), round);
+            Some(open[(draw % open.len() as u64) as usize])
+        });
         // Resolve mutual proposals (both endpoints proposed the same edge):
-        // a fair coin picks the winner; the loser's proposal dies.
+        // a fair per-edge coin picks the winner; the loser's proposal dies.
         for e in g.edges() {
             let [a, b] = g.endpoints(e);
             if a == b {
@@ -168,7 +195,8 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
             let pa = proposals[a.index()].is_some_and(|h| h.edge == e);
             let pb = proposals[b.index()].is_some_and(|h| h.edge == e);
             if pa && pb {
-                if rng.gen_bool(0.5) {
+                let pair = net.id_of(a).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ net.id_of(b);
+                if rand_word(seed ^ SALT_COIN, pair, round) & 1 == 1 {
                     proposals[b.index()] = None;
                 } else {
                     proposals[a.index()] = None;
@@ -178,12 +206,16 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
         // Grants, processed in a random order (the adversary does not get
         // to pick; nodes resolve locally — order only matters between
         // proposals targeting the same node, where any serialization is a
-        // valid message-passing outcome).
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..order.len()).rev() {
-            order.swap(i, rng.gen_range(0..=i));
-        }
-        for &vi in &order {
+        // valid message-passing outcome). The permutation sorts per-node
+        // counter-mode keys, so it is iteration-order independent; only
+        // live proposers enter it — non-proposers would be skipped anyway,
+        // and late rounds have few proposers left.
+        let mut order: Vec<(u64, usize)> = (0..n)
+            .filter(|&vi| proposals[vi].is_some())
+            .map(|vi| (rand_word(seed ^ SALT_ORDER, net.id_of(NodeId(vi as u32)), round), vi))
+            .collect();
+        order.sort_unstable();
+        for &(_, vi) in &order {
             let Some(h) = proposals[vi] else { continue };
             if edge_state[h.edge.index()] != EdgeState::Unoriented {
                 continue; // target edge got oriented earlier this round
@@ -240,7 +272,7 @@ pub fn run(net: &Network, params: &Params, seed: u64) -> RandOutcome {
         solve_residual_component(g, comp, &mut edge_state, &mut satisfied);
         // Honest gathering radius: eccentricity within the residual
         // component, charged to the unsatisfied nodes that had to gather.
-        let ecc = residual_eccentricity(g, comp, &edge_state_snapshot(g, comp));
+        let ecc = residual_eccentricity(g, comp, &edge_state_snapshot(g, comp), exec);
         for &v in comp {
             finish_radius_per_node[v.index()] = ecc;
         }
@@ -294,10 +326,18 @@ fn edge_state_snapshot(g: &Graph, comp: &[NodeId]) -> Vec<bool> {
 /// Eccentricity of the component in the residual graph (max over members of
 /// max BFS distance within members). The component is connected over
 /// residual edges by construction, but finishing has since oriented them,
-/// so distances run over the member-induced subgraph of the host.
-fn residual_eccentricity(g: &Graph, comp: &[NodeId], member: &[bool]) -> u32 {
-    let mut best = 0;
-    for &s in comp {
+/// so distances run over the member-induced subgraph of the host. The
+/// per-member BFS runs are independent and fan out across the executor —
+/// the `O(|comp|²)` part of the finish phase.
+fn residual_eccentricity<X: NodeExecutor>(
+    g: &Graph,
+    comp: &[NodeId],
+    member: &[bool],
+    exec: &X,
+) -> u32 {
+    let per_source = exec.map_nodes(comp.len(), |si| {
+        let s = comp[si];
+        let mut best = 0;
         let mut dist: Vec<Option<u32>> = vec![None; g.node_count()];
         let mut queue = VecDeque::new();
         dist[s.index()] = Some(0);
@@ -312,8 +352,9 @@ fn residual_eccentricity(g: &Graph, comp: &[NodeId], member: &[bool]) -> u32 {
                 }
             }
         }
-    }
-    best
+        best
+    });
+    per_source.into_iter().max().unwrap_or(0)
 }
 
 /// Exactly solves one residual component: free-exit peeling, then

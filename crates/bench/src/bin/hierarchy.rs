@@ -10,7 +10,7 @@
 //! sequential execution; reports are byte-identical either way).
 
 use lcl_algos::{sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, Report, Row};
+use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, EngineExec, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::{hard_pi2_instance, hard_pi3_instance};
@@ -27,11 +27,11 @@ enum Level {
     Three,
 }
 
-fn level1_rows(n: usize, seed: u64) -> Vec<Row> {
+fn level1_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     let g = gen::random_regular(n, 3, seed).expect("generable");
     let net = Network::new(g, IdAssignment::Shuffled { seed });
     let det = sinkless_det::run(&net, &sinkless_det::Params::default());
-    let rand = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
+    let rand = sinkless_rand::run_with(&net, &sinkless_rand::Params::default(), seed, &exec);
     let (d, r) = (f64::from(det.trace.max_radius()), f64::from(rand.total_rounds()));
     vec![
         Row { experiment: "T11", series: "pi1-det".into(), n, seed, measured: d, extra: vec![] },
@@ -46,12 +46,12 @@ fn level1_rows(n: usize, seed: u64) -> Vec<Row> {
     ]
 }
 
-fn level2_rows(n: usize, seed: u64) -> Vec<Row> {
+fn level2_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     let inst = hard_pi2_instance(n, 3, seed);
     let real_n = inst.graph.node_count();
     let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-    let det = pi2_det(3).run(&net, &inst.input, seed);
-    let rand = pi2_rand(3).run(&net, &inst.input, seed);
+    let det = pi2_det(3).run_with(&net, &inst.input, seed, &exec);
+    let rand = pi2_rand(3).run_with(&net, &inst.input, seed, &exec);
     let (d, r) = (f64::from(det.stats.physical_rounds()), f64::from(rand.stats.physical_rounds()));
     vec![
         Row {
@@ -79,12 +79,12 @@ fn level2_rows(n: usize, seed: u64) -> Vec<Row> {
     ]
 }
 
-fn level3_rows(n: usize, seed: u64) -> Vec<Row> {
+fn level3_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     let inst = hard_pi3_instance(n, 3, 6, seed);
     let real_n = inst.graph.node_count();
     let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-    let det = pi3_det(3, 6).run(&net, &inst.input, seed);
-    let rand = pi3_rand(3, 6).run(&net, &inst.input, seed);
+    let det = pi3_det(3, 6).run_with(&net, &inst.input, seed, &exec);
+    let rand = pi3_rand(3, 6).run_with(&net, &inst.input, seed, &exec);
     let (d, r) = (f64::from(det.stats.physical_rounds()), f64::from(rand.stats.physical_rounds()));
     vec![
         Row {
@@ -118,10 +118,11 @@ fn run_experiment(runner: BatchRunner, quick: bool, level3: bool) -> Report {
         cells.extend(grid(&[Level::Three], &[8_192, 32_768], &seeds[..1]));
     }
 
+    let exec = runner.node_executor();
     runner.run(&cells, |cell: &Cell<Level>| match cell.family {
-        Level::One => level1_rows(cell.n, cell.seed),
-        Level::Two => level2_rows(cell.n, cell.seed),
-        Level::Three => level3_rows(cell.n, cell.seed),
+        Level::One => level1_rows(cell.n, cell.seed, exec),
+        Level::Two => level2_rows(cell.n, cell.seed, exec),
+        Level::Three => level3_rows(cell.n, cell.seed, exec),
     })
 }
 

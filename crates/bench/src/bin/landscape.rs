@@ -19,7 +19,7 @@
 //! `--quick` shrinks the sweep.
 
 use lcl_algos::{linial, luby, matching, sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, Report, Row};
+use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, EngineExec, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::hard_pi2_instance;
@@ -34,7 +34,7 @@ enum Family {
     Padded,
 }
 
-fn flat_rows(n: usize, seed: u64) -> Vec<Row> {
+fn flat_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // Trivial problem: constant.
@@ -49,7 +49,7 @@ fn flat_rows(n: usize, seed: u64) -> Vec<Row> {
 
     // 3-coloring cycles: Θ(log* n).
     let net = Network::new(gen::cycle(n), IdAssignment::Shuffled { seed });
-    let out = linial::run(&net);
+    let out = linial::run_with(&net, &exec);
     rows.push(Row {
         experiment: "E1",
         series: "3col-cycle-det".into(),
@@ -96,7 +96,7 @@ fn flat_rows(n: usize, seed: u64) -> Vec<Row> {
     });
 
     // Sinkless orientation, randomized: Θ(log log n).
-    let out = sinkless_rand::run(&net, &sinkless_rand::Params::default(), seed);
+    let out = sinkless_rand::run_with(&net, &sinkless_rand::Params::default(), seed, &exec);
     rows.push(Row {
         experiment: "E1",
         series: "sinkless-rand".into(),
@@ -112,13 +112,13 @@ fn flat_rows(n: usize, seed: u64) -> Vec<Row> {
     rows
 }
 
-fn padded_rows(n: usize, seed: u64) -> Vec<Row> {
+fn padded_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     // Π₂ on Lemma-5 hard instances: physical rounds.
     let inst = hard_pi2_instance(n, 3, seed);
     let real_n = inst.graph.node_count();
     let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
-    let det = pi2_det(3).run(&net, &inst.input, seed);
-    let rand = pi2_rand(3).run(&net, &inst.input, seed);
+    let det = pi2_det(3).run_with(&net, &inst.input, seed, &exec);
+    let rand = pi2_rand(3).run_with(&net, &inst.input, seed, &exec);
     vec![
         Row {
             experiment: "E1",
@@ -151,9 +151,13 @@ fn run_experiment(runner: BatchRunner, quick: bool) -> Report {
     let mut cells = grid(&[Family::Flat], &doubling_sizes(256, max_flat), &seeds);
     cells.extend(grid(&[Family::Padded], &doubling_sizes(2_500, max_padded), &seeds));
 
+    // Per-node parallelism threads all the way into the runners; outputs
+    // are bit-identical to sequential execution, so the `--seq` escape
+    // hatch still produces the same report byte for byte.
+    let exec = runner.node_executor();
     runner.run(&cells, |cell: &Cell<Family>| match cell.family {
-        Family::Flat => flat_rows(cell.n, cell.seed),
-        Family::Padded => padded_rows(cell.n, cell.seed),
+        Family::Flat => flat_rows(cell.n, cell.seed, exec),
+        Family::Padded => padded_rows(cell.n, cell.seed, exec),
     })
 }
 

@@ -40,6 +40,66 @@ impl NodeExecutor for Parallel {
     {
         items.par_iter_mut().enumerate().for_each(|(i, item)| f(i, item));
     }
+
+    fn map_nodes_init<T, S, I, F>(&self, len: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        // One scratch per worker chunk (rayon's `map_init`): the view
+        // engine hands out ball caches this way.
+        (0..len).into_par_iter().map_init(init, f).collect()
+    }
+}
+
+/// A [`NodeExecutor`] matching a [`BatchRunner`]'s parallelism choice, so
+/// experiment binaries can thread per-node parallelism through the
+/// algorithm runners (`run_with` variants) end-to-end: batch-parallel runs
+/// also fan per-node work across the worker pool, while `--seq` runs stay
+/// fully sequential. Outputs are bit-identical either way.
+#[derive(Clone, Copy, Debug)]
+pub enum EngineExec {
+    /// Per-node work on the calling thread.
+    Sequential,
+    /// Per-node work across the worker pool.
+    Parallel,
+}
+
+impl NodeExecutor for EngineExec {
+    fn map_nodes<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self {
+            EngineExec::Sequential => lcl_local::Sequential.map_nodes(len, f),
+            EngineExec::Parallel => Parallel.map_nodes(len, f),
+        }
+    }
+
+    fn update_nodes<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        match self {
+            EngineExec::Sequential => lcl_local::Sequential.update_nodes(items, f),
+            EngineExec::Parallel => Parallel.update_nodes(items, f),
+        }
+    }
+
+    fn map_nodes_init<T, S, I, F>(&self, len: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        match self {
+            EngineExec::Sequential => lcl_local::Sequential.map_nodes_init(len, init, f),
+            EngineExec::Parallel => Parallel.map_nodes_init(len, init, f),
+        }
+    }
 }
 
 /// One point of an experiment grid.
@@ -101,6 +161,17 @@ impl BatchRunner {
     #[must_use]
     pub fn is_parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// The per-node executor matching this runner's parallelism choice,
+    /// for threading through the `run_with` algorithm runners.
+    #[must_use]
+    pub fn node_executor(&self) -> EngineExec {
+        if self.parallel {
+            EngineExec::Parallel
+        } else {
+            EngineExec::Sequential
+        }
     }
 
     /// Evaluates `measure` on every cell and returns the combined report.

@@ -10,7 +10,7 @@
 
 pub mod engine;
 
-pub use engine::{grid, BatchRunner, Cell, Parallel};
+pub use engine::{grid, BatchRunner, Cell, EngineExec, Parallel};
 
 use serde::{Deserialize, Serialize};
 

@@ -2,7 +2,7 @@
 //! **bit-identical** to sequential execution at every level — whole batch
 //! grids, per-node view simulation, and per-node round simulation.
 
-use lcl_algos::{luby_rounds, matching_rounds, sinkless_det};
+use lcl_algos::{linial, luby_rounds, matching_rounds, sinkless_det, sinkless_rand};
 use lcl_bench::{grid, BatchRunner, Cell, Parallel, Row};
 use lcl_graph::gen;
 use lcl_local::{
@@ -106,6 +106,60 @@ fn round_engine_parallel_matches_sequential() {
         assert_eq!(seq.outputs, par.outputs, "matching outputs diverged (seed {seed})");
         assert_eq!(seq.trace, par.trace, "matching trace diverged (seed {seed})");
     }
+}
+
+/// The executor-threaded algorithm runners must be byte-identical under
+/// the pooled executor: same labeling, same round/radius accounting. This
+/// is the regression gate for the persistent worker pool — a pool bug that
+/// reorders, drops, or duplicates per-node work shows up here. The CI
+/// determinism job re-runs this suite with `LCL_POOL_THREADS` pinned.
+#[test]
+fn pooled_runners_match_sequential() {
+    for seed in [1u64, 5, 19] {
+        let g = gen::random_regular(64, 3, seed).expect("generable");
+        let net = Network::new(g, IdAssignment::Shuffled { seed });
+
+        let seq = luby_rounds::run(&net, seed);
+        let par = luby_rounds::run_with(&net, seed, &Parallel);
+        assert_eq!(seq.labeling, par.labeling, "luby labeling diverged (seed {seed})");
+        assert_eq!(seq.rounds, par.rounds, "luby rounds diverged (seed {seed})");
+
+        let seq = matching_rounds::run(&net, seed);
+        let par = matching_rounds::run_with(&net, seed, &Parallel);
+        assert_eq!(seq.labeling, par.labeling, "matching labeling diverged (seed {seed})");
+        assert_eq!(seq.rounds, par.rounds, "matching rounds diverged (seed {seed})");
+
+        let params = sinkless_rand::Params::default();
+        let seq = sinkless_rand::run(&net, &params, seed);
+        let par = sinkless_rand::run_with(&net, &params, seed, &Parallel);
+        assert_eq!(seq.labeling, par.labeling, "sinkless labeling diverged (seed {seed})");
+        assert_eq!(seq.phase1_rounds, par.phase1_rounds, "sinkless phase1 diverged (seed {seed})");
+        assert_eq!(seq.finish_radius, par.finish_radius, "sinkless finish diverged (seed {seed})");
+        assert_eq!(seq.trace, par.trace, "sinkless trace diverged (seed {seed})");
+
+        let seq = linial::run(&net);
+        let par = linial::run_with(&net, &Parallel);
+        assert_eq!(seq.colors, par.colors, "linial colors diverged (seed {seed})");
+        assert_eq!(seq.labeling, par.labeling, "linial labeling diverged (seed {seed})");
+        assert_eq!(
+            (seq.reduction_rounds, seq.elimination_rounds),
+            (par.reduction_rounds, par.elimination_rounds),
+            "linial round split diverged (seed {seed})"
+        );
+    }
+}
+
+/// The cache-backed view engine must stay deterministic under worker-
+/// scoped ball caches: per-worker cache state (a pure accelerator) must
+/// never leak into outputs, whatever the chunking.
+#[test]
+fn view_engine_cache_is_invisible() {
+    let g = gen::random_regular(80, 3, 3).expect("generable");
+    let net = Network::new(g, IdAssignment::SparseShuffled { seed: 3 });
+    let baseline = run_views(&net, &TapeSummary, 9);
+    let par = run_views_with(&net, &TapeSummary, 9, &Parallel);
+    assert_eq!(baseline.outputs, par.outputs);
+    assert_eq!(baseline.trace, par.trace);
 }
 
 #[test]

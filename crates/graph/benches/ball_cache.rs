@@ -1,0 +1,100 @@
+//! Cold vs cached ball extraction — the acceptance bench for the
+//! shared-frontier cache: a full-graph view sweep at radius 3 on
+//! `cycle n = 4096` must be ≥ 2× faster through the cache.
+//!
+//! Two uncached shapes are measured: `single` extracts each node's final
+//! ball once (the best case for `Ball::extract`), and `adaptive` extracts
+//! at radii 1, 2, 3 per node — the access pattern of the adaptive view
+//! engine, which the cache serves incrementally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_graph::{gen, Ball, BallCache, Graph, NodeId};
+
+fn sweep_uncached_single(g: &Graph, r: u32) -> usize {
+    g.nodes().map(|v| Ball::extract(g, v, r).len()).sum()
+}
+
+fn sweep_uncached_adaptive(g: &Graph, r: u32) -> usize {
+    g.nodes().map(|v| (1..=r).map(|ri| Ball::extract(g, v, ri).len()).sum::<usize>()).sum()
+}
+
+fn sweep_cached_adaptive(g: &Graph, r: u32) -> usize {
+    let mut cache = BallCache::new(g);
+    g.nodes()
+        .map(|v| {
+            let total = (1..=r).map(|ri| cache.ball(v, ri).len()).sum::<usize>();
+            cache.release(v);
+            total
+        })
+        .sum()
+}
+
+fn bench_ball_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ball-sweeps");
+    group.sample_size(10);
+    for (name, g, r) in [
+        ("cycle-r3", gen::cycle(4096), 3u32),
+        ("3reg-r3", gen::random_regular(4096, 3, 1).expect("generable"), 3),
+        ("torus-r2", gen::torus(64, 64), 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new("uncached-single", name), &g, |b, g| {
+            b.iter(|| sweep_uncached_single(g, r));
+        });
+        group.bench_with_input(BenchmarkId::new("uncached-adaptive", name), &g, |b, g| {
+            b.iter(|| sweep_uncached_adaptive(g, r));
+        });
+        group.bench_with_input(BenchmarkId::new("cached-adaptive", name), &g, |b, g| {
+            b.iter(|| sweep_cached_adaptive(g, r));
+        });
+    }
+    group.finish();
+
+    // The acceptance criterion, asserted so a perf regression fails loudly
+    // when the bench binary runs: cached adaptive sweep ≥ 2× faster than
+    // the uncached adaptive sweep on cycle n = 4096, r = 3. Both sides are
+    // warmed and take the minimum of 3 timed runs, so a single scheduler
+    // hiccup cannot fail the gate spuriously.
+    let g = gen::cycle(4096);
+    let timed_min = |f: &dyn Fn() -> usize| {
+        let warm = f();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            assert_eq!(f(), warm);
+            best = best.min(t.elapsed());
+        }
+        (warm, best)
+    };
+    let (a, uncached) = timed_min(&|| sweep_uncached_adaptive(&g, 3));
+    let (b, cached) = timed_min(&|| sweep_cached_adaptive(&g, 3));
+    assert_eq!(a, b);
+    println!(
+        "acceptance: uncached {uncached:?} vs cached {cached:?} ({:.1}x)",
+        uncached.as_secs_f64() / cached.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        uncached.as_secs_f64() >= 2.0 * cached.as_secs_f64(),
+        "cached sweep must be >= 2x faster: uncached {uncached:?}, cached {cached:?}"
+    );
+}
+
+fn bench_single_ball(c: &mut Criterion) {
+    // Per-ball comparison on one center: the cache's win on a single
+    // repeated extraction (frontier reuse across the adaptive loop).
+    let g = gen::random_regular(8192, 3, 1).expect("generable");
+    let mut group = c.benchmark_group("ball-single");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("extract-adaptive-r6", 8192), &g, |b, g| {
+        b.iter(|| (1..=6u32).map(|r| Ball::extract(g, NodeId(0), r).len()).sum::<usize>());
+    });
+    group.bench_with_input(BenchmarkId::new("cached-adaptive-r6", 8192), &g, |b, g| {
+        b.iter(|| {
+            let mut cache = BallCache::new(g);
+            (1..=6u32).map(|r| cache.ball(NodeId(0), r).len()).sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ball_sweeps, bench_single_ball);
+criterion_main!(benches);

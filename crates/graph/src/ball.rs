@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 /// exactly `r`) may be missing incidences that leave the ball. Use
 /// [`Ball::is_interior`] to know whether a node's local ports are the
 /// complete host port table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ball {
     /// The ball as a standalone graph with dense local ids.
     graph: Graph,
@@ -88,6 +88,21 @@ impl Ball {
         }
 
         Ball { graph: local, center: c, radius: r, node_map, edge_map, dist }
+    }
+
+    /// Assembles a ball from pre-computed parts ([`crate::BallCache`]'s
+    /// materialization path). The parts must describe the same structure
+    /// [`Ball::extract`] would produce — the cache's equivalence proptests
+    /// enforce this field for field.
+    #[must_use]
+    pub(crate) fn from_parts(
+        graph: Graph,
+        radius: u32,
+        node_map: Vec<NodeId>,
+        edge_map: Vec<EdgeId>,
+        dist: Vec<u32>,
+    ) -> Ball {
+        Ball { graph, center: NodeId(0), radius, node_map, edge_map, dist }
     }
 
     /// The ball as a standalone graph (dense local ids, center is node 0).

@@ -1,0 +1,471 @@
+//! Memoized radius-`r` ball extraction: the shared-frontier cache behind
+//! near-linear full-graph view sweeps.
+//!
+//! [`Ball::extract`] is correct and simple, but it pays two costs that a
+//! *sweep* (one ball per node, the view engine's workload) cannot afford:
+//!
+//! 1. **Per-call scratch**: every extraction allocates and zeroes an
+//!    `O(n)`-sized node map and an `O(m)`-sized edge-dedup table — so a
+//!    full sweep is `O(n·(n + m))` no matter how small the balls are.
+//! 2. **Re-gathering**: the adaptive view engine grows a node's radius
+//!    step by step (`r = 1, 2, 3, …`), re-running the whole BFS and edge
+//!    scan from scratch at every step.
+//!
+//! A [`BallCache`] eliminates both. It keeps *stamped* scratch tables that
+//! are allocated once and invalidated in `O(1)` (bump a generation
+//! counter), and it keeps a per-center **incremental frontier**: the ball
+//! of radius `r` is grown from the cached radius-`r-1` ball by expanding
+//! only the outermost BFS layer. Balls can also be *shrunk* for free —
+//! membership is stored in BFS-layer order, so any smaller radius is a
+//! prefix. On demand ([`BallCache::boundary_class`]) boundary sets are
+//! interned in a shared pool, so equal frontiers are detectable by id
+//! without set comparison; the plain sweep path never pays for this.
+//!
+//! The cache is **exact**: [`BallCache::ball`] returns a [`Ball`] equal,
+//! field for field, to what [`Ball::extract`] returns for the same
+//! `(center, r)` — including node order, edge order, and port order. The
+//! equivalence proptests in `tests/ball_cache_equiv.rs` pin this contract
+//! across the graph-family zoo.
+//!
+//! ```
+//! use lcl_graph::{gen, Ball, BallCache, NodeId};
+//!
+//! let g = gen::cycle(64);
+//! let mut cache = BallCache::new(&g);
+//! for r in 0..4 {
+//!     assert_eq!(cache.ball(NodeId(7), r), Ball::extract(&g, NodeId(7), r));
+//! }
+//! ```
+
+use crate::{Ball, Graph, NodeId};
+use std::collections::HashMap;
+
+/// Counters describing how much work the cache saved; see
+/// [`BallCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Balls materialized through the cache.
+    pub balls: u64,
+    /// `ball`/`saturated` queries answered from an existing frontier.
+    pub frontier_hits: u64,
+    /// Queries that had to create a fresh frontier.
+    pub frontier_misses: u64,
+    /// BFS layers grown across all frontiers.
+    pub layers_grown: u64,
+    /// Distinct boundary sets interned in the shared pool.
+    pub boundary_sets: usize,
+    /// Boundary interning requests that matched an existing set.
+    pub boundary_shares: u64,
+}
+
+/// Incremental BFS state for one center: membership in discovery order,
+/// complete up to `radius` (or the whole component if `exhausted`).
+struct Frontier {
+    /// Ball members in BFS discovery order (center first).
+    nodes: Vec<NodeId>,
+    /// Distance from the center, parallel to `nodes`.
+    dist: Vec<u32>,
+    /// `layer_starts[d]..layer_starts[d + 1]` indexes the nodes at
+    /// distance exactly `d`; always one entry per discovered layer plus a
+    /// trailing `nodes.len()`.
+    layer_starts: Vec<usize>,
+    /// Membership is complete for radii `<= radius`.
+    radius: u32,
+    /// The BFS ran out of new nodes: the membership is the center's whole
+    /// connected component, valid for every radius.
+    exhausted: bool,
+}
+
+impl Frontier {
+    fn new(center: NodeId) -> Frontier {
+        Frontier {
+            nodes: vec![center],
+            dist: vec![0],
+            layer_starts: vec![0, 1],
+            radius: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Number of members with distance `<= r` (a prefix of `nodes`).
+    fn prefix_len(&self, r: u32) -> usize {
+        let r = r as usize;
+        if r + 1 < self.layer_starts.len() {
+            self.layer_starts[r + 1]
+        } else {
+            self.nodes.len()
+        }
+    }
+
+    /// The deepest fully discovered layer.
+    fn max_layer(&self) -> u32 {
+        (self.layer_starts.len() - 2) as u32
+    }
+}
+
+/// Interns boundary sets: identical outermost layers (common on graphs
+/// with repeated components) are stored once and shared by id.
+#[derive(Default)]
+struct BoundaryPool {
+    index: HashMap<Vec<NodeId>, usize>,
+    shares: u64,
+}
+
+impl BoundaryPool {
+    fn intern(&mut self, set: &[NodeId]) -> usize {
+        if let Some(&id) = self.index.get(set) {
+            self.shares += 1;
+            return id;
+        }
+        let id = self.index.len();
+        self.index.insert(set.to_vec(), id);
+        id
+    }
+}
+
+/// A memoized, incremental ball extractor over one host graph.
+///
+/// Not `Sync`: each worker of a parallel sweep owns its own cache (the
+/// executors' `map_nodes_init` hook provides exactly that), which is
+/// correct because cache state never influences the extracted balls.
+pub struct BallCache<'g> {
+    g: &'g Graph,
+    /// Stamped node-membership scratch: `node_stamp[v] == generation` iff
+    /// `v` belongs to the currently stamped center's frontier, in which
+    /// case `node_local[v]` is its index in that frontier's `nodes`.
+    node_stamp: Vec<u64>,
+    node_local: Vec<u32>,
+    generation: u64,
+    /// Stamped edge-dedup scratch for materialization.
+    edge_stamp: Vec<u64>,
+    edge_generation: u64,
+    /// Which center's membership the stamps currently describe.
+    stamped: Option<NodeId>,
+    entries: Vec<Option<Frontier>>,
+    pool: BoundaryPool,
+    stats: CacheStats,
+}
+
+impl<'g> BallCache<'g> {
+    /// Creates a cache for `g`. Allocates the `O(n + m)` scratch once;
+    /// per-ball work afterwards is proportional to the ball, not the host.
+    #[must_use]
+    pub fn new(g: &'g Graph) -> BallCache<'g> {
+        BallCache {
+            g,
+            node_stamp: vec![0; g.node_count()],
+            node_local: vec![0; g.node_count()],
+            generation: 0,
+            edge_stamp: vec![0; g.edge_count()],
+            edge_generation: 0,
+            stamped: None,
+            entries: (0..g.node_count()).map(|_| None).collect(),
+            pool: BoundaryPool::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The host graph this cache extracts from.
+    #[must_use]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.stats;
+        stats.boundary_sets = self.pool.index.len();
+        stats.boundary_shares = self.pool.shares;
+        stats
+    }
+
+    /// Drops the cached frontier of `center`, bounding memory during
+    /// sweeps: the view engine releases a node once it has decided.
+    pub fn release(&mut self, center: NodeId) {
+        self.entries[center.index()] = None;
+        if self.stamped == Some(center) {
+            self.stamped = None;
+        }
+    }
+
+    /// Re-stamps the scratch tables with `center`'s membership (no-op if
+    /// already stamped, the common case inside one node's adaptive loop).
+    fn ensure_stamped(&mut self, center: NodeId) {
+        if self.stamped == Some(center) {
+            return;
+        }
+        let BallCache { entries, node_stamp, node_local, generation, .. } = self;
+        let entry = entries[center.index()].as_ref().expect("frontier exists");
+        *generation += 1;
+        for (i, &v) in entry.nodes.iter().enumerate() {
+            node_stamp[v.index()] = *generation;
+            node_local[v.index()] = i as u32;
+        }
+        self.stamped = Some(center);
+    }
+
+    /// Grows `center`'s frontier until membership is complete for radius
+    /// `r` (or the component is exhausted).
+    fn grow(&mut self, center: NodeId, r: u32) {
+        if self.entries[center.index()].is_none() {
+            self.entries[center.index()] = Some(Frontier::new(center));
+            self.stats.frontier_misses += 1;
+        } else {
+            self.stats.frontier_hits += 1;
+        }
+        {
+            let entry = self.entries[center.index()].as_ref().expect("just ensured");
+            if entry.exhausted || entry.radius >= r {
+                return;
+            }
+        }
+        self.ensure_stamped(center);
+        let BallCache { g, entries, node_stamp, node_local, generation, stats, .. } = self;
+        let entry = entries[center.index()].as_mut().expect("just ensured");
+        while entry.radius < r && !entry.exhausted {
+            let d = entry.radius as usize;
+            let (layer_start, layer_end) = (entry.layer_starts[d], entry.layer_starts[d + 1]);
+            for i in layer_start..layer_end {
+                let v = entry.nodes[i];
+                for (w, _) in g.neighbors(v) {
+                    if node_stamp[w.index()] != *generation {
+                        node_stamp[w.index()] = *generation;
+                        node_local[w.index()] = entry.nodes.len() as u32;
+                        entry.nodes.push(w);
+                        entry.dist.push(entry.radius + 1);
+                    }
+                }
+            }
+            if entry.nodes.len() == layer_end {
+                entry.exhausted = true;
+            } else {
+                entry.layer_starts.push(entry.nodes.len());
+                entry.radius += 1;
+                stats.layers_grown += 1;
+            }
+        }
+    }
+
+    /// Extracts the radius-`r` ball around `center`, equal to
+    /// [`Ball::extract`] on the same inputs but amortizing BFS and scratch
+    /// work across queries.
+    #[must_use]
+    pub fn ball(&mut self, center: NodeId, r: u32) -> Ball {
+        self.grow(center, r);
+        self.ensure_stamped(center);
+        self.edge_generation += 1;
+        self.stats.balls += 1;
+        let egen = self.edge_generation;
+        let BallCache { g, entries, node_stamp, node_local, generation, edge_stamp, .. } = self;
+        let entry = entries[center.index()].as_ref().expect("grown");
+        let len = entry.prefix_len(r);
+        let member = |host: NodeId| -> Option<NodeId> {
+            if node_stamp[host.index()] == *generation {
+                let local = node_local[host.index()];
+                if (local as usize) < len {
+                    return Some(NodeId(local));
+                }
+            }
+            None
+        };
+        let mut local = Graph::with_capacity(len, 0);
+        for _ in 0..len {
+            local.add_node();
+        }
+        let mut edge_map = Vec::new();
+        // Walk each member's port table in discovery order — exactly the
+        // edge scan of `Ball::extract`, so edge and port orders coincide.
+        for &hv in &entry.nodes[..len] {
+            for &h in g.ports(hv) {
+                if edge_stamp[h.edge.index()] == egen {
+                    continue;
+                }
+                let [a, b] = g.endpoints(h.edge);
+                if let (Some(la), Some(lb)) = (member(a), member(b)) {
+                    edge_stamp[h.edge.index()] = egen;
+                    local.add_edge(la, lb);
+                    edge_map.push(h.edge);
+                }
+            }
+        }
+        Ball::from_parts(
+            local,
+            r,
+            entry.nodes[..len].to_vec(),
+            edge_map,
+            entry.dist[..len].to_vec(),
+        )
+    }
+
+    /// True if the radius-`r` ball around `center` is the center's whole
+    /// connected component — [`Ball::is_entire_component`] without the
+    /// `O(ball)` degree comparison: answered from the frontier state (and
+    /// a boundary-only membership scan when the frontier stops exactly at
+    /// `r`).
+    #[must_use]
+    pub fn saturated(&mut self, center: NodeId, r: u32) -> bool {
+        self.grow(center, r);
+        self.ensure_stamped(center);
+        let entry = self.entries[center.index()].as_ref().expect("grown");
+        if entry.exhausted {
+            return entry.max_layer() <= r;
+        }
+        // Not exhausted: membership is complete to `entry.radius >= r`.
+        // The ball saturates iff no layer-`r` node has a neighbor outside
+        // the prefix.
+        let len = entry.prefix_len(r);
+        let boundary_start = entry.layer_starts[r as usize];
+        entry.nodes[boundary_start..len].iter().all(|&v| {
+            self.g.neighbors(v).all(|(w, _)| {
+                self.node_stamp[w.index()] == self.generation
+                    && (self.node_local[w.index()] as usize) < len
+            })
+        })
+    }
+
+    /// Interned class id of the radius-`r` boundary around `center` (the
+    /// nodes at distance exactly `r`; empty once the ball covers the whole
+    /// component): two centers with equal boundary sets report the same
+    /// id, letting sweeps detect shared frontiers without comparing sets.
+    /// Interning happens only here, on demand — the plain `ball` /
+    /// `saturated` sweep path never pays for or retains boundary copies,
+    /// so [`BallCache::release`] keeps sweep memory bounded.
+    #[must_use]
+    pub fn boundary_class(&mut self, center: NodeId, r: u32) -> usize {
+        self.grow(center, r);
+        let BallCache { entries, pool, .. } = self;
+        let entry = entries[center.index()].as_ref().expect("grown");
+        // Layer `r` exists iff `r` is a discovered layer index; past the
+        // component's deepest layer the boundary is empty.
+        let boundary: &[NodeId] = if (r as usize) + 1 < entry.layer_starts.len() {
+            &entry.nodes[entry.layer_starts[r as usize]..entry.layer_starts[r as usize + 1]]
+        } else {
+            &[]
+        };
+        pool.intern(boundary)
+    }
+}
+
+impl std::fmt::Debug for BallCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BallCache")
+            .field("nodes", &self.g.node_count())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn matches_extract_on_cycle() {
+        let g = gen::cycle(12);
+        let mut cache = BallCache::new(&g);
+        for r in 0..=6 {
+            for v in g.nodes() {
+                assert_eq!(cache.ball(v, r), Ball::extract(&g, v, r), "v={v:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_radius_uses_the_prefix() {
+        let g = gen::random_regular(40, 3, 1).unwrap();
+        let mut cache = BallCache::new(&g);
+        let v = NodeId(5);
+        let _ = cache.ball(v, 4);
+        for r in (0..=4).rev() {
+            assert_eq!(cache.ball(v, r), Ball::extract(&g, v, r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn saturation_matches_is_entire_component() {
+        let mut g = gen::cycle(6);
+        g.add_node(); // isolated node: saturated at radius 0
+        let mut cache = BallCache::new(&g);
+        for v in g.nodes() {
+            for r in 0..=4 {
+                let expect = Ball::extract(&g, v, r).is_entire_component(&g);
+                assert_eq!(cache.saturated(v, r), expect, "v={v:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_centers_stay_exact() {
+        let g = gen::grid(5, 4);
+        let mut cache = BallCache::new(&g);
+        let centers = [NodeId(0), NodeId(7), NodeId(0), NodeId(19), NodeId(7)];
+        for (k, &v) in centers.iter().enumerate() {
+            let r = (k as u32 % 3) + 1;
+            assert_eq!(cache.ball(v, r), Ball::extract(&g, v, r));
+        }
+    }
+
+    #[test]
+    fn release_frees_and_recomputes() {
+        let g = gen::cycle(10);
+        let mut cache = BallCache::new(&g);
+        let _ = cache.ball(NodeId(3), 2);
+        cache.release(NodeId(3));
+        assert_eq!(cache.ball(NodeId(3), 2), Ball::extract(&g, NodeId(3), 2));
+    }
+
+    #[test]
+    fn boundary_interning_shares_across_components() {
+        // Disjoint identical cycles: past each component's diameter every
+        // boundary is the same empty set, so all centers share one class.
+        let g = gen::disjoint_cycles(4, 5);
+        let mut cache = BallCache::new(&g);
+        let classes: Vec<usize> = g.nodes().map(|v| cache.boundary_class(v, 3)).collect();
+        assert!(classes.windows(2).all(|w| w[0] == w[1]), "one shared class: {classes:?}");
+        let stats = cache.stats();
+        assert_eq!(stats.boundary_sets, 1, "pool dedups the empty boundary: {stats:?}");
+        assert_eq!(stats.boundary_shares, 19, "{stats:?}");
+        // Distinct radius-1 boundaries get distinct classes.
+        assert_ne!(cache.boundary_class(NodeId(0), 1), cache.boundary_class(NodeId(5), 1));
+        // The plain sweep path never interns.
+        let mut plain = BallCache::new(&g);
+        for v in g.nodes() {
+            let _ = plain.ball(v, 3);
+        }
+        assert_eq!(plain.stats().boundary_sets, 0);
+    }
+
+    #[test]
+    fn multigraph_with_loops_matches_extract() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, b); // parallel
+        g.add_edge(b, b); // loop
+        g.add_edge(b, c);
+        let mut cache = BallCache::new(&g);
+        for v in g.nodes() {
+            for r in 0..=3 {
+                assert_eq!(cache.ball(v, r), Ball::extract(&g, v, r), "v={v:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let g = gen::cycle(16);
+        let mut cache = BallCache::new(&g);
+        let _ = cache.ball(NodeId(0), 1);
+        let _ = cache.ball(NodeId(0), 2);
+        let _ = cache.ball(NodeId(1), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.balls, 3);
+        assert_eq!(stats.frontier_misses, 2);
+        assert_eq!(stats.frontier_hits, 1);
+        assert!(stats.layers_grown >= 3);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod ball;
+mod ball_cache;
 mod coloring;
 mod cycles;
 mod graph;
@@ -46,6 +47,7 @@ mod traversal;
 pub mod gen;
 
 pub use ball::Ball;
+pub use ball_cache::{BallCache, CacheStats};
 pub use coloring::{
     distance_k_coloring, has_locally_distinct_neighborhood, is_distance_k_coloring,
 };

@@ -1,0 +1,128 @@
+//! Equivalence proptests for the memoized ball cache: for any graph in the
+//! family zoo, any center, any radius in `0..4`, and any *query history*
+//! (the cache is stateful — earlier queries must never change later
+//! answers), `BallCache::ball` returns exactly what `Ball::extract`
+//! returns, field for field, and `BallCache::saturated` agrees with
+//! `Ball::is_entire_component`.
+
+use lcl_graph::{gen, Ball, BallCache, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Builds one graph of the family zoo from a drawn descriptor: cycles,
+/// paths, trees, random regular graphs (simple and multigraph, so loops
+/// and parallel edges occur), grids/tori, disjoint unions, and
+/// gadget-shaped graphs (binary trees glued to a center — the shape of
+/// the paper's `Δ`-port tree gadgets).
+fn build_zoo(kind: u8, a: usize, b: usize, seed: u64) -> Graph {
+    match kind {
+        0 => gen::cycle(a + 3),
+        1 => gen::path(a + 2),
+        2 => gen::random_tree(2 * a + 2, seed),
+        3 => gen::complete_binary_tree((a % 3) as u32 + 2),
+        4 => gen::grid(a % 6 + 2, b % 6 + 2),
+        5 => gen::torus(a % 4 + 3, b % 4 + 3),
+        6 => gen::disjoint_cycles(a % 4 + 1, b % 5 + 3),
+        7 => gen::random_regular(2 * (a + 3), 3, seed).expect("generable"),
+        8 => gen::random_regular_multigraph(2 * (a + 2), 3, seed).expect("generable"),
+        _ => gadget_shape(a % 3 + 1, (b % 3) as u32 + 1),
+    }
+}
+
+/// The zoo as a strategy.
+fn zoo() -> impl Strategy<Value = Graph> {
+    (0u8..10, 0usize..10, 0usize..10, 0u64..8)
+        .prop_map(|(kind, a, b, seed)| build_zoo(kind, a, b, seed))
+}
+
+/// A gadget-shaped graph: `k` complete binary trees whose roots attach to
+/// a shared center node.
+fn gadget_shape(k: usize, height: u32) -> Graph {
+    let mut g = Graph::new();
+    let center = g.add_node();
+    for _ in 0..k {
+        let tree = gen::complete_binary_tree(height);
+        let root = g.append(&tree);
+        g.add_edge(center, root);
+    }
+    g
+}
+
+/// A query history: `(center draw, radius)` pairs replayed against one
+/// long-lived cache (center draw is reduced modulo the node count).
+fn queries() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    proptest::collection::vec((0usize..1 << 16, 0u32..4), 1..20)
+}
+
+fn center_of(g: &Graph, draw: usize) -> NodeId {
+    NodeId((draw % g.node_count()) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fresh cache, single query: exact equality with `Ball::extract`.
+    #[test]
+    fn cached_ball_equals_extract(g in zoo(), c in 0usize..1 << 16, r in 0u32..4) {
+        let center = center_of(&g, c);
+        let mut cache = BallCache::new(&g);
+        prop_assert_eq!(cache.ball(center, r), Ball::extract(&g, center, r));
+    }
+
+    /// Arbitrary interleaved query histories (repeats, radius increases,
+    /// radius decreases, center switches) never perturb any answer.
+    #[test]
+    fn query_history_is_irrelevant(g in zoo(), qs in queries()) {
+        let mut cache = BallCache::new(&g);
+        for (c, r) in qs {
+            let center = center_of(&g, c);
+            let cached = cache.ball(center, r);
+            let fresh = Ball::extract(&g, center, r);
+            prop_assert_eq!(&cached, &fresh, "center {:?} radius {}", center, r);
+        }
+    }
+
+    /// Saturation answers match the uncached component check, across the
+    /// same stateful histories.
+    #[test]
+    fn saturation_matches_component_check(g in zoo(), qs in queries()) {
+        let mut cache = BallCache::new(&g);
+        for (c, r) in qs {
+            let center = center_of(&g, c);
+            let expect = Ball::extract(&g, center, r).is_entire_component(&g);
+            prop_assert_eq!(cache.saturated(center, r), expect,
+                "center {:?} radius {}", center, r);
+        }
+    }
+
+    /// Releasing entries mid-history (what the view engine does after each
+    /// node decides) keeps every later answer exact.
+    #[test]
+    fn release_preserves_exactness(g in zoo(), qs in queries()) {
+        let mut cache = BallCache::new(&g);
+        for (i, (c, r)) in qs.iter().enumerate() {
+            let center = center_of(&g, *c);
+            prop_assert_eq!(cache.ball(center, *r), Ball::extract(&g, center, *r));
+            if i % 2 == 0 {
+                cache.release(center);
+            }
+        }
+    }
+
+    /// Boundary classes are consistent: every exhausted frontier reports
+    /// the empty boundary's class, regardless of center or component.
+    #[test]
+    fn boundary_classes_consistent(g in zoo(), qs in queries()) {
+        let mut cache = BallCache::new(&g);
+        let diameter_bound = g.node_count() as u32 + 1;
+        let mut empty_class = None;
+        for (c, _) in qs {
+            let center = center_of(&g, c);
+            // Growing past the component diameter always exhausts.
+            let class = cache.boundary_class(center, diameter_bound);
+            if let Some(e) = empty_class {
+                prop_assert_eq!(class, e, "all exhausted frontiers share one class");
+            }
+            empty_class = Some(class);
+        }
+    }
+}

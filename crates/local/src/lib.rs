@@ -51,6 +51,6 @@ pub use network::{IdAssignment, Network};
 pub use rounds::{run_rounds, run_rounds_with, NodeCtx, RoundAlgorithm, RoundOutcome};
 pub use trace::{LocalityTrace, RoundTrace};
 pub use views::{
-    run_views, run_views_capped, run_views_capped_with, run_views_with, Decision, View,
+    rand_word, run_views, run_views_capped, run_views_capped_with, run_views_with, Decision, View,
     ViewAlgorithm, ViewCtx, ViewOutcome,
 };

@@ -3,7 +3,7 @@
 use crate::exec::NodeExecutor;
 use crate::network::Network;
 use crate::trace::LocalityTrace;
-use lcl_graph::{Ball, EdgeId, Graph, NodeId};
+use lcl_graph::{Ball, BallCache, EdgeId, Graph, NodeId};
 
 /// What one node sees after gathering radius `r`: its ball, with LOCAL
 /// identifiers and (for randomized algorithms) every ball member's random
@@ -20,10 +20,19 @@ pub struct View {
 }
 
 impl View {
-    fn extract(net: &Network, center: NodeId, r: u32, seed: u64) -> View {
-        let ball = Ball::extract(net.graph(), center, r);
+    /// Gathers the radius-`r` view through the sweep's shared
+    /// [`BallCache`], which keeps extraction equal to [`Ball::extract`]
+    /// while amortizing BFS and scratch work across the adaptive loop.
+    fn extract(
+        net: &Network,
+        cache: &mut BallCache<'_>,
+        center: NodeId,
+        r: u32,
+        seed: u64,
+    ) -> View {
+        let entire_component = cache.saturated(center, r);
+        let ball = cache.ball(center, r);
         let ids = (0..ball.len()).map(|i| net.id_of(ball.to_host_node(NodeId(i as u32)))).collect();
-        let entire_component = ball.is_entire_component(net.graph());
         View { ball, ids, seed, entire_component }
     }
 
@@ -113,9 +122,13 @@ impl View {
 }
 
 /// Stateless per-`(seed, id, index)` random word: SplitMix64 over a mixed
-/// key. Exposed crate-wide so the round engine can derive matching streams.
+/// key. The round engine derives its per-node RNG streams from it, and
+/// executor-threaded randomized runners (e.g. `lcl_algos::sinkless_rand`)
+/// use it for counter-mode draws that are independent of node iteration
+/// order — the property that makes parallel runs bit-identical to
+/// sequential ones.
 #[must_use]
-pub(crate) fn rand_word(seed: u64, id: u64, k: u64) -> u64 {
+pub fn rand_word(seed: u64, id: u64, k: u64) -> u64 {
     let mut z =
         seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -216,10 +229,11 @@ pub fn run_views_capped<A: ViewAlgorithm>(
     cap: u32,
 ) -> ViewOutcome<A::Output> {
     let ctx = ViewCtx { known_n: net.known_n(), max_degree: net.max_degree(), seed };
+    let mut cache = BallCache::new(net.graph());
     let mut outputs: Vec<Option<A::Output>> = Vec::with_capacity(net.len());
     let mut radii = Vec::with_capacity(net.len());
     for v in net.graph().nodes() {
-        let (out, used) = decide_one(net, alg, &ctx, v, seed, cap);
+        let (out, used) = decide_one(net, alg, &ctx, v, seed, cap, &mut cache);
         outputs.push(out);
         radii.push(used);
     }
@@ -254,8 +268,14 @@ where
     X: NodeExecutor,
 {
     let ctx = ViewCtx { known_n: net.known_n(), max_degree: net.max_degree(), seed };
-    let per_node =
-        exec.map_nodes(net.len(), |i| decide_one(net, alg, &ctx, NodeId(i as u32), seed, cap));
+    // Every worker owns a ball cache for its share of the sweep; cache
+    // state never changes extracted views, so outputs stay bit-identical
+    // to the sequential engine regardless of how nodes are grouped.
+    let per_node = exec.map_nodes_init(
+        net.len(),
+        || BallCache::new(net.graph()),
+        |cache, i| decide_one(net, alg, &ctx, NodeId(i as u32), seed, cap, cache),
+    );
     let mut outputs = Vec::with_capacity(per_node.len());
     let mut radii = Vec::with_capacity(per_node.len());
     for (out, used) in per_node {
@@ -265,7 +285,9 @@ where
     ViewOutcome { outputs, trace: LocalityTrace::new(radii) }
 }
 
-/// Runs one node's adaptive view loop: gather, decide, extend.
+/// Runs one node's adaptive view loop: gather, decide, extend. Releases
+/// the node's cached frontier afterwards so sweep memory stays bounded by
+/// the largest single ball, not the sum of all balls.
 fn decide_one<A: ViewAlgorithm>(
     net: &Network,
     alg: &A,
@@ -273,10 +295,25 @@ fn decide_one<A: ViewAlgorithm>(
     v: NodeId,
     seed: u64,
     cap: u32,
+    cache: &mut BallCache<'_>,
+) -> (Option<A::Output>, u32) {
+    let decision = decide_one_inner(net, alg, ctx, v, seed, cap, cache);
+    cache.release(v);
+    decision
+}
+
+fn decide_one_inner<A: ViewAlgorithm>(
+    net: &Network,
+    alg: &A,
+    ctx: &ViewCtx,
+    v: NodeId,
+    seed: u64,
+    cap: u32,
+    cache: &mut BallCache<'_>,
 ) -> (Option<A::Output>, u32) {
     let mut r = alg.initial_radius(ctx).min(cap);
     loop {
-        let view = View::extract(net, v, r, seed);
+        let view = View::extract(net, cache, v, r, seed);
         let saturated = view.saturated();
         match alg.decide(&view, ctx) {
             Decision::Output(o) => {

@@ -25,8 +25,9 @@ use std::fmt;
 
 /// An LCL problem as consumed by the padding construction.
 pub trait InnerProblem {
-    /// Input alphabet.
-    type In: Clone + fmt::Debug + PartialEq;
+    /// Input alphabet (`Send + Sync` so padded instances can fan V-runs
+    /// and flag computation across a `NodeExecutor`).
+    type In: Clone + fmt::Debug + PartialEq + Send + Sync;
     /// Output alphabet.
     type Out: Clone + fmt::Debug + PartialEq;
 

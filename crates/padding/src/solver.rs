@@ -20,7 +20,7 @@ use lcl_core::Labeling;
 use lcl_gadget::GadgetFamily as _;
 use lcl_gadget::PsiOutput;
 use lcl_graph::{Graph, HalfEdge, NodeId, Side};
-use lcl_local::Network;
+use lcl_local::{Network, NodeExecutor, Sequential};
 
 /// Cost decomposition of a `Π'` run (Lemma 4 accounting).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -84,24 +84,49 @@ where
     /// Panics on internal inconsistencies (e.g. a valid gadget without a
     /// `Port_1` node), which indicate bugs rather than bad inputs.
     #[must_use]
-    #[allow(clippy::too_many_lines)]
     pub fn run(
         &self,
         net: &Network,
         input: &Labeling<PadIn<P::In>>,
         seed: u64,
     ) -> PaddedRun<P::In, P::Out> {
+        self.run_with(net, input, seed, &Sequential)
+    }
+
+    /// [`Self::run`] with a pluggable [`NodeExecutor`]: the per-gadget
+    /// V-runs (step 1), the per-node port flags (step 2), and the
+    /// per-gadget diameter accounting (step 7) fan out across the
+    /// executor. Gadget components are disjoint and flags read only the
+    /// shared `Ψ` table, so the run is bit-identical to [`Self::run`]
+    /// under **any** executor.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run`].
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn run_with<X: NodeExecutor>(
+        &self,
+        net: &Network,
+        input: &Labeling<PadIn<P::In>>,
+        seed: u64,
+        exec: &X,
+    ) -> PaddedRun<P::In, P::Out> {
         let g = net.graph();
         let delta = self.problem.delta();
         let mut scratch = Vec::new();
         let (comps, comp_of) = gadget_components(g, input, &mut scratch);
 
-        // (1) Algorithm V per component.
+        // (1) Algorithm V per component — components are disjoint
+        // subgraphs, so the expensive verification fans out.
+        let family = &self.problem.family;
+        let verifier_outs = exec.map_nodes(comps.len(), |c| {
+            family.verify(&comps[c].sub, &comps[c].sub_input, net.known_n())
+        });
         let mut psi = vec![PsiOutput::Ok; g.node_count()];
         let mut comp_valid = Vec::with_capacity(comps.len());
         let mut v_radius = 0;
-        for comp in &comps {
-            let out = self.problem.family.verify(&comp.sub, &comp.sub_input, net.known_n());
+        for (comp, out) in comps.iter().zip(&verifier_outs) {
             v_radius = v_radius.max(out.trace.max_radius());
             comp_valid.push(out.all_ok());
             for (local, &host) in comp.nodes.iter().enumerate() {
@@ -114,25 +139,23 @@ where
         let port_edges_of = |v: NodeId| -> Vec<HalfEdge> {
             g.ports(v).iter().copied().filter(|h| input.edge(h.edge).port_edge).collect()
         };
-        let flags: Vec<PortFlag> = g
-            .nodes()
-            .map(|v| {
-                let Some(_) = input_port(v) else { return PortFlag::NoPortErr };
-                let pes = port_edges_of(v);
-                if pes.len() != 1 {
-                    return PortFlag::PortErr2;
-                }
-                let peer = g.half_edge_peer(pes[0]);
-                let good = psi[v.index()] == PsiOutput::Ok
-                    && psi[peer.index()] == PsiOutput::Ok
-                    && input_port(peer).is_some();
-                if good {
-                    PortFlag::NoPortErr
-                } else {
-                    PortFlag::PortErr1
-                }
-            })
-            .collect();
+        let flags: Vec<PortFlag> = exec.map_nodes(g.node_count(), |vi| {
+            let v = NodeId(vi as u32);
+            let Some(_) = input_port(v) else { return PortFlag::NoPortErr };
+            let pes = port_edges_of(v);
+            if pes.len() != 1 {
+                return PortFlag::PortErr2;
+            }
+            let peer = g.half_edge_peer(pes[0]);
+            let good = psi[v.index()] == PsiOutput::Ok
+                && psi[peer.index()] == PsiOutput::Ok
+                && input_port(peer).is_some();
+            if good {
+                PortFlag::NoPortErr
+            } else {
+                PortFlag::PortErr1
+            }
+        });
 
         // (3) Virtual graph: one node per valid gadget; virtual edges for
         // PortEdges whose two ports are both in S (= NoPortErr).
@@ -279,14 +302,19 @@ where
             .collect();
         let output = Labeling::from_parts(node_out, edge_out, half_out);
 
-        // (7) Cost accounting.
-        let mut gadget_diameter = 0;
-        for (c, comp) in comps.iter().enumerate() {
-            if vid_of_comp[c].is_none() {
-                continue;
-            }
-            gadget_diameter = gadget_diameter.max(lcl_graph::diameter(&comp.sub));
-        }
+        // (7) Cost accounting. The per-gadget diameter BFS is quadratic in
+        // the gadget, so it fans out too.
+        let gadget_diameter = exec
+            .map_nodes(comps.len(), |c| {
+                if vid_of_comp[c].is_some() {
+                    lcl_graph::diameter(&comps[c].sub)
+                } else {
+                    0
+                }
+            })
+            .into_iter()
+            .max()
+            .unwrap_or(0);
         let stats = PadStats {
             v_radius,
             inner_rounds,

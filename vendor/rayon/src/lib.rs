@@ -2,49 +2,97 @@
 //!
 //! Implements the slice of the `rayon` API the experiment engine uses:
 //! `par_iter()` on slices, `into_par_iter()` on `Vec` and `Range<usize>`,
-//! `.map(...)` and order-preserving `.collect()` / `.for_each(...)`, plus
-//! [`current_num_threads`]. Work is split into contiguous chunks across
-//! `std::thread::scope` threads; results are written back by index, so
-//! collection order always equals input order regardless of scheduling —
-//! the property the deterministic batch runner relies on.
+//! `.map(...)` / `.map_init(...)` and order-preserving `.collect()` /
+//! `.for_each(...)`, plus [`current_num_threads`]. Work is split into
+//! contiguous chunks dispatched to a **persistent worker pool** (spawned
+//! lazily on first use, pinnable via `LCL_POOL_THREADS`); results are
+//! written back by index, so collection order always equals input order
+//! regardless of scheduling — the property the deterministic batch runner
+//! relies on.
+//!
+//! The pool replaces the previous `std::thread::scope`-per-call design:
+//! fine-grained per-node workloads (the LOCAL simulator dispatches one job
+//! per graph node) no longer pay thread spawn/join cost on every call.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
-/// Number of worker threads the shim will use (the available parallelism).
+mod pool;
+
+/// Number of worker threads the shim will use: the value of the
+/// `LCL_POOL_THREADS` environment variable if set (read once, at pool
+/// creation), otherwise the available parallelism. This counts the
+/// submitting thread: a job is executed by the submitter plus
+/// `current_num_threads() - 1` pool workers.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    pool::global().threads()
 }
 
-/// Executes `f(i)` for every index, fanning chunks across threads, and
+/// Executes `f(i)` for every index, fanning chunks across the pool, and
 /// returns the results in index order.
 fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_indexed_init(len, &|| (), &|(), i| f(i))
+}
+
+/// [`run_indexed`] with a per-worker scratch value: every chunk of indices
+/// is processed with a fresh `init()` value threaded through `f`. Callers
+/// must not let the scratch influence results (it is a cache/arena, not
+/// semantic state) — chunk boundaries depend on the pool size.
+fn run_indexed_init<S, R, I, F>(len: usize, init: &I, f: &F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     if len == 0 {
         return Vec::new();
     }
-    let threads = current_num_threads().min(len);
-    if threads <= 1 {
-        return (0..len).map(f).collect();
+    if current_num_threads().min(len) <= 1 {
+        let mut scratch = init();
+        return (0..len).map(|i| f(&mut scratch, i)).collect();
     }
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + off));
-                }
-            });
+    run_chunked_slices(&mut slots, &|base, chunk: &mut [Option<R>]| {
+        let mut scratch = init();
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(&mut scratch, base + off));
         }
     });
     slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// Splits `items` into one contiguous chunk per participating thread and
+/// runs `g(base_index, chunk)` across the pool. One uncontended mutex per
+/// chunk hands each worker exclusive, safe access to its slice — the
+/// single dispatch path shared by indexed collection and mutable
+/// iteration, so chunk sizing and the lock protocol cannot diverge.
+fn run_chunked_slices<T, G>(items: &mut [T], g: &G)
+where
+    T: Send,
+    G: Fn(usize, &mut [T]) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        g(0, items);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let chunk_slots: Vec<Mutex<&mut [T]>> = items.chunks_mut(chunk).map(Mutex::new).collect();
+    pool::run_chunks(chunk_slots.len(), &|ci: usize| {
+        let mut guard = chunk_slots[ci].lock().expect("chunk slot lock");
+        g(ci * chunk, &mut guard[..]);
+    });
 }
 
 /// A parallel iterator: an exact-size source plus an element function.
@@ -61,6 +109,18 @@ pub trait ParallelIterator: Sized {
     /// Maps elements through `f`.
     fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> MapIter<Self, F> {
         MapIter { base: self, f }
+    }
+
+    /// Maps elements through `f` with a per-worker scratch value created by
+    /// `init` (mirrors rayon's `map_init`). The scratch must not influence
+    /// results — chunking is a scheduling detail.
+    fn map_init<S, R, I, F>(self, init: I, f: F) -> MapInitIter<Self, I, F>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+    {
+        MapInitIter { base: self, init, f }
     }
 
     /// Runs the pipeline, collecting results in input order.
@@ -147,6 +207,33 @@ impl<S: ParallelIterator, R: Send, F: Fn(S::Item) -> R + Sync> ParallelIterator 
     }
 }
 
+/// See [`ParallelIterator::map_init`]. Unlike plain [`MapIter`] this is a
+/// pipeline *terminator* (it only offers `collect` / `for_each`): per-chunk
+/// scratch cannot be expressed through the indexed `at(i)` protocol.
+#[derive(Debug)]
+pub struct MapInitIter<B, I, F> {
+    base: B,
+    init: I,
+    f: F,
+}
+
+impl<B, I, F> MapInitIter<B, I, F> {
+    /// Runs the pipeline, collecting results in input order. Each worker
+    /// chunk gets a fresh `init()` scratch.
+    pub fn collect<S, R, C>(self) -> C
+    where
+        B: ParallelIterator + Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, B::Item) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let base = &self.base;
+        let f = &self.f;
+        C::from(run_indexed_init(base.par_len(), &self.init, &|s: &mut S, i| f(s, base.at(i))))
+    }
+}
+
 /// Mutable parallel iterator over `&mut [T]` (supports only the
 /// `.enumerate().for_each(...)` pipeline the workspace uses).
 #[derive(Debug)]
@@ -172,26 +259,9 @@ impl<T: Send> EnumerateMut<'_, T> {
     /// Applies `f` to every `(index, &mut element)` pair, in parallel over
     /// contiguous chunks.
     pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
-        let len = self.items.len();
-        if len == 0 {
-            return;
-        }
-        let threads = current_num_threads().min(len);
-        if threads <= 1 {
-            for (i, item) in self.items.iter_mut().enumerate() {
-                f((i, item));
-            }
-            return;
-        }
-        let chunk = len.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, item_chunk) in self.items.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (off, item) in item_chunk.iter_mut().enumerate() {
-                        f((t * chunk + off, item));
-                    }
-                });
+        run_chunked_slices(self.items, &|base, chunk: &mut [T]| {
+            for (off, item) in chunk.iter_mut().enumerate() {
+                f((base + off, item));
             }
         });
     }
@@ -266,11 +336,15 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     }
 }
 
+/// The parallelism the host advertises (used as the pool-size default).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
 pub mod prelude {
     //! Glob-import surface, mirroring `rayon::prelude`.
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
@@ -315,5 +389,57 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn map_init_matches_map() {
+        let plain: Vec<usize> = (0..500).into_par_iter().map(|i| i * 3).collect();
+        let with_scratch: Vec<usize> = (0..500)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1; // per-chunk scratch is reused, never observed
+                    i * 3
+                },
+            )
+            .collect();
+        assert_eq!(plain, with_scratch);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let out: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..64).into_par_iter().map(|j| i * 1000 + j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> =
+            (0..8).map(|i| (0..64).map(|j| i * 1000 + j).sum::<usize>()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let res = std::panic::catch_unwind(|| {
+            (0..256).into_par_iter().for_each(|i| {
+                assert!(i != 137, "boom at {i}");
+            });
+        });
+        assert!(res.is_err(), "panic inside a parallel job must reach the caller");
+        // The pool must still be usable afterwards.
+        let sum: Vec<usize> = (0..64).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(sum.iter().sum::<usize>(), 64 * 65 / 2);
+    }
+
+    #[test]
+    fn repeated_jobs_reuse_the_pool() {
+        for round in 0..50 {
+            let v: Vec<usize> = (0..97).into_par_iter().map(|i| i + round).collect();
+            assert_eq!(v[0], round);
+            assert_eq!(v[96], 96 + round);
+        }
     }
 }

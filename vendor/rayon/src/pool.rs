@@ -1,0 +1,200 @@
+//! The persistent worker pool behind the shim's parallel iterators.
+//!
+//! A single global pool is spawned lazily on first use and lives for the
+//! rest of the process. Jobs are *chunked*: the submitter splits its work
+//! into `chunks` contiguous pieces and every participant — pool workers
+//! plus the submitting thread itself — claims chunk indices from a shared
+//! atomic counter until none remain. The submitter always participates, so
+//! a job makes progress even when every worker is busy; nested submissions
+//! (a job submitting sub-jobs) therefore cannot deadlock: a claimed chunk
+//! is, by construction, being actively executed by some thread.
+//!
+//! Panics inside a chunk are caught, carried across the pool, and resumed
+//! on the submitting thread, mirroring `std::thread::scope` semantics.
+//!
+//! This module contains the shim's only `unsafe` code: a type-erased
+//! pointer to the submitter's chunk closure travels to the workers.
+//!
+//! # Safety argument
+//!
+//! [`run_chunks`] does not return until `state.done == chunks`, and a chunk
+//! is only counted done *after* its closure call returns. Hence every
+//! dereference of the erased pointer happens while the submitting frame
+//! (which owns the closure and everything it borrows) is alive and blocked.
+//! Workers that pop a job envelope after all chunks were claimed observe
+//! `next >= chunks` and never touch the pointer; the envelope itself is an
+//! `Arc`, so late pops are memory-safe.
+
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased `&F where F: Fn(usize) + Sync`, valid for the job's life.
+struct ErasedFn {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is `Sync` (bound enforced by `run_chunks`) and is
+// kept alive by the blocked submitter for as long as workers may call it.
+unsafe impl Send for ErasedFn {}
+unsafe impl Sync for ErasedFn {}
+
+/// Calls the erased closure.
+///
+/// # Safety
+///
+/// `data` must point to a live `F` for the duration of the call.
+unsafe fn call_erased<F: Fn(usize) + Sync>(data: *const (), chunk: usize) {
+    (*data.cast::<F>())(chunk);
+}
+
+/// One submitted job: a closure plus chunk-claiming and completion state.
+struct Job {
+    f: ErasedFn,
+    chunks: usize,
+    /// Next chunk index to claim (values `>= chunks` mean "none left").
+    next: AtomicUsize,
+    state: Mutex<JobState>,
+    finished: Condvar,
+}
+
+struct JobState {
+    done: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Claims and executes chunks of `job` until none remain.
+fn work_on(job: &Job) {
+    loop {
+        let chunk = job.next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= job.chunks {
+            return;
+        }
+        // SAFETY: `chunk < chunks` was claimed exclusively, so the job is
+        // not yet complete and the submitter is keeping the closure alive
+        // (see the module-level safety argument).
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.f.call)(job.f.data, chunk);
+        }));
+        let mut state = job.state.lock().expect("job state lock");
+        if let Err(payload) = result {
+            if state.panic.is_none() {
+                state.panic = Some(payload);
+            }
+        }
+        state.done += 1;
+        if state.done == job.chunks {
+            job.finished.notify_all();
+        }
+    }
+}
+
+/// Queue shared between the submitters and the worker threads.
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    ready: Condvar,
+}
+
+/// The lazily spawned global pool.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Total parallelism: pool workers plus the submitting thread.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.ready.wait(queue).expect("pool queue wait");
+            }
+        };
+        work_on(&job);
+    }
+}
+
+/// Pool size: `LCL_POOL_THREADS` if set to a positive integer (the pinning
+/// knob the determinism CI leg uses), otherwise the available parallelism.
+fn pool_threads() -> usize {
+    std::env::var("LCL_POOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(crate::available_parallelism)
+}
+
+/// The global pool, spawning `threads - 1` workers on first use.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = pool_threads();
+        let shared =
+            Arc::new(PoolShared { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        for i in 0..threads.saturating_sub(1) {
+            let worker_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("lcl-pool-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, threads }
+    })
+}
+
+/// Executes `f(0), …, f(chunks - 1)` across the pool, returning when every
+/// chunk has finished. The calling thread participates, so completion never
+/// depends on worker availability. Panics inside `f` are re-raised here.
+pub(crate) fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
+    if chunks == 0 {
+        return;
+    }
+    let pool = global();
+    if chunks == 1 || pool.threads <= 1 {
+        for chunk in 0..chunks {
+            f(chunk);
+        }
+        return;
+    }
+    let job = Arc::new(Job {
+        f: ErasedFn { data: (f as *const F).cast::<()>(), call: call_erased::<F> },
+        chunks,
+        next: AtomicUsize::new(0),
+        state: Mutex::new(JobState { done: 0, panic: None }),
+        finished: Condvar::new(),
+    });
+    // One envelope per helper that could usefully join in.
+    let helpers = (pool.threads - 1).min(chunks - 1);
+    {
+        let mut queue = pool.shared.queue.lock().expect("pool queue lock");
+        for _ in 0..helpers {
+            queue.push_back(Arc::clone(&job));
+        }
+    }
+    pool.shared.ready.notify_all();
+
+    work_on(&job);
+
+    let mut state = job.state.lock().expect("job state lock");
+    while state.done < job.chunks {
+        state = job.finished.wait(state).expect("job completion wait");
+    }
+    let panic = state.panic.take();
+    drop(state);
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+}
