@@ -28,8 +28,8 @@
 use crate::rules::{orient_globally, NodeAnalysis};
 use lcl_core::problems::Orient;
 use lcl_core::Labeling;
-use lcl_graph::CycleSearch;
-use lcl_local::{LocalityTrace, Network};
+use lcl_graph::{CycleSearch, NodeId};
+use lcl_local::{LocalityTrace, Network, NodeExecutor, Sequential};
 
 /// Tuning knobs for the deterministic algorithm.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +69,16 @@ pub struct DetOutcome {
 /// Runs deterministic sinkless orientation on the network.
 #[must_use]
 pub fn run(net: &Network, params: &Params) -> DetOutcome {
+    run_with(net, params, &Sequential)
+}
+
+/// [`run`] with a pluggable [`NodeExecutor`]: the per-node certification-
+/// radius accounting (one eccentricity-bounded BFS per undecided node, the
+/// dominant cost on large instances) fans across the executor. Radii are
+/// pure per-node functions of the global analysis, so the outcome is
+/// bit-identical under any executor.
+#[must_use]
+pub fn run_with<X: NodeExecutor>(net: &Network, params: &Params, exec: &X) -> DetOutcome {
     let g = net.graph();
     let el = params.short_cycle_cap.unwrap_or_else(|| short_cycle_threshold(net.known_n()));
     let search = CycleSearch::new(params.cycle_cap);
@@ -91,38 +101,35 @@ pub fn run(net: &Network, params: &Params) -> DetOutcome {
             ecc_lb[v.index()] = dav.max(ecc_anchor.saturating_sub(dav));
         }
     }
-    let radii: Vec<u32> = g
-        .nodes()
-        .map(|v| {
-            let need = {
-                let mut worst = analysis[v.index()].dist_to_core;
-                let infinite_core = analysis[v.index()].branch != crate::rules::Branch::Core;
-                for (w, _) in g.neighbors(v) {
-                    worst = worst.max(analysis[w.index()].dist_to_core);
-                }
-                if infinite_core {
-                    None // only saturation decides for non-core components
-                } else {
-                    // Smallest scheduled radius with worst ≤ r - L - 2.
-                    let target = worst + el + 2;
-                    let step = el + 1;
-                    let mut r = el + 3;
-                    while r < target {
-                        r += step;
-                    }
-                    Some(r)
-                }
-            };
-            match need {
-                Some(r) if r <= ecc_lb[v.index()] => r,
-                _ => {
-                    let ecc =
-                        lcl_graph::bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0);
-                    need.map_or(ecc, |r| r.min(ecc))
-                }
+    let radii: Vec<u32> = exec.map_nodes(g.node_count(), |vi| {
+        let v = NodeId(vi as u32);
+        let need = {
+            let mut worst = analysis[v.index()].dist_to_core;
+            let infinite_core = analysis[v.index()].branch != crate::rules::Branch::Core;
+            for (w, _) in g.neighbors(v) {
+                worst = worst.max(analysis[w.index()].dist_to_core);
             }
-        })
-        .collect();
+            if infinite_core {
+                None // only saturation decides for non-core components
+            } else {
+                // Smallest scheduled radius with worst ≤ r - L - 2.
+                let target = worst + el + 2;
+                let step = el + 1;
+                let mut r = el + 3;
+                while r < target {
+                    r += step;
+                }
+                Some(r)
+            }
+        };
+        match need {
+            Some(r) if r <= ecc_lb[v.index()] => r,
+            _ => {
+                let ecc = lcl_graph::bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0);
+                need.map_or(ecc, |r| r.min(ecc))
+            }
+        }
+    });
 
     DetOutcome { labeling, trace: LocalityTrace::new(radii), analysis }
 }

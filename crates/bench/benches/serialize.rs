@@ -1,0 +1,122 @@
+//! Streaming serializer vs the value-tree path — the acceptance bench for
+//! the persistent results subsystem's I/O layer.
+//!
+//! A large report (the shape `rows.jsonl` persistence and `--json` output
+//! actually produce: many rows, each with a couple of `extra` fields)
+//! serializes through both `serde_json` paths:
+//!
+//! * `value-tree` — [`serde_json::to_value_string`]: every row builds a
+//!   `Value::Map` of allocated keys and boxed values before rendering;
+//! * `streaming` — [`serde_json::to_string`]: tokens go straight from the
+//!   derived `Serialize::stream` impl into the output buffer;
+//! * `to-writer` — [`serde_json::to_writer`]: the persistence path,
+//!   streaming all rows into one growing byte buffer.
+//!
+//! The acceptance assert requires the streaming path to beat the
+//! value-tree path by ≥ 1.3× on the large report (it measures ≈ 2×; the
+//! gate is deliberately below the measurement so shared-runner noise in
+//! CI cannot fail it spuriously); the two must also agree byte for byte.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_bench::Row;
+
+fn big_rows(count: usize) -> Vec<Row> {
+    (0..count)
+        .map(|i| Row {
+            experiment: "E1",
+            series: format!("series-{}", i % 7),
+            n: 256 << (i % 8),
+            seed: i as u64,
+            measured: (i as f64).sqrt() * 1.25,
+            extra: vec![
+                ("phase1".into(), (i % 13) as f64),
+                ("finish".into(), (i % 5) as f64 * 0.5),
+            ],
+        })
+        .collect()
+}
+
+fn render_value_tree(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_value_string(r).expect("row serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_streaming(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("row serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_to_writer(rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in rows {
+        serde_json::to_writer(&mut out, r).expect("row serializes");
+        out.push(b'\n');
+    }
+    out
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("report-serialize");
+    group.sample_size(10);
+    for count in [1_000usize, 30_000] {
+        let rows = big_rows(count);
+        group.bench_with_input(BenchmarkId::new("value-tree", count), &rows, |b, rows| {
+            b.iter(|| render_value_tree(rows));
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", count), &rows, |b, rows| {
+            b.iter(|| render_streaming(rows));
+        });
+        group.bench_with_input(BenchmarkId::new("to-writer", count), &rows, |b, rows| {
+            b.iter(|| render_to_writer(rows));
+        });
+    }
+    group.finish();
+
+    // The acceptance criterion, asserted so a perf regression fails loudly
+    // when the bench binary runs (CI executes it): producing the
+    // `rows.jsonl` bytes of a large report through the streaming
+    // `to_writer` path must beat the value-tree path by ≥ 1.3× (it
+    // measures ≈ 2×; the slack absorbs shared-runner noise). Both sides
+    // are warmed and take the minimum of 7 timed runs, so scheduler
+    // hiccups cannot fail the gate spuriously — and both must produce
+    // byte-identical output.
+    let rows = big_rows(30_000);
+    let jsonl_value_tree = |rows: &[Row]| -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in rows {
+            out.extend_from_slice(
+                serde_json::to_value_string(r).expect("row serializes").as_bytes(),
+            );
+            out.push(b'\n');
+        }
+        out
+    };
+    let timed_min = |f: &dyn Fn() -> Vec<u8>| {
+        let warm = f();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..7 {
+            let t = std::time::Instant::now();
+            assert_eq!(f(), warm);
+            best = best.min(t.elapsed());
+        }
+        (warm, best)
+    };
+    let (a, tree) = timed_min(&|| jsonl_value_tree(&rows));
+    let (b, streaming) = timed_min(&|| render_to_writer(&rows));
+    assert_eq!(a, b, "streamed rows.jsonl must be byte-identical to the value-tree path");
+    println!(
+        "acceptance: value-tree {tree:?} vs streaming {streaming:?} ({:.2}x)",
+        tree.as_secs_f64() / streaming.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        tree.as_secs_f64() >= 1.3 * streaming.as_secs_f64(),
+        "streaming serializer must be >= 1.3x faster: value-tree {tree:?}, streaming {streaming:?}"
+    );
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

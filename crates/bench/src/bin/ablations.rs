@@ -14,7 +14,7 @@
 //! (`--seq` forces sequential execution; reports are byte-identical).
 
 use lcl_algos::{sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, BatchRunner, Report, Row};
+use lcl_bench::{BatchRunner, CliOpts, Report, Row};
 use lcl_gadget::{GadgetFamily, LogGadgetFamily};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
@@ -104,12 +104,7 @@ fn run_experiment(runner: BatchRunner, quick: bool) -> Report {
 }
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let rep = run_experiment(BatchRunner::from_cli(), quick);
-    println!("{}", rep.render(json));
-    if !json {
-        println!("cycle-cap: outputs stabilize by cap 16 and verify at every cap.");
-        println!("shatter-budget: finish radius collapses once budget ≈ loglog n.");
-        println!("gadget-delta: verification radius tracks log n uniformly in Δ.");
-    }
+    let opts = CliOpts::parse();
+    let rep = run_experiment(BatchRunner::from_opts(&opts), opts.quick);
+    rep.finish("ablations", &opts);
 }

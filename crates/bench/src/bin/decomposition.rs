@@ -4,14 +4,14 @@
 //! `D(n)/R(n) ≫ log n`.
 
 use lcl_algos::decomposition::{linial_saks, validate};
-use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_bench::{doubling_sizes, CliOpts, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let max = if quick { 1 << 9 } else { 1 << 12 };
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let opts = CliOpts::parse();
+    let max = if opts.quick { 1 << 9 } else { 1 << 12 };
+    let seeds: Vec<u64> = if opts.quick { vec![1] } else { vec![1, 2, 3] };
     let mut rep = Report::new();
 
     for n in doubling_sizes(64, max) {
@@ -35,10 +35,5 @@ fn main() {
         }
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Linial-Saks: colors = O(log n), cluster radius ≤ B = ⌈log₂ n⌉+2;");
-        println!("rounds = colors × (B+1) = O(log² n) — the ND(n) of the paper's");
-        println!("open-question discussion (best known deterministic: 2^O(√log n)).");
-    }
+    rep.finish("decomposition", &opts);
 }

@@ -2,11 +2,12 @@
 //! `Θ(log s)` on valid gadgets of size `s`; completeness and proof
 //! checkability on corrupted gadgets.
 
-use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_bench::{doubling_sizes, CliOpts, Report, Row};
 use lcl_gadget::{check_psi, corrupt, GadgetFamily, LogGadgetFamily};
 
 fn main() {
-    let (json, quick) = cli_flags();
+    let opts = CliOpts::parse();
+    let quick = opts.quick;
     let max = if quick { 1 << 10 } else { 1 << 14 };
     let fam = LogGadgetFamily::new(3);
     let mut rep = Report::new();
@@ -60,9 +61,5 @@ fn main() {
         });
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Lemma 10: verify-valid radius ≈ gadget diameter = Θ(log n);");
-        println!("corruption-caught should be 1.00 throughout (Lemmas 7/8).");
-    }
+    rep.finish("gadget_verifier", &opts);
 }

@@ -10,7 +10,7 @@
 //! sequential execution; reports are byte-identical either way).
 
 use lcl_algos::{sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, EngineExec, Report, Row};
+use lcl_bench::{doubling_sizes, grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::{hard_pi2_instance, hard_pi3_instance};
@@ -127,12 +127,7 @@ fn run_experiment(runner: BatchRunner, quick: bool, level3: bool) -> Report {
 }
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let level3 = std::env::args().any(|a| a == "--level3");
-    let rep = run_experiment(BatchRunner::from_cli(), quick, level3);
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Paper: det Θ(log^i n), rand Θ(log^(i-1) n · loglog n);");
-        println!("D/R ratio trends like log n / log log n at every level.");
-    }
+    let opts = CliOpts::parse();
+    let rep = run_experiment(BatchRunner::from_opts(&opts), opts.quick, opts.has("--level3"));
+    rep.finish("hierarchy", &opts);
 }

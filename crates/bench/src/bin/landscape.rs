@@ -19,7 +19,7 @@
 //! `--quick` shrinks the sweep.
 
 use lcl_algos::{linial, luby, matching, sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, grid, BatchRunner, Cell, EngineExec, Report, Row};
+use lcl_bench::{doubling_sizes, grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::hard_pi2_instance;
@@ -162,11 +162,7 @@ fn run_experiment(runner: BatchRunner, quick: bool) -> Report {
 }
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let rep = run_experiment(BatchRunner::from_cli(), quick);
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Reference shapes: 3col ≈ const, sinkless-det ≈ c·log2(n),");
-        println!("sinkless-rand ≈ c·loglog(n), pi2-det/pi2-rand ratio → log/loglog.");
-    }
+    let opts = CliOpts::parse();
+    let rep = run_experiment(BatchRunner::from_opts(&opts), opts.quick);
+    rep.finish("landscape", &opts);
 }

@@ -8,13 +8,13 @@
 //! deterministic sinkless orientation, as the paper's Figure 1 requires.
 
 use lcl_algos::sinkless_det;
-use lcl_bench::{cli_flags, Report, Row};
+use lcl_bench::{CliOpts, Report, Row};
 use lcl_graph::gen;
 use lcl_local::{IdAssignment, Network};
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let n = if quick { 512 } else { 4_096 };
+    let opts = CliOpts::parse();
+    let n = if opts.quick { 512 } else { 4_096 };
     let mut rep = Report::new();
 
     for seed in 1..=3u64 {
@@ -40,9 +40,5 @@ fn main() {
         }
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Below the Θ(log n) cliff every node fails; at the measured");
-        println!("radius nobody does — the locality requirement is real.");
-    }
+    rep.finish("lower_bound_probe", &opts);
 }

@@ -3,18 +3,18 @@
 //! Pads cycles with gadgets of growing size and reports the base diameter,
 //! padded diameter, their ratio, and the gadget scale `d`.
 
-use lcl_bench::{cli_flags, Report, Row};
+use lcl_bench::{CliOpts, Report, Row};
 use lcl_core::Labeling;
 use lcl_gadget::{GadgetFamily, LogGadgetFamily};
 use lcl_graph::{diameter, diameter_estimate, gen};
 use lcl_padding::pad_graph;
 
 fn main() {
-    let (json, quick) = cli_flags();
+    let opts = CliOpts::parse();
     let fam = LogGadgetFamily::new(3);
     let mut rep = Report::new();
-    let base_sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
-    let gadget_sizes: &[usize] = if quick { &[32, 128] } else { &[32, 128, 512, 2048] };
+    let base_sizes: &[usize] = if opts.quick { &[8, 16] } else { &[8, 16, 32] };
+    let gadget_sizes: &[usize] = if opts.quick { &[32, 128] } else { &[32, 128, 512, 2048] };
 
     for &b in base_sizes {
         let base = gen::cycle(b);
@@ -38,9 +38,5 @@ fn main() {
         }
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Definition 3 / Figure 2: ratio ≈ Θ(d) — distances inflate with");
-        println!("the gadget scale while the base structure is preserved.");
-    }
+    rep.finish("padding_stats", &opts);
 }

@@ -6,15 +6,15 @@
 //! solution still passes the full `Π'` checker — the "don't care"
 //! semantics of Section 3.3.
 
-use lcl_bench::{cli_flags, Report, Row};
+use lcl_bench::{CliOpts, Report, Row};
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::{corrupt_gadgets, hard_pi2_instance};
 use lcl_padding::hierarchy::pi2_det;
 use lcl_padding::{check_padded, PadOut, PortFlag};
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let n = if quick { 2_000 } else { 8_000 };
+    let opts = CliOpts::parse();
+    let n = if opts.quick { 2_000 } else { 8_000 };
     let mut rep = Report::new();
 
     for k in [0usize, 1, 3, 6] {
@@ -55,9 +55,5 @@ fn main() {
         }
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Figure 4: virtual nodes = base − invalid; each invalid gadget");
-        println!("flags its neighbors' facing ports PortErr1 (≈ 3·k on 3-regular).");
-    }
+    rep.finish("port_mapping", &opts);
 }

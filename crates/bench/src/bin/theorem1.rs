@@ -8,15 +8,15 @@
 //!   (reported next to `log₂ n` for comparison).
 
 use lcl_algos::{sinkless_det, sinkless_rand};
-use lcl_bench::{cli_flags, doubling_sizes, Report, Row};
+use lcl_bench::{doubling_sizes, CliOpts, Report, Row};
 use lcl_local::{IdAssignment, Network};
 use lcl_padding::hard::hard_pi2_instance;
 use lcl_padding::hierarchy::{pi2_det, pi2_rand};
 
 fn main() {
-    let (json, quick) = cli_flags();
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
-    let max = if quick { 10_000 } else { 80_000 };
+    let opts = CliOpts::parse();
+    let seeds: Vec<u64> = if opts.quick { vec![1] } else { vec![1, 2, 3] };
+    let max = if opts.quick { 10_000 } else { 80_000 };
     let mut rep = Report::new();
 
     for n in doubling_sizes(2_500, max) {
@@ -67,9 +67,5 @@ fn main() {
         }
     }
 
-    println!("{}", rep.render(json));
-    if !json {
-        println!("Theorem 1: inflation (padded / base-at-√n) should track Θ(log n)");
-        println!("(compare the `inflation` and `log2n` columns).");
-    }
+    rep.finish("theorem1", &opts);
 }

@@ -150,11 +150,18 @@ impl BatchRunner {
     /// Parallel unless the process was started with `--seq` or the
     /// `LCL_BENCH_SEQUENTIAL` environment variable is set — the escape
     /// hatch the determinism regression test uses to compare engines.
+    /// (Delegates to [`crate::CliOpts`], the single owner of flag
+    /// parsing; binaries that also need other flags use
+    /// [`BatchRunner::from_opts`] directly.)
     #[must_use]
     pub fn from_cli() -> Self {
-        let seq = std::env::args().any(|a| a == "--seq")
-            || std::env::var_os("LCL_BENCH_SEQUENTIAL").is_some();
-        BatchRunner { parallel: !seq }
+        Self::from_opts(&crate::CliOpts::parse())
+    }
+
+    /// The runner matching already-parsed [`crate::CliOpts`].
+    #[must_use]
+    pub fn from_opts(opts: &crate::CliOpts) -> Self {
+        BatchRunner { parallel: !opts.seq }
     }
 
     /// True if this runner fans out across cores.

@@ -1,9 +1,12 @@
 //! Shared experiment harness utilities.
 //!
 //! Each experiment binary (`src/bin/*.rs`) regenerates one figure/theorem
-//! artefact of the paper (see DESIGN.md §4 for the index) and prints both a
-//! human-readable table and machine-readable JSON rows (`--json`), so the
-//! tables in EXPERIMENTS.md can be reproduced exactly.
+//! artefact of the paper (see DESIGN.md §4 for the index). Every binary
+//! funnels through one code path — [`Report::finish`] — which renders a
+//! human-readable table (or JSON rows with `--json`) **and** persists the
+//! run to the on-disk store (`results/<experiment>/<run-id>/`, see
+//! `lcl-report`), so each invocation leaves a provenance-stamped record
+//! the `results` CLI can list, diff, and trend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,8 +14,11 @@
 pub mod engine;
 
 pub use engine::{grid, BatchRunner, Cell, EngineExec, Parallel};
+pub use lcl_report::RowRecord;
 
-use serde::{Deserialize, Serialize};
+use lcl_report::{RunManifest, RunStore};
+use serde::Serialize;
+use std::path::PathBuf;
 
 /// One measurement row: an experiment id, the instance parameters, and the
 /// measured quantities.
@@ -32,26 +38,6 @@ pub struct Row {
     pub extra: Vec<(String, f64)>,
 }
 
-/// An owned measurement record: the deserializable twin of [`Row`]
-/// (whose `experiment` field is `&'static str`). JSON emitted for a `Row`
-/// parses into a `RowRecord` and re-serializes to the identical string —
-/// the contract that lets downstream tooling re-ingest `--json` output.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct RowRecord {
-    /// Experiment id.
-    pub experiment: String,
-    /// Series label within the experiment.
-    pub series: String,
-    /// Instance size `n`.
-    pub n: usize,
-    /// Seed used.
-    pub seed: u64,
-    /// The measured complexity.
-    pub measured: f64,
-    /// Optional extra fields.
-    pub extra: Vec<(String, f64)>,
-}
-
 impl From<&Row> for RowRecord {
     fn from(row: &Row) -> Self {
         RowRecord {
@@ -62,6 +48,79 @@ impl From<&Row> for RowRecord {
             measured: row.measured,
             extra: row.extra.clone(),
         }
+    }
+}
+
+/// Parsed common CLI surface of every experiment binary:
+///
+/// * `--json` — machine-readable rows on stdout instead of the table;
+/// * `--quick` — shrink the sweep (also via `LCL_BENCH_QUICK`);
+/// * `--seq` — run cells sequentially (also via `LCL_BENCH_SEQUENTIAL`);
+/// * `--out <dir>` — run-store root (default `results/`);
+/// * `--run-id <id>` — explicit run id (default: UTC stamp + pid);
+/// * `--no-persist` — render only, write nothing.
+///
+/// Unrecognized flags are kept and queryable via [`CliOpts::has`], so
+/// binaries can layer their own switches (e.g. `hierarchy --level3`).
+#[derive(Clone, Debug)]
+pub struct CliOpts {
+    /// Emit JSON rows instead of the fixed-width table.
+    pub json: bool,
+    /// Shrink sweeps for smoke runs.
+    pub quick: bool,
+    /// Force sequential cell execution.
+    pub seq: bool,
+    /// Run-store root directory.
+    pub out: PathBuf,
+    /// Explicit run id, if given.
+    pub run_id: Option<String>,
+    /// Whether to persist the run (`!--no-persist`).
+    pub persist: bool,
+    /// The raw argument list (for binary-specific flags).
+    args: Vec<String>,
+}
+
+impl CliOpts {
+    /// Parses the process arguments (plus the `LCL_BENCH_*` env escape
+    /// hatches the determinism harness uses).
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable entry point).
+    #[must_use]
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        // A value must follow its flag and must not itself be a flag —
+        // `--out --seq` means the value was forgotten, not that the run
+        // should persist into a directory named `--seq`.
+        let value_of = |flag: &str| -> Option<String> {
+            let i = args.iter().position(|a| a == flag)?;
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Some(v.clone()),
+                _ => {
+                    eprintln!("warning: {flag} requires a value; flag ignored");
+                    None
+                }
+            }
+        };
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        CliOpts {
+            json: has("--json"),
+            quick: has("--quick") || std::env::var_os("LCL_BENCH_QUICK").is_some(),
+            seq: has("--seq") || std::env::var_os("LCL_BENCH_SEQUENTIAL").is_some(),
+            out: value_of("--out").map_or_else(RunStore::default_root, PathBuf::from),
+            run_id: value_of("--run-id"),
+            persist: !has("--no-persist"),
+            args,
+        }
+    }
+
+    /// True if the raw argument list contains `flag` exactly.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
     }
 }
 
@@ -117,6 +176,53 @@ impl Report {
         out
     }
 
+    /// The single exit path of every experiment binary: prints the
+    /// rendered report to stdout and — unless `--no-persist` — commits the
+    /// run to the store as `manifest.json` + `rows.jsonl` (streamed, one
+    /// row per line). Returns the committed run directory, if any.
+    ///
+    /// The persistence note goes to **stderr**, keeping stdout
+    /// byte-identical across parallel/sequential runs (the CI determinism
+    /// gates compare it directly). A requested persist that fails (taken
+    /// `--run-id`, unwritable `--out`, disk full) **terminates the
+    /// process with exit code 3** after the report has been printed —
+    /// scripts must never believe an unrecorded run was recorded.
+    pub fn finish(&self, experiment: &str, opts: &CliOpts) -> Option<PathBuf> {
+        println!("{}", self.render(opts.json));
+        if !opts.persist {
+            return None;
+        }
+        match self.persist(experiment, opts) {
+            Ok(dir) => {
+                eprintln!("persisted {} rows to {}", self.rows.len(), dir.display());
+                Some(dir)
+            }
+            Err(e) => {
+                eprintln!("error: run not persisted: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    /// The persistence half of [`Report::finish`], without the process
+    /// exit: commits the run and returns its directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunStore::save`] failures (taken run id, I/O errors).
+    pub fn persist(&self, experiment: &str, opts: &CliOpts) -> std::io::Result<PathBuf> {
+        let store = RunStore::new(&opts.out);
+        let records: Vec<RowRecord> = self.rows.iter().map(RowRecord::from).collect();
+        let run_id = opts
+            .run_id
+            .clone()
+            .unwrap_or_else(|| store.unique_run_id(experiment, &default_run_id()));
+        let pool_width = if opts.seq { 1 } else { rayon::current_num_threads() };
+        let manifest =
+            RunManifest::new(experiment, &run_id, &records, pool_width, opts.quick, opts.seq);
+        store.save(&manifest, &records)
+    }
+
     /// Mean measured value of a series at a given `n` (NaN if absent).
     #[must_use]
     pub fn mean(&self, series: &str, n: usize) -> f64 {
@@ -134,15 +240,13 @@ impl Report {
     }
 }
 
-/// Parses the common CLI flags: `--json` and `--quick` (smaller sweeps for
-/// smoke runs; also triggered by the `LCL_BENCH_QUICK` env var).
-#[must_use]
-pub fn cli_flags() -> (bool, bool) {
-    let args: Vec<String> = std::env::args().collect();
-    let json = args.iter().any(|a| a == "--json");
-    let quick =
-        args.iter().any(|a| a == "--quick") || std::env::var_os("LCL_BENCH_QUICK").is_some();
-    (json, quick)
+/// The default run id: compact UTC stamp plus pid, unique enough for
+/// interactive use and overridable with `--run-id` when scripts (CI) need
+/// stable names.
+fn default_run_id() -> String {
+    let stamp: String =
+        lcl_report::utc_timestamp().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+    format!("{stamp}-p{}", std::process::id())
 }
 
 /// A geometric sweep of instance sizes `start, start·2, …` capped at `max`.
@@ -200,5 +304,59 @@ mod tests {
     fn doubling_sweep() {
         assert_eq!(doubling_sizes(4, 32), vec![4, 8, 16, 32]);
         assert_eq!(doubling_sizes(5, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cli_opts_parse_all_flags() {
+        let opts = CliOpts::from_args(
+            ["--json", "--quick", "--seq", "--out", "my-results", "--run-id", "r7", "--level3"]
+                .map(String::from),
+        );
+        assert!(opts.json && opts.quick && opts.seq);
+        assert_eq!(opts.out, PathBuf::from("my-results"));
+        assert_eq!(opts.run_id.as_deref(), Some("r7"));
+        assert!(opts.persist);
+        assert!(opts.has("--level3") && !opts.has("--level4"));
+
+        let opts = CliOpts::from_args(["--no-persist"].map(String::from));
+        assert!(!opts.json && !opts.seq && !opts.persist);
+        assert_eq!(opts.out, PathBuf::from("results"));
+        assert!(opts.run_id.is_none());
+
+        // A flag is never consumed as another flag's missing value.
+        let opts = CliOpts::from_args(["--out", "--seq"].map(String::from));
+        assert_eq!(opts.out, PathBuf::from("results"));
+        assert!(opts.seq);
+    }
+
+    #[test]
+    fn finish_persists_through_the_store() {
+        let root = std::env::temp_dir().join(format!("lcl-bench-finish-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut rep = Report::new();
+        rep.push(Row {
+            experiment: "E1",
+            series: "demo".into(),
+            n: 64,
+            seed: 1,
+            measured: 7.0,
+            extra: vec![("phase1".into(), 3.0)],
+        });
+        let mut opts = CliOpts::from_args(["--json".to_string()]);
+        opts.out = root.clone();
+        opts.run_id = Some("test-run".into());
+        let dir = rep.finish("unit-test", &opts).expect("finish persists");
+        assert!(dir.ends_with("unit-test/test-run"));
+        let stored = RunStore::new(&root).find("test-run").unwrap().expect("run listed");
+        assert_eq!(stored.manifest.row_count, 1);
+        assert_eq!(stored.manifest.series, vec!["demo".to_string()]);
+        let rows = stored.rows().unwrap();
+        // The persisted line re-serializes to the exact `--json` stdout line.
+        assert_eq!(serde_json::to_string(&rows[0]).unwrap(), rep.render(true));
+        // A second persist with the same explicit id must refuse
+        // (immutable); `finish` turns this refusal into exit code 3.
+        let err = rep.persist("unit-test", &opts).expect_err("duplicate id refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

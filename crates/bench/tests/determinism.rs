@@ -149,6 +149,55 @@ fn pooled_runners_match_sequential() {
     }
 }
 
+/// The padded solver threads its executor into the inner algorithm
+/// (`PiAlgorithm::solve_with`), so the virtual-graph simulation fans out
+/// too — and the whole `Π₂` run (outputs *and* Lemma-4 cost accounting)
+/// must stay bit-identical between the pooled executor and sequential
+/// execution, for both the deterministic and the randomized inner
+/// algorithm.
+#[test]
+fn padded_solver_pooled_matches_sequential() {
+    use lcl_padding::hard::hard_pi2_instance;
+    use lcl_padding::hierarchy::{pi2_det, pi2_rand};
+    for seed in [1u64, 4] {
+        let inst = hard_pi2_instance(2_000, 3, seed);
+        let net = Network::new(inst.graph.clone(), IdAssignment::Shuffled { seed });
+
+        let det = pi2_det(3);
+        let seq = det.run_with(&net, &inst.input, seed, &Sequential);
+        let par = det.run_with(&net, &inst.input, seed, &Parallel);
+        assert_eq!(seq.output, par.output, "pi2-det output diverged (seed {seed})");
+        assert_eq!(seq.stats, par.stats, "pi2-det stats diverged (seed {seed})");
+        assert_eq!(
+            det.run(&net, &inst.input, seed).output,
+            par.output,
+            "pi2-det run() diverged from pooled run_with (seed {seed})"
+        );
+
+        let rand = pi2_rand(3);
+        let seq = rand.run_with(&net, &inst.input, seed, &Sequential);
+        let par = rand.run_with(&net, &inst.input, seed, &Parallel);
+        assert_eq!(seq.output, par.output, "pi2-rand output diverged (seed {seed})");
+        assert_eq!(seq.stats, par.stats, "pi2-rand stats diverged (seed {seed})");
+    }
+}
+
+/// The executor-threaded deterministic sinkless orientation (the inner
+/// algorithm a padded run simulates) must be bit-identical under the
+/// pooled executor, radii accounting included.
+#[test]
+fn sinkless_det_pooled_matches_sequential() {
+    for seed in [2u64, 11] {
+        let g = gen::random_regular(96, 3, seed).expect("generable");
+        let net = Network::new(g, IdAssignment::Shuffled { seed });
+        let params = sinkless_det::Params::default();
+        let seq = sinkless_det::run(&net, &params);
+        let par = sinkless_det::run_with(&net, &params, &Parallel);
+        assert_eq!(seq.labeling, par.labeling, "labeling diverged (seed {seed})");
+        assert_eq!(seq.trace, par.trace, "radius trace diverged (seed {seed})");
+    }
+}
+
 /// The cache-backed view engine must stay deterministic under worker-
 /// scoped ball caches: per-worker cache state (a pure accelerator) must
 /// never leak into outputs, whatever the chunking.

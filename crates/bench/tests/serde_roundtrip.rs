@@ -4,6 +4,9 @@
 
 use lcl_bench::{Row, RowRecord};
 use lcl_local::{LocalityTrace, RoundTrace};
+use lcl_report::{RunManifest, RunStore};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
 fn row_json_reingests_as_row_record() {
@@ -47,6 +50,66 @@ fn round_trace_roundtrips_through_json() {
         let json = serde_json::to_string(&trace).unwrap();
         let back: RoundTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, trace);
+    }
+}
+
+/// Key alphabet exercising every JSON escape class: quotes, backslashes,
+/// named escapes, a raw control byte, multi-byte UTF-8, and plain ASCII.
+const KEY_CHARS: [char; 12] = ['a', 'Z', '9', '_', ' ', '"', '\\', '\n', '\t', '\u{1}', 'π', '√'];
+
+fn extra_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
+    let key = proptest::collection::vec(0usize..KEY_CHARS.len(), 0..8)
+        .prop_map(|idxs| idxs.into_iter().map(|i| KEY_CHARS[i]).collect::<String>());
+    // Raw bit patterns cover the full float zoo: subnormals, ±0, ±inf,
+    // NaN payloads — everything a measurement could conceivably produce.
+    let value = (0u64..=u64::MAX).prop_map(f64::from_bits);
+    proptest::collection::vec((key, value), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary `extra` key/value pairs survive the full pipeline —
+    /// serialize → persist (`RunStore`) → re-ingest — **byte-identically**:
+    /// the persisted `rows.jsonl` line equals the `--json` stdout line, and
+    /// the re-ingested record re-serializes to the same bytes (non-finite
+    /// floats persist as `null` and stay `null`, so even they are stable
+    /// at the byte level).
+    #[test]
+    fn row_extra_survives_persist_reingest(extra in extra_strategy(), seed in 0u64..=u64::MAX) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+
+        let row = Row {
+            experiment: "E1",
+            series: "prop".into(),
+            n: 4_096,
+            seed,
+            measured: f64::from_bits(seed ^ 0x9E37_79B9_7F4A_7C15),
+            extra,
+        };
+        let line = serde_json::to_string(&row).expect("row serializes");
+        let record: RowRecord = serde_json::from_str(&line).expect("row JSON re-ingests");
+        prop_assert_eq!(&serde_json::to_string(&record).unwrap(), &line);
+
+        let root = std::env::temp_dir()
+            .join(format!("lcl-bench-prop-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = RunStore::new(&root);
+        let records = vec![record];
+        let manifest = RunManifest::new("proptest", "case", &records, 1, true, true);
+        let dir = store.save(&manifest, &records).expect("persist succeeds");
+
+        // The persisted line is byte-identical to the rendered row.
+        let persisted = std::fs::read_to_string(dir.join("rows.jsonl")).unwrap();
+        prop_assert_eq!(persisted.trim_end(), line.as_str());
+
+        // Re-ingestion through the store reproduces the bytes again.
+        let back = store.find("case").unwrap().expect("run listed").rows().unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&serde_json::to_string(&back[0]).unwrap(), &line);
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 }
 

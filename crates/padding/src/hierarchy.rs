@@ -16,7 +16,7 @@ use crate::solver::PaddedAlgorithm;
 use lcl_algos::{sinkless_det, sinkless_rand};
 use lcl_core::problems::Orient;
 use lcl_core::Labeling;
-use lcl_local::Network;
+use lcl_local::{Network, NodeExecutor};
 
 /// Deterministic sinkless orientation as a [`PiAlgorithm`] (the inner
 /// algorithm of the deterministic `Π_2` solver).
@@ -27,8 +27,14 @@ pub struct SinklessDetAlgo {
 }
 
 impl PiAlgorithm<SinklessInner> for SinklessDetAlgo {
-    fn solve(&self, net: &Network, _input: &Labeling<()>, _seed: u64) -> PiRun<Orient> {
-        let out = sinkless_det::run(net, &self.params);
+    fn solve_with<X: NodeExecutor>(
+        &self,
+        net: &Network,
+        _input: &Labeling<()>,
+        _seed: u64,
+        exec: &X,
+    ) -> PiRun<Orient> {
+        let out = sinkless_det::run_with(net, &self.params, exec);
         PiRun { output: out.labeling, rounds: out.trace.max_radius() }
     }
 }
@@ -41,8 +47,14 @@ pub struct SinklessRandAlgo {
 }
 
 impl PiAlgorithm<SinklessInner> for SinklessRandAlgo {
-    fn solve(&self, net: &Network, _input: &Labeling<()>, seed: u64) -> PiRun<Orient> {
-        let out = sinkless_rand::run(net, &self.params, seed);
+    fn solve_with<X: NodeExecutor>(
+        &self,
+        net: &Network,
+        _input: &Labeling<()>,
+        seed: u64,
+        exec: &X,
+    ) -> PiRun<Orient> {
+        let out = sinkless_rand::run_with(net, &self.params, seed, exec);
         let rounds = out.total_rounds();
         PiRun { output: out.labeling, rounds }
     }

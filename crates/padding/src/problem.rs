@@ -20,7 +20,7 @@
 use lcl_core::problems::{Orient, SinklessOrientation};
 use lcl_core::{check, EdgeView, Labeling, NeLcl, NodeView, Violation};
 use lcl_graph::Graph;
-use lcl_local::Network;
+use lcl_local::{Network, NodeExecutor, Sequential};
 use std::fmt;
 
 /// An LCL problem as consumed by the padding construction.
@@ -95,7 +95,23 @@ pub trait InnerProblem {
 /// accounting — the thing Lemma 4 simulates on the virtual graph.
 pub trait PiAlgorithm<P: InnerProblem> {
     /// Solves the problem; `seed` drives randomized algorithms.
-    fn solve(&self, net: &Network, input: &Labeling<P::In>, seed: u64) -> PiRun<P::Out>;
+    fn solve(&self, net: &Network, input: &Labeling<P::In>, seed: u64) -> PiRun<P::Out> {
+        self.solve_with(net, input, seed, &Sequential)
+    }
+
+    /// [`PiAlgorithm::solve`] with a pluggable [`NodeExecutor`]: the
+    /// padded solver threads its executor through here, so the inner
+    /// algorithm of a padded run — the virtual-graph simulation — fans
+    /// its per-node work across the same worker pool as the outer steps.
+    /// Implementations must be bit-identical under **any** executor (the
+    /// engine determinism suite gates this).
+    fn solve_with<X: NodeExecutor>(
+        &self,
+        net: &Network,
+        input: &Labeling<P::In>,
+        seed: u64,
+        exec: &X,
+    ) -> PiRun<P::Out>;
 }
 
 /// Result of one inner-problem run.

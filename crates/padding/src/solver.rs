@@ -236,10 +236,11 @@ where
 
         // (5) Simulate the inner algorithm. Lemma 4: the simulated
         // algorithm is told the *padded* n (consistent because the model
-        // allows disconnected graphs).
+        // allows disconnected graphs). The executor threads through, so
+        // the virtual-graph simulation parallelizes like the outer steps.
         let vnet = Network::with_ids(vgraph, vids).with_known_n(net.known_n());
         let PiRun { output: vout, rounds: inner_rounds } =
-            self.inner_alg.solve(&vnet, &vinput, seed);
+            self.inner_alg.solve_with(&vnet, &vinput, seed, exec);
 
         // (6) Assemble Σ_list per component and the final labeling.
         let mut lists: Vec<SigmaList<P::In, P::Out>> =
@@ -345,13 +346,14 @@ where
     P: InnerProblem,
     A: PiAlgorithm<P>,
 {
-    fn solve(
+    fn solve_with<X: NodeExecutor>(
         &self,
         net: &Network,
         input: &Labeling<PadIn<P::In>>,
         seed: u64,
+        exec: &X,
     ) -> PiRun<PadOut<P::In, P::Out>> {
-        let run = self.run(net, input, seed);
+        let run = self.run_with(net, input, seed, exec);
         PiRun { output: run.output, rounds: run.stats.physical_rounds() }
     }
 }

@@ -1,0 +1,194 @@
+//! `results` — the longitudinal-tracking CLI over the persistent run store.
+//!
+//! ```text
+//! results [--out DIR] list
+//! results [--out DIR] show <run-id>
+//! results [--out DIR] diff <run-a> <run-b> [--tol X]
+//! results [--out DIR] trend <experiment> <series>
+//! ```
+//!
+//! `diff` exits nonzero when the runs differ, so it doubles as a CI gate
+//! (parallel vs `--seq` runs of the same grid must diff empty).
+
+use lcl_report::{diff_rows, trend, Delta, RunStore, StoredRun};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: results [--out DIR] <command>
+  list                          all persisted runs
+  show <run-id>                 manifest and rows of one run
+  diff <run-a> <run-b> [--tol X]   per-row field deltas (exit 1 if any)
+  trend <experiment> <series>   measured-vs-n across an experiment's runs";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match take_value_flag(&mut args, "--out") {
+        Ok(dir) => dir.map_or_else(RunStore::default_root, Into::into),
+        Err(msg) => return usage_error(&msg),
+    };
+    let store = RunStore::new(root);
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&store),
+        Some("show") => match args.get(1) {
+            Some(id) => cmd_show(&store, id),
+            None => return usage_error("show: missing <run-id>"),
+        },
+        Some("diff") => {
+            let tol = match take_value_flag(&mut args, "--tol") {
+                Ok(t) => match t.map(|t| t.parse::<f64>()) {
+                    None => 0.0,
+                    Some(Ok(t)) => t,
+                    Some(Err(e)) => return usage_error(&format!("--tol: {e}")),
+                },
+                Err(msg) => return usage_error(&msg),
+            };
+            match (args.get(1), args.get(2)) {
+                (Some(a), Some(b)) => cmd_diff(&store, a, b, tol),
+                _ => return usage_error("diff: missing <run-a> <run-b>"),
+            }
+        }
+        Some("trend") => match (args.get(1), args.get(2)) {
+            (Some(exp), Some(series)) => cmd_trend(&store, exp, series),
+            _ => return usage_error("trend: missing <experiment> <series>"),
+        },
+        _ => return usage_error("missing command"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("results: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("results: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Removes `flag VALUE` from `args`, returning the value if present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn cmd_list(store: &RunStore) -> std::io::Result<ExitCode> {
+    let runs = store.list()?;
+    if runs.is_empty() {
+        println!("no runs under {}", store.root().display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "{:<16} {:<28} {:<20} {:>6}  {:<10} flags",
+        "experiment", "run-id", "timestamp", "rows", "git"
+    );
+    for run in runs {
+        let m = &run.manifest;
+        let mut flags = Vec::new();
+        if m.quick {
+            flags.push("quick");
+        }
+        if m.sequential {
+            flags.push("seq");
+        }
+        println!(
+            "{:<16} {:<28} {:<20} {:>6}  {:<10} {}",
+            m.experiment,
+            m.run_id,
+            m.timestamp_utc,
+            m.row_count,
+            &m.git_rev[..m.git_rev.len().min(10)],
+            flags.join(",")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(store: &RunStore, run_id: &str) -> std::io::Result<StoredRun> {
+    store.find(run_id)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no run `{run_id}` under {}", store.root().display()),
+        )
+    })
+}
+
+fn cmd_show(store: &RunStore, run_id: &str) -> std::io::Result<ExitCode> {
+    let run = load(store, run_id)?;
+    let m = &run.manifest;
+    println!("experiment   {}", m.experiment);
+    println!("run-id       {}", m.run_id);
+    println!("timestamp    {}", m.timestamp_utc);
+    println!("git-rev      {}", m.git_rev);
+    println!("pool-width   {}", m.pool_width);
+    println!("quick/seq    {}/{}", m.quick, m.sequential);
+    println!("seeds        {:?}", m.seeds);
+    println!("sizes        {:?}", m.sizes);
+    println!("series       {}", m.series.join(", "));
+    println!("rows         {}", m.row_count);
+    println!();
+    println!("{:<4} {:<28} {:>9} {:>6} {:>12}  extra", "exp", "series", "n", "seed", "measured");
+    for r in run.rows()? {
+        let extra = r.extra.iter().map(|(k, v)| format!("{k}={v:.2}")).collect::<Vec<_>>();
+        println!(
+            "{:<4} {:<28} {:>9} {:>6} {:>12.2}  {}",
+            r.experiment,
+            r.series,
+            r.n,
+            r.seed,
+            r.measured,
+            extra.join(" ")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(store: &RunStore, a: &str, b: &str, tol: f64) -> std::io::Result<ExitCode> {
+    let run_a = load(store, a)?;
+    let run_b = load(store, b)?;
+    let deltas = diff_rows(&run_a.rows()?, &run_b.rows()?, tol);
+    if deltas.is_empty() {
+        println!("runs `{a}` and `{b}` are identical (tol {tol})");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for d in &deltas {
+        match d {
+            Delta::OnlyInA(k) => println!("only in {a}: {k}"),
+            Delta::OnlyInB(k) => println!("only in {b}: {k}"),
+            Delta::Field { key, field, a: va, b: vb } => {
+                println!("{key}: {field} {va} -> {vb} (Δ {})", vb - va);
+            }
+        }
+    }
+    println!("{} delta(s)", deltas.len());
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_trend(store: &RunStore, experiment: &str, series: &str) -> std::io::Result<ExitCode> {
+    let runs: Vec<StoredRun> =
+        store.list()?.into_iter().filter(|r| r.manifest.experiment == experiment).collect();
+    if runs.is_empty() {
+        println!("no runs for experiment `{experiment}` under {}", store.root().display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let points = trend(&runs, series)?;
+    if points.is_empty() {
+        println!("no rows for series `{series}` in {} run(s)", runs.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{:<28} {:<20} {:>9} {:>12} {:>8}", "run-id", "timestamp", "n", "mean", "samples");
+    for p in points {
+        println!(
+            "{:<28} {:<20} {:>9} {:>12.3} {:>8}",
+            p.run_id, p.timestamp_utc, p.n, p.mean_measured, p.samples
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,243 @@
+//! Longitudinal analysis over persisted rows: per-series deltas between
+//! two runs, and measured-vs-n trends across runs.
+
+use crate::manifest::RowRecord;
+use crate::store::StoredRun;
+use std::collections::BTreeMap;
+use std::io;
+
+/// One difference between two row sets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delta {
+    /// A row key present only in the first run.
+    OnlyInA(RowKey),
+    /// A row key present only in the second run.
+    OnlyInB(RowKey),
+    /// A numeric field differing beyond tolerance.
+    Field {
+        /// The row both runs share.
+        key: RowKey,
+        /// `"measured"` or an `extra` field name.
+        field: String,
+        /// The first run's value.
+        a: f64,
+        /// The second run's value.
+        b: f64,
+    },
+}
+
+/// Identity of a row within a run: grid coordinates plus the occurrence
+/// index, since binaries may emit several rows per `(series, n, seed)`
+/// point (e.g. one per sweep cap) in a deterministic order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RowKey {
+    /// Experiment id.
+    pub experiment: String,
+    /// Series label.
+    pub series: String,
+    /// Instance size.
+    pub n: usize,
+    /// Seed.
+    pub seed: u64,
+    /// 0-based occurrence among rows sharing the coordinates above.
+    pub occurrence: usize,
+}
+
+impl std::fmt::Display for RowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} n={} seed={}", self.experiment, self.series, self.n, self.seed)?;
+        if self.occurrence > 0 {
+            write!(f, " #{}", self.occurrence)?;
+        }
+        Ok(())
+    }
+}
+
+fn keyed(rows: &[RowRecord]) -> BTreeMap<RowKey, &RowRecord> {
+    let mut seen: BTreeMap<(&str, &str, usize, u64), usize> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for r in rows {
+        let occ = seen.entry((r.experiment.as_str(), r.series.as_str(), r.n, r.seed)).or_insert(0);
+        out.insert(
+            RowKey {
+                experiment: r.experiment.clone(),
+                series: r.series.clone(),
+                n: r.n,
+                seed: r.seed,
+                occurrence: *occ,
+            },
+            r,
+        );
+        *occ += 1;
+    }
+    out
+}
+
+/// Two floats agree when equal (covers ±inf, where `a - b` would be NaN),
+/// within `tol`, or both NaN (NaN persists as JSON `null` and re-ingests
+/// as NaN, so NaN-vs-NaN is "unchanged").
+fn agree(a: f64, b: f64, tol: f64) -> bool {
+    a == b || (a - b).abs() <= tol || (a.is_nan() && b.is_nan())
+}
+
+/// Compares two row sets field by field. Empty result ⇔ the runs agree on
+/// every row and every numeric field within `tol` (use `tol = 0.0` for
+/// exactness — parallel and `--seq` runs of the same grid must produce an
+/// empty diff).
+#[must_use]
+pub fn diff_rows(a: &[RowRecord], b: &[RowRecord], tol: f64) -> Vec<Delta> {
+    let ka = keyed(a);
+    let kb = keyed(b);
+    let mut deltas = Vec::new();
+    for (key, ra) in &ka {
+        let Some(rb) = kb.get(key) else {
+            deltas.push(Delta::OnlyInA(key.clone()));
+            continue;
+        };
+        if !agree(ra.measured, rb.measured, tol) {
+            deltas.push(Delta::Field {
+                key: key.clone(),
+                field: "measured".into(),
+                a: ra.measured,
+                b: rb.measured,
+            });
+        }
+        // Extras compare positionally on the shared prefix; missing or
+        // renamed entries surface as field deltas against NaN.
+        let len = ra.extra.len().max(rb.extra.len());
+        for i in 0..len {
+            match (ra.extra.get(i), rb.extra.get(i)) {
+                (Some((name_a, va)), Some((name_b, vb))) if name_a == name_b => {
+                    if !agree(*va, *vb, tol) {
+                        deltas.push(Delta::Field {
+                            key: key.clone(),
+                            field: name_a.clone(),
+                            a: *va,
+                            b: *vb,
+                        });
+                    }
+                }
+                (xa, xb) => {
+                    let name = xa.or(xb).map_or_else(String::new, |(name, _)| name.clone());
+                    deltas.push(Delta::Field {
+                        key: key.clone(),
+                        field: name,
+                        a: xa.map_or(f64::NAN, |(_, v)| *v),
+                        b: xb.map_or(f64::NAN, |(_, v)| *v),
+                    });
+                }
+            }
+        }
+    }
+    for key in kb.keys() {
+        if !ka.contains_key(key) {
+            deltas.push(Delta::OnlyInB(key.clone()));
+        }
+    }
+    deltas
+}
+
+/// One trend sample: a run's mean measured value for a series at size `n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendPoint {
+    /// Run id the sample comes from.
+    pub run_id: String,
+    /// The run's UTC timestamp.
+    pub timestamp_utc: String,
+    /// Instance size.
+    pub n: usize,
+    /// Mean measured value over the run's seeds at this `n`.
+    pub mean_measured: f64,
+    /// Number of rows averaged.
+    pub samples: usize,
+}
+
+/// Measured-vs-n for `series` across every given run (callers pass the
+/// runs of one experiment, already in store order — i.e. by timestamp).
+///
+/// # Errors
+///
+/// Propagates row re-ingestion errors.
+pub fn trend(runs: &[StoredRun], series: &str) -> io::Result<Vec<TrendPoint>> {
+    let mut points = Vec::new();
+    for run in runs {
+        let rows = run.rows()?;
+        let mut by_n: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        for r in rows.iter().filter(|r| r.series == series) {
+            let slot = by_n.entry(r.n).or_insert((0.0, 0));
+            slot.0 += r.measured;
+            slot.1 += 1;
+        }
+        for (n, (sum, count)) in by_n {
+            points.push(TrendPoint {
+                run_id: run.manifest.run_id.clone(),
+                timestamp_utc: run.manifest.timestamp_utc.clone(),
+                n,
+                mean_measured: sum / count as f64,
+                samples: count,
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(series: &str, n: usize, seed: u64, measured: f64, extra: &[(&str, f64)]) -> RowRecord {
+        RowRecord {
+            experiment: "E".into(),
+            series: series.into(),
+            n,
+            seed,
+            measured,
+            extra: extra.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_rows_diff_empty() {
+        let rows = vec![
+            row("a", 8, 1, 2.0, &[("x", 1.0)]),
+            row("a", 8, 1, 3.0, &[]), // second occurrence of the same key
+            row("b", 16, 2, f64::NAN, &[]),
+            row("c", 16, 2, f64::INFINITY, &[("neg", f64::NEG_INFINITY)]),
+        ];
+        assert_eq!(diff_rows(&rows, &rows.clone(), 0.0), vec![]);
+    }
+
+    #[test]
+    fn changed_measured_and_extra_are_reported() {
+        let a = vec![row("a", 8, 1, 2.0, &[("x", 1.0)])];
+        let b = vec![row("a", 8, 1, 2.5, &[("x", 1.25)])];
+        let deltas = diff_rows(&a, &b, 0.1);
+        assert_eq!(deltas.len(), 2);
+        assert!(matches!(
+            &deltas[0],
+            Delta::Field { field, a, b, .. } if field == "measured" && *a == 2.0 && *b == 2.5
+        ));
+        assert!(matches!(&deltas[1], Delta::Field { field, .. } if field == "x"));
+        // Within tolerance: no deltas.
+        assert_eq!(diff_rows(&a, &b, 0.6), vec![]);
+    }
+
+    #[test]
+    fn missing_rows_are_reported_on_both_sides() {
+        let a = vec![row("a", 8, 1, 2.0, &[]), row("a", 16, 1, 3.0, &[])];
+        let b = vec![row("a", 8, 1, 2.0, &[]), row("c", 8, 1, 1.0, &[])];
+        let deltas = diff_rows(&a, &b, 0.0);
+        assert_eq!(deltas.len(), 2);
+        assert!(matches!(&deltas[0], Delta::OnlyInA(k) if k.n == 16));
+        assert!(matches!(&deltas[1], Delta::OnlyInB(k) if k.series == "c"));
+    }
+
+    #[test]
+    fn extra_shape_mismatch_is_a_delta() {
+        let a = vec![row("a", 8, 1, 2.0, &[("x", 1.0), ("y", 2.0)])];
+        let b = vec![row("a", 8, 1, 2.0, &[("x", 1.0)])];
+        let deltas = diff_rows(&a, &b, 0.0);
+        assert_eq!(deltas.len(), 1);
+        assert!(matches!(&deltas[0], Delta::Field { field, .. } if field == "y"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Run manifests: the provenance half of a persisted run.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// An owned measurement record — the on-disk row format shared by every
+/// experiment binary. JSON emitted for a row parses back into a
+/// `RowRecord` and re-serializes to the identical bytes, the contract
+/// that makes `rows.jsonl` re-ingestable and diffable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowRecord {
+    /// Experiment id (e.g. "E1", "T11").
+    pub experiment: String,
+    /// Series label within the experiment.
+    pub series: String,
+    /// Instance size `n`.
+    pub n: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// The measured complexity.
+    pub measured: f64,
+    /// Optional extra fields.
+    pub extra: Vec<(String, f64)>,
+}
+
+/// Provenance of one persisted run: everything needed to re-run or audit
+/// it — which binary, when, on which commit, over which grid, and with
+/// which execution strategy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Experiment binary name (e.g. "landscape").
+    pub experiment: String,
+    /// Unique run id within the experiment (directory name).
+    pub run_id: String,
+    /// UTC wall-clock time the run was recorded, `YYYY-MM-DDTHH:MM:SSZ`.
+    pub timestamp_utc: String,
+    /// Git revision of the working tree (HEAD commit hash, or "unknown").
+    pub git_rev: String,
+    /// Distinct seeds of the grid, ascending.
+    pub seeds: Vec<u64>,
+    /// Distinct series labels, in first-appearance order.
+    pub series: Vec<String>,
+    /// Distinct instance sizes, ascending.
+    pub sizes: Vec<usize>,
+    /// Total number of rows in `rows.jsonl`.
+    pub row_count: usize,
+    /// Worker-pool width the run executed with.
+    pub pool_width: usize,
+    /// Whether the sweep was shrunk (`--quick`).
+    pub quick: bool,
+    /// Whether cells ran sequentially (`--seq`).
+    pub sequential: bool,
+}
+
+impl RunManifest {
+    /// Builds a manifest for `rows`, summarizing the grid (seed set,
+    /// series, sizes) and stamping provenance (current UTC time, git rev).
+    #[must_use]
+    pub fn new(
+        experiment: &str,
+        run_id: &str,
+        rows: &[RowRecord],
+        pool_width: usize,
+        quick: bool,
+        sequential: bool,
+    ) -> Self {
+        let mut seeds: Vec<u64> = rows.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let mut sizes: Vec<usize> = rows.iter().map(|r| r.n).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let mut series: Vec<String> = Vec::new();
+        for r in rows {
+            if !series.contains(&r.series) {
+                series.push(r.series.clone());
+            }
+        }
+        RunManifest {
+            experiment: experiment.to_string(),
+            run_id: run_id.to_string(),
+            timestamp_utc: utc_timestamp(),
+            git_rev: git_rev(),
+            seeds,
+            series,
+            sizes,
+            row_count: rows.len(),
+            pool_width,
+            quick,
+            sequential,
+        }
+    }
+}
+
+/// The current UTC wall-clock time as `YYYY-MM-DDTHH:MM:SSZ` (no external
+/// time crate: civil-from-days computed directly from the Unix epoch).
+#[must_use]
+pub fn utc_timestamp() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    format_utc(secs)
+}
+
+/// Formats Unix seconds as `YYYY-MM-DDTHH:MM:SSZ`.
+#[must_use]
+pub fn format_utc(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    let rem = unix_secs % 86_400;
+    let (h, m, s) = (rem / 3_600, (rem / 60) % 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm), valid for the Unix era.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mth = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mth <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mth:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// The git HEAD commit hash of the workspace this crate was built from,
+/// read straight from `.git` (no `git` binary needed). Resolution order:
+/// the build-time workspace location (so a binary run from anywhere still
+/// records the right repository), then the `GITHUB_SHA` environment
+/// variable (exact in CI even for detached worktrees), then a walk up
+/// from the current directory, then `"unknown"`.
+#[must_use]
+pub fn git_rev() -> String {
+    git_rev_from(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .or_else(|| std::env::var("GITHUB_SHA").ok().filter(|s| !s.is_empty()))
+        .or_else(|| git_rev_from(Path::new(".")))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn git_rev_from(start: &Path) -> Option<String> {
+    let mut dir: PathBuf = start.canonicalize().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return resolve_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn resolve_head(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return Some(hash.trim().to_string());
+        }
+        // Ref may only exist packed. Lines are `<hash> <refname>`; match
+        // the full refname, not a suffix (`refs/heads/a/refs/heads/main`
+        // must not shadow `refs/heads/main`).
+        if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+            for line in packed.lines() {
+                if let Some((hash, name)) = line.split_once(' ') {
+                    if name.trim() == refname {
+                        return Some(hash.to_string());
+                    }
+                }
+            }
+        }
+        return None;
+    }
+    (!head.is_empty()).then(|| head.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(series: &str, n: usize, seed: u64) -> RowRecord {
+        RowRecord {
+            experiment: "E1".into(),
+            series: series.into(),
+            n,
+            seed,
+            measured: 1.0,
+            extra: vec![],
+        }
+    }
+
+    #[test]
+    fn manifest_summarizes_grid() {
+        let rows = vec![
+            row("b", 64, 2),
+            row("a", 16, 1),
+            row("b", 16, 2),
+            row("a", 64, 1),
+            row("a", 16, 1),
+        ];
+        let m = RunManifest::new("demo", "r1", &rows, 4, true, false);
+        assert_eq!(m.seeds, vec![1, 2]);
+        assert_eq!(m.sizes, vec![16, 64]);
+        assert_eq!(m.series, vec!["b".to_string(), "a".to_string()]);
+        assert_eq!(m.row_count, 5);
+        assert!(m.quick && !m.sequential);
+        assert_eq!(m.timestamp_utc.len(), 20);
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = RunManifest::new("demo", "r1", &[row("s", 8, 3)], 1, false, true);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_dates() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC = 951827696.
+        assert_eq!(format_utc(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-07-30 00:00:00 UTC = 1785369600.
+        assert_eq!(format_utc(1_785_369_600), "2026-07-30T00:00:00Z");
+    }
+
+    #[test]
+    fn git_rev_resolves_this_repository() {
+        // The tests run inside the repo; HEAD must resolve to a hex hash.
+        let rev = git_rev();
+        assert!(rev == "unknown" || rev.len() >= 7, "unexpected rev: {rev}");
+    }
+}

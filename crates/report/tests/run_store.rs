@@ -1,0 +1,159 @@
+//! RunStore contract tests: manifest/rows round-trip, atomic-write
+//! crash-safety (a torn partial directory is never listed), and zero-delta
+//! diffs between identical runs.
+
+use lcl_report::{diff_rows, RowRecord, RunManifest, RunStore};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch store under the system temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("lcl-report-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        Scratch { root }
+    }
+
+    fn store(&self) -> RunStore {
+        RunStore::new(&self.root)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn sample_rows() -> Vec<RowRecord> {
+    vec![
+        RowRecord {
+            experiment: "E1".into(),
+            series: "sinkless-det".into(),
+            n: 1024,
+            seed: 1,
+            measured: 13.0,
+            extra: vec![("phase1".into(), 3.0), ("nan".into(), f64::NAN)],
+        },
+        RowRecord {
+            experiment: "E1".into(),
+            series: "sinkless-det".into(),
+            n: 1024,
+            seed: 1, // duplicate grid point: occurrence indexing must keep both
+            measured: 14.5,
+            extra: vec![],
+        },
+        RowRecord {
+            experiment: "E1".into(),
+            series: "trivial".into(),
+            n: 2048,
+            seed: u64::MAX,
+            measured: 0.25,
+            extra: vec![],
+        },
+    ]
+}
+
+#[test]
+fn save_then_list_roundtrips_manifest_and_rows() {
+    let scratch = Scratch::new("roundtrip");
+    let store = scratch.store();
+    let rows = sample_rows();
+    let manifest = RunManifest::new("landscape", "run-a", &rows, 4, true, false);
+    let dir = store.save(&manifest, &rows).expect("save succeeds");
+    assert!(dir.ends_with("landscape/run-a"));
+    assert!(dir.join("manifest.json").is_file());
+    assert!(dir.join("rows.jsonl").is_file());
+
+    let runs = store.list().expect("list succeeds");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].manifest, manifest);
+    let back = runs[0].rows().expect("rows re-ingest");
+    assert_eq!(back.len(), rows.len());
+    // Byte fidelity: NaN persists as null and re-ingests as NaN, so compare
+    // re-serialized bytes instead of float equality.
+    for (a, b) in rows.iter().zip(&back) {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap(),
+            "row changed across persist/re-ingest"
+        );
+    }
+}
+
+#[test]
+fn runs_are_immutable_and_ids_deduplicate() {
+    let scratch = Scratch::new("immutable");
+    let store = scratch.store();
+    let rows = sample_rows();
+    let manifest = RunManifest::new("landscape", "run-a", &rows, 1, false, true);
+    store.save(&manifest, &rows).expect("first save succeeds");
+    let err = store.save(&manifest, &rows).expect_err("second save must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+
+    assert_eq!(store.unique_run_id("landscape", "run-a"), "run-a-2");
+    assert_eq!(store.unique_run_id("landscape", "fresh"), "fresh");
+    assert_eq!(store.unique_run_id("other-exp", "run-a"), "run-a");
+}
+
+#[test]
+fn torn_partial_directories_are_never_listed() {
+    let scratch = Scratch::new("torn");
+    let store = scratch.store();
+    let rows = sample_rows();
+    let manifest = RunManifest::new("landscape", "good", &rows, 2, false, false);
+    store.save(&manifest, &rows).expect("save succeeds");
+
+    // A crashed writer leaves a temp dir behind: must be invisible.
+    let tmp = scratch.root.join("landscape/.tmp-crashed-999");
+    fs::create_dir_all(&tmp).unwrap();
+    fs::write(tmp.join("rows.jsonl"), "{\"experiment\":\"E1\"").unwrap();
+
+    // A run dir torn some other way (no manifest) is skipped, not an error.
+    let torn = scratch.root.join("landscape/torn-run");
+    fs::create_dir_all(&torn).unwrap();
+    fs::write(torn.join("rows.jsonl"), "").unwrap();
+
+    // A manifest that fails to parse is equally invisible.
+    let bad = scratch.root.join("landscape/bad-manifest");
+    fs::create_dir_all(&bad).unwrap();
+    fs::write(bad.join("manifest.json"), "{not json").unwrap();
+
+    let runs = store.list().expect("list succeeds");
+    assert_eq!(runs.len(), 1, "only the committed run is visible");
+    assert_eq!(runs[0].manifest.run_id, "good");
+    assert!(store.find("torn-run").unwrap().is_none());
+    assert!(store.find("good").unwrap().is_some());
+}
+
+#[test]
+fn diff_of_identical_runs_is_empty() {
+    let scratch = Scratch::new("diff");
+    let store = scratch.store();
+    let rows = sample_rows();
+    for id in ["par", "seq"] {
+        let manifest = RunManifest::new("landscape", id, &rows, 4, true, id == "seq");
+        store.save(&manifest, &rows).expect("save succeeds");
+    }
+    let a = store.find("par").unwrap().expect("par exists").rows().unwrap();
+    let b = store.find("seq").unwrap().expect("seq exists").rows().unwrap();
+    assert_eq!(diff_rows(&a, &b, 0.0), vec![], "identical runs must diff empty");
+
+    // And a perturbed copy does not.
+    let mut c = b.clone();
+    c[0].measured += 0.5;
+    assert_eq!(diff_rows(&a, &c, 0.0).len(), 1);
+    assert_eq!(diff_rows(&a, &c, 1.0).len(), 0, "tolerance absorbs the perturbation");
+}
+
+#[test]
+fn missing_root_lists_empty() {
+    let scratch = Scratch::new("empty");
+    let store = scratch.store();
+    assert!(store.list().expect("missing root is an empty store").is_empty());
+    assert!(store.find("anything").unwrap().is_none());
+}

@@ -79,10 +79,87 @@ impl std::fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+/// A streaming serialization sink: receives the flat token sequence of a
+/// value instead of an owned [`Value`] tree. `serde_json` implements this
+/// over an `io::Write` so large reports serialize without any intermediate
+/// allocation.
+///
+/// Protocol: sequences are `seq_begin`, then `seq_elem` before **every**
+/// element (including the first), then `seq_end`; maps are `map_begin`,
+/// then `map_key` before every value, then `map_end`. The sink owns
+/// separator bookkeeping, so emitters stay branch-free.
+pub trait Sink {
+    /// Emits `null` (unit, `None`, non-value positions).
+    fn null(&mut self);
+    /// Emits a boolean.
+    fn boolean(&mut self, x: bool);
+    /// Emits an unsigned integer.
+    fn uint(&mut self, x: u64);
+    /// Emits a signed (negative) integer.
+    fn int(&mut self, x: i64);
+    /// Emits a float.
+    fn float(&mut self, x: f64);
+    /// Emits a string.
+    fn text(&mut self, s: &str);
+    /// Opens a sequence.
+    fn seq_begin(&mut self);
+    /// Announces the next sequence element.
+    fn seq_elem(&mut self);
+    /// Closes a sequence.
+    fn seq_end(&mut self);
+    /// Opens a map.
+    fn map_begin(&mut self);
+    /// Announces the next map entry and emits its key.
+    fn map_key(&mut self, key: &str);
+    /// Closes a map.
+    fn map_end(&mut self);
+}
+
+/// Streams an already-built [`Value`] tree into a sink — the bridge that
+/// lets [`Serialize::stream`]'s default implementation work for types
+/// that only provide [`Serialize::to_value`].
+pub fn stream_value(v: &Value, sink: &mut dyn Sink) {
+    match v {
+        Value::Null => sink.null(),
+        Value::Bool(x) => sink.boolean(*x),
+        Value::UInt(x) => sink.uint(*x),
+        Value::Int(x) => sink.int(*x),
+        Value::Float(x) => sink.float(*x),
+        Value::Str(s) => sink.text(s),
+        Value::Seq(items) => {
+            sink.seq_begin();
+            for item in items {
+                sink.seq_elem();
+                stream_value(item, sink);
+            }
+            sink.seq_end();
+        }
+        Value::Map(entries) => {
+            sink.map_begin();
+            for (k, val) in entries {
+                sink.map_key(k);
+                stream_value(val, sink);
+            }
+            sink.map_end();
+        }
+    }
+}
+
 /// Types that can serialize themselves into a [`Value`].
 pub trait Serialize {
     /// Builds the value tree for `self`.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` into a [`Sink`] without building a [`Value`] tree.
+    ///
+    /// The default routes through [`Serialize::to_value`]; the primitive
+    /// and container impls in this crate — and every
+    /// `#[derive(Serialize)]` impl — override it with direct streaming,
+    /// so derived types serialize allocation-free end to end. Both paths
+    /// must produce the same token sequence.
+    fn stream(&self, sink: &mut dyn Sink) {
+        stream_value(&self.to_value(), sink);
+    }
 }
 
 /// Types that can reconstruct themselves from a [`Value`].
@@ -97,6 +174,7 @@ macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+            fn stream(&self, sink: &mut dyn Sink) { sink.uint(*self as u64) }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -120,6 +198,10 @@ macro_rules! impl_signed {
                 let x = *self as i64;
                 if x < 0 { Value::Int(x) } else { Value::UInt(x as u64) }
             }
+            fn stream(&self, sink: &mut dyn Sink) {
+                let x = *self as i64;
+                if x < 0 { sink.int(x) } else { sink.uint(x as u64) }
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -140,6 +222,9 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.float(*self);
+    }
 }
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -157,6 +242,9 @@ impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(f64::from(*self))
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.float(f64::from(*self));
+    }
 }
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -167,6 +255,9 @@ impl Deserialize for f32 {
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.boolean(*self);
     }
 }
 impl Deserialize for bool {
@@ -182,6 +273,9 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.text(self);
+    }
 }
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -196,11 +290,17 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.text(self);
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.text(self.encode_utf8(&mut [0u8; 4]));
     }
 }
 impl Deserialize for char {
@@ -215,6 +315,9 @@ impl Deserialize for char {
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.null();
     }
 }
 impl Deserialize for () {
@@ -232,6 +335,9 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        (**self).stream(sink);
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -239,6 +345,12 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(x) => x.to_value(),
             None => Value::Null,
+        }
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        match self {
+            Some(x) => x.stream(sink),
+            None => sink.null(),
         }
     }
 }
@@ -255,6 +367,14 @@ impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.seq_begin();
+        for item in self {
+            sink.seq_elem();
+            item.stream(sink);
+        }
+        sink.seq_end();
+    }
 }
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -268,6 +388,14 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.seq_begin();
+        for item in self {
+            sink.seq_elem();
+            item.stream(sink);
+        }
+        sink.seq_end();
     }
 }
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
@@ -283,6 +411,14 @@ macro_rules! impl_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+            fn stream(&self, sink: &mut dyn Sink) {
+                sink.seq_begin();
+                $(
+                    sink.seq_elem();
+                    self.$idx.stream(sink);
+                )+
+                sink.seq_end();
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
@@ -306,6 +442,19 @@ impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> 
         Value::Seq(
             self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect(),
         )
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.seq_begin();
+        for (k, v) in self {
+            sink.seq_elem();
+            sink.seq_begin();
+            sink.seq_elem();
+            k.stream(sink);
+            sink.seq_elem();
+            v.stream(sink);
+            sink.seq_end();
+        }
+        sink.seq_end();
     }
 }
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
@@ -342,5 +491,86 @@ mod tests {
     fn out_of_range_is_an_error() {
         assert!(u8::from_value(&Value::UInt(300)).is_err());
         assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    /// Token recorder: the reference sink for equivalence tests.
+    #[derive(Debug, Default, PartialEq)]
+    struct Tokens(Vec<String>);
+
+    impl Sink for Tokens {
+        fn null(&mut self) {
+            self.0.push("null".into());
+        }
+        fn boolean(&mut self, x: bool) {
+            self.0.push(format!("bool:{x}"));
+        }
+        fn uint(&mut self, x: u64) {
+            self.0.push(format!("uint:{x}"));
+        }
+        fn int(&mut self, x: i64) {
+            self.0.push(format!("int:{x}"));
+        }
+        fn float(&mut self, x: f64) {
+            self.0.push(format!("float:{x:?}"));
+        }
+        fn text(&mut self, s: &str) {
+            self.0.push(format!("text:{s}"));
+        }
+        fn seq_begin(&mut self) {
+            self.0.push("[".into());
+        }
+        fn seq_elem(&mut self) {
+            self.0.push(",".into());
+        }
+        fn seq_end(&mut self) {
+            self.0.push("]".into());
+        }
+        fn map_begin(&mut self) {
+            self.0.push("{".into());
+        }
+        fn map_key(&mut self, key: &str) {
+            self.0.push(format!("key:{key}"));
+        }
+        fn map_end(&mut self) {
+            self.0.push("}".into());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_value_tree_tokens() {
+        // Every overridden `stream` impl must emit exactly the tokens the
+        // default (via `to_value` + `stream_value`) would.
+        fn both<T: Serialize>(x: &T) -> (Tokens, Tokens) {
+            let mut direct = Tokens::default();
+            x.stream(&mut direct);
+            let mut via_tree = Tokens::default();
+            stream_value(&x.to_value(), &mut via_tree);
+            (direct, via_tree)
+        }
+        let samples: Vec<Box<dyn Fn() -> (Tokens, Tokens)>> = vec![
+            Box::new(|| both(&42u64)),
+            Box::new(|| both(&-7i32)),
+            Box::new(|| both(&7i32)),
+            Box::new(|| both(&1.5f64)),
+            Box::new(|| both(&f64::NAN)),
+            Box::new(|| both(&true)),
+            Box::new(|| both(&'ß')),
+            Box::new(|| both(&"hi\n".to_string())),
+            Box::new(|| both(&())),
+            Box::new(|| both(&Some(3u8))),
+            Box::new(|| both(&Option::<u8>::None)),
+            Box::new(|| both(&vec![1u32, 2, 3])),
+            Box::new(|| both(&[1u8, 2])),
+            Box::new(|| both(&(1u8, "x".to_string(), 2.5f32))),
+            Box::new(|| {
+                let m: std::collections::BTreeMap<String, u32> =
+                    [("a".to_string(), 1u32), ("b".to_string(), 2)].into_iter().collect();
+                both(&m)
+            }),
+        ];
+        for sample in samples {
+            let (direct, via_tree) = sample();
+            assert_eq!(direct, via_tree);
+        }
     }
 }

@@ -319,10 +319,90 @@ fn gen_serialize(item: &Input) -> String {
             format!("match self {{ {} }}", arms.join(", "))
         }
     };
+    let stream_body = gen_stream_body(item);
     format!(
-        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         fn stream(&self, __s: &mut dyn ::serde::Sink) {{ {stream_body} }} }}",
         impl_header(item, "Serialize")
     )
+}
+
+/// Body of the streaming `Serialize::stream` method: the same shape as
+/// `to_value`, but pushing tokens into the sink instead of allocating a
+/// `Value` tree. The two must emit identical token sequences.
+fn gen_stream_body(item: &Input) -> String {
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("__s.map_key(\"{f}\"); ::serde::Serialize::stream(&self.{f}, __s);")
+                })
+                .collect();
+            format!("__s.map_begin(); {} __s.map_end();", entries.join(" "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::stream(&self.0, __s);".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("__s.seq_elem(); ::serde::Serialize::stream(&self.{k}, __s);"))
+                .collect();
+            format!("__s.seq_begin(); {} __s.seq_end();", items.join(" "))
+        }
+        Kind::UnitStruct => "__s.null();".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ty = &item.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{ty}::{vn} => {{ __s.text(\"{vn}\"); }}")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{ty}::{vn}(__f0) => {{ __s.map_begin(); __s.map_key(\"{vn}\"); \
+                             ::serde::Serialize::stream(__f0, __s); __s.map_end(); }}"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "__s.seq_elem(); ::serde::Serialize::stream(__f{k}, __s);"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({}) => {{ __s.map_begin(); __s.map_key(\"{vn}\"); \
+                                 __s.seq_begin(); {} __s.seq_end(); __s.map_end(); }}",
+                                binds.join(", "),
+                                items.join(" ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__s.map_key(\"{f}\"); \
+                                         ::serde::Serialize::stream({f}, __s);"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => {{ __s.map_begin(); \
+                                 __s.map_key(\"{vn}\"); __s.map_begin(); {} __s.map_end(); \
+                                 __s.map_end(); }}",
+                                entries.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    }
 }
 
 fn gen_deserialize(item: &Input) -> String {

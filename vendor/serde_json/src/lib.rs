@@ -1,13 +1,22 @@
 //! JSON text layer over the vendored serde shim.
 //!
-//! Provides [`to_string`] / [`from_str`] with conventional JSON output
-//! (compact separators, escaped strings, integers kept exact, floats via
-//! Rust's shortest-roundtrip formatting, non-finite floats as `null`).
+//! Provides [`to_string`] / [`to_writer`] / [`from_str`] with conventional
+//! JSON output (compact separators, escaped strings, integers kept exact,
+//! floats via Rust's shortest-roundtrip formatting, non-finite floats as
+//! `null`).
+//!
+//! [`to_string`] and [`to_writer`] **stream**: they drive the value's
+//! [`serde::Sink`] tokens straight into the output with no intermediate
+//! [`Value`] tree. The historical tree-building path survives as
+//! [`to_value_string`], kept as the baseline the streaming serializer is
+//! benchmarked against (`lcl-bench/benches/serialize.rs`); both paths
+//! produce byte-identical output.
 
 #![forbid(unsafe_code)]
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Sink, Value};
 use std::fmt::Write as _;
+use std::io;
 
 /// Error from serialization or deserialization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,16 +36,206 @@ impl From<DeError> for Error {
     }
 }
 
-/// Serializes a value to a compact JSON string.
+/// Serializes a value to a compact JSON string through the streaming
+/// serializer.
+///
+/// # Errors
+///
+/// Kept for API compatibility; writing to a string cannot fail.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = Vec::new();
+    let mut sink = JsonSink::new(&mut out);
+    value.stream(&mut sink);
+    sink.finish().map_err(|e| Error(e.to_string()))?;
+    Ok(String::from_utf8(out).expect("serializer emits UTF-8"))
+}
+
+/// Serializes a value as compact JSON directly into an [`io::Write`],
+/// token by token — no intermediate [`Value`] tree, no output buffer.
+/// This is the persistence path for `rows.jsonl` streams.
+///
+/// # Errors
+///
+/// Returns the first I/O error the writer reported.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let mut sink = JsonSink::new(&mut writer);
+    value.stream(&mut sink);
+    sink.finish().map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes through the historical value-tree path: builds the full
+/// [`Value`] and renders it. Byte-identical to [`to_string`]; kept as the
+/// allocation-heavy baseline for the streaming serializer's benchmark.
 ///
 /// # Errors
 ///
 /// Kept for API compatibility; the shim's value tree always renders.
-pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+pub fn to_value_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     render(&value.to_value(), &mut out);
     Ok(out)
 }
+
+/// Streaming JSON emitter: a [`serde::Sink`] over an [`io::Write`].
+///
+/// Separator state lives in a small bitset-like stack (`first`), so the
+/// emitter needs no lookahead; I/O errors are latched and surfaced once by
+/// [`JsonSink::finish`].
+#[derive(Debug)]
+pub struct JsonSink<W: io::Write> {
+    writer: W,
+    /// `true` while the innermost open container has not yet seen an
+    /// element; one entry per nesting level.
+    first: Vec<bool>,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonSink { writer, first: Vec::new(), err: None }
+    }
+
+    /// Consumes the sink, surfacing the first latched I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error the underlying writer reported.
+    pub fn finish(self) -> io::Result<()> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        if self.err.is_none() {
+            if let Err(e) = self.writer.write_all(bytes) {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    fn put_fmt(&mut self, args: std::fmt::Arguments<'_>) {
+        if self.err.is_none() {
+            if let Err(e) = self.writer.write_fmt(args) {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    /// Comma bookkeeping shared by `seq_elem` and `map_key`.
+    fn separate(&mut self) {
+        match self.first.last_mut() {
+            Some(first @ true) => *first = false,
+            Some(_) => self.put(b","),
+            None => {}
+        }
+    }
+
+    fn put_escaped(&mut self, s: &str) {
+        self.put(b"\"");
+        // Contiguous runs of plain characters are written in one call;
+        // the escape table matches `render_string` byte for byte.
+        let bytes = s.as_bytes();
+        let mut run = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            let esc: Option<&[u8]> = match b {
+                b'"' => Some(b"\\\""),
+                b'\\' => Some(b"\\\\"),
+                b'\n' => Some(b"\\n"),
+                b'\r' => Some(b"\\r"),
+                b'\t' => Some(b"\\t"),
+                c if c < 0x20 => None, // \u escape, handled below
+                _ => continue,
+            };
+            self.put(&bytes[run..i]);
+            run = i + 1;
+            match esc {
+                Some(e) => self.put(e),
+                None => self.put_fmt(format_args!("\\u{:04x}", b)),
+            }
+        }
+        self.put(&bytes[run..]);
+        self.put(b"\"");
+    }
+}
+
+impl<W: io::Write> Sink for JsonSink<W> {
+    fn null(&mut self) {
+        self.put(b"null");
+    }
+
+    fn boolean(&mut self, x: bool) {
+        self.put(if x { b"true" as &[u8] } else { b"false" });
+    }
+
+    fn uint(&mut self, mut x: u64) {
+        // Fixed-buffer decimal formatting for the hot unsigned path (rows
+        // are mostly `n`/`seed` fields): avoids `fmt::Arguments` per call.
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (x % 10) as u8;
+            x /= 10;
+            if x == 0 {
+                break;
+            }
+        }
+        self.put(&buf[i..]);
+    }
+
+    fn int(&mut self, x: i64) {
+        self.put_fmt(format_args!("{x}"));
+    }
+
+    fn float(&mut self, x: f64) {
+        if x.is_finite() {
+            self.put_fmt(format_args!("{x:?}"));
+        } else {
+            self.put(b"null");
+        }
+    }
+
+    fn text(&mut self, s: &str) {
+        self.put_escaped(s);
+    }
+
+    fn seq_begin(&mut self) {
+        self.put(b"[");
+        self.first.push(true);
+    }
+
+    fn seq_elem(&mut self) {
+        self.separate();
+    }
+
+    fn seq_end(&mut self) {
+        self.first.pop();
+        self.put(b"]");
+    }
+
+    fn map_begin(&mut self) {
+        self.put(b"{");
+        self.first.push(true);
+    }
+
+    fn map_key(&mut self, key: &str) {
+        self.separate();
+        self.put_escaped(key);
+        self.put(b":");
+    }
+
+    fn map_end(&mut self) {
+        self.first.pop();
+        self.put(b"}");
+    }
+}
+
 
 /// Parses a value from JSON text.
 ///
@@ -353,5 +552,52 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(from_str::<bool>("true x").is_err());
         assert!(from_str::<u32>("").is_err());
+    }
+
+    #[test]
+    fn streaming_matches_value_tree_bytes() {
+        // The streaming serializer and the historical tree path must agree
+        // byte for byte, across every token kind and escape class.
+        let samples: Vec<Value> = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::UInt(u64::MAX),
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Float(7.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Str("plain".into()),
+            Value::Str("esc \" \\ \n \r \t \u{1} unicode ßπ".into()),
+            Value::Seq(vec![]),
+            Value::Map(vec![]),
+            Value::Map(vec![
+                ("a".into(), Value::Seq(vec![Value::UInt(1), Value::Null])),
+                ("nested".into(), Value::Map(vec![("x".into(), Value::Float(0.5))])),
+            ]),
+        ];
+        for v in samples {
+            let mut tree = String::new();
+            render(&v, &mut tree);
+            let mut streamed = Vec::new();
+            let mut sink = JsonSink::new(&mut streamed);
+            serde::stream_value(&v, &mut sink);
+            sink.finish().unwrap();
+            assert_eq!(String::from_utf8(streamed).unwrap(), tree, "mismatch for {v:?}");
+        }
+    }
+
+    #[test]
+    fn to_writer_streams_without_tree() {
+        let mut out = Vec::new();
+        to_writer(&mut out, &vec![(String::from("k\u{7}"), 2.5f64), ("p".into(), -1.0)]).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "[[\"k\\u0007\",2.5],[\"p\",-1.0]]");
+    }
+
+    #[test]
+    fn to_string_equals_to_value_string() {
+        let v = vec![Some(3u8), None, Some(255)];
+        assert_eq!(to_string(&v).unwrap(), to_value_string(&v).unwrap());
+        assert_eq!(to_string(&v).unwrap(), "[3,null,255]");
     }
 }
