@@ -52,23 +52,14 @@ pub fn run(net: &Network) -> EdgeColoringOutcome {
     let mut k = colors.iter().copied().max().unwrap_or(0) + 1;
     let mut rounds = 0;
 
-    // Neighbor edges in the line graph.
-    let neighbors: Vec<Vec<usize>> = g
-        .edges()
-        .map(|e| {
-            let [a, b] = g.endpoints(e);
-            let mut out: Vec<usize> = g
-                .ports(a)
-                .iter()
-                .chain(g.ports(b))
-                .map(|h| h.edge.index())
-                .filter(|&x| x != e.index())
-                .collect();
-            out.sort_unstable();
-            out.dedup();
-            out
-        })
-        .collect();
+    // Neighbor edges of `e` in the line graph, straight off the CSR port
+    // tables of its endpoints (no materialized adjacency copy). An edge
+    // parallel to `e` shows up once per shared endpoint; both consumers
+    // below are idempotent over duplicates, so no dedup pass is needed.
+    let line_neighbors = |e: usize| {
+        let [a, b] = g.endpoints(lcl_graph::EdgeId(e as u32));
+        g.ports(a).iter().chain(g.ports(b)).map(|h| h.edge.index()).filter(move |&x| x != e)
+    };
 
     // Linial reduction steps (same structure as node coloring).
     while let Some(q) = linial_prime(k, line_degree) {
@@ -78,7 +69,7 @@ pub fn run(net: &Network) -> EdgeColoringOutcome {
                 let pv = poly(colors[i], q, d);
                 let x = (0..q)
                     .find(|&x| {
-                        neighbors[i].iter().all(|&j| {
+                        line_neighbors(i).all(|j| {
                             let pw = poly(colors[j], q, d);
                             pw == pv || eval(&pv, x, q) != eval(&pw, x, q)
                         })
@@ -99,7 +90,7 @@ pub fn run(net: &Network) -> EdgeColoringOutcome {
                 if colors[i] != top {
                     return colors[i];
                 }
-                let used: Vec<u64> = neighbors[i].iter().map(|&j| colors[j]).collect();
+                let used: Vec<u64> = line_neighbors(i).map(|j| colors[j]).collect();
                 (0..target).find(|c| !used.contains(c)).expect("palette suffices")
             })
             .collect();

@@ -1,0 +1,54 @@
+//! `rounds_profile` — the round-engine workload profile: message-passing
+//! round counts and MIS mass for the distributed Luby protocol
+//! (`lcl_algos::luby_rounds`) on the acceptance workloads of the CSR +
+//! routing-arena engine (cycles and `Δ`-regular trees).
+//!
+//! This bin doubles as the round engine's determinism fixture: cells fan
+//! out across the batch engine *and* each simulation fans its per-node
+//! steps across the node executor, yet `--seq` must reproduce the parallel
+//! report byte for byte (the CI leg byte-compares persisted `rows.jsonl`).
+
+use lcl_algos::luby_rounds;
+use lcl_bench::{doubling_sizes, grid, BatchRunner, Cell, CliOpts, EngineExec, Row};
+use lcl_core::problems::MisLabel;
+use lcl_graph::gen;
+use lcl_local::{IdAssignment, Network};
+
+/// Workload families of the profile.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    /// `cycle(n)` — the degree-2 floor of the round engine.
+    Cycle,
+    /// `regular_tree(8, n)` — bounded-degree fan-out, the port-table
+    /// stress case.
+    RegularTree,
+}
+
+fn measure(cell: &Cell<Family>, exec: EngineExec) -> Vec<Row> {
+    let (series, g) = match cell.family {
+        Family::Cycle => ("luby-cycle", gen::cycle(cell.n)),
+        Family::RegularTree => ("luby-8reg-tree", gen::regular_tree(8, cell.n)),
+    };
+    let net = Network::new(g, IdAssignment::Shuffled { seed: cell.seed });
+    let out = luby_rounds::run_with(&net, cell.seed, &exec);
+    let in_set = net.graph().nodes().filter(|&v| *out.labeling.node(v) == MisLabel::InSet).count();
+    vec![Row {
+        experiment: "RND",
+        series: series.into(),
+        n: cell.n,
+        seed: cell.seed,
+        measured: f64::from(out.rounds),
+        extra: vec![("mis_frac".into(), in_set as f64 / cell.n as f64)],
+    }]
+}
+
+fn main() {
+    let opts = CliOpts::parse();
+    let seeds: Vec<u64> = if opts.quick { vec![1, 2] } else { vec![1, 2, 3] };
+    let max_n = if opts.quick { 1 << 10 } else { 1 << 12 };
+    let cells = grid(&[Family::Cycle, Family::RegularTree], &doubling_sizes(256, max_n), &seeds);
+    let runner = BatchRunner::from_opts(&opts);
+    let exec = runner.node_executor();
+    let rep = runner.run(&cells, |cell: &Cell<Family>| measure(cell, exec));
+    rep.finish("rounds_profile", &opts);
+}

@@ -50,10 +50,9 @@ impl Ball {
         to_local[center.index()] = Some(c);
         node_map.push(center);
         dist.push(0);
-        queue.push_back(center);
+        queue.push_back((center, 0u32));
 
-        while let Some(v) = queue.pop_front() {
-            let dv = dist[to_local[v.index()].expect("queued node is mapped").index()];
+        while let Some((v, dv)) = queue.pop_front() {
             if dv >= r {
                 continue;
             }
@@ -63,7 +62,7 @@ impl Ball {
                     to_local[w.index()] = Some(lw);
                     node_map.push(w);
                     dist.push(dv + 1);
-                    queue.push_back(w);
+                    queue.push_back((w, dv + 1));
                 }
             }
         }

@@ -1,7 +1,7 @@
-//! The multigraph structure with port numbering.
+//! The multigraph structure with port numbering, stored in CSR form.
 
 use crate::ids::{EdgeId, HalfEdge, NodeId, Side};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Sink, Value};
 
 /// A finite multigraph with port numbering.
 ///
@@ -14,12 +14,45 @@ use serde::{Deserialize, Serialize};
 /// removed. Experiments that need "a graph with part deleted" build a new
 /// graph via [`Graph::induced_subgraph`] or mask elements at a higher layer;
 /// this keeps ids dense and stable, which the LOCAL simulator relies on.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Layout
+///
+/// Port tables live in one flat **CSR slab**: node `v`'s ports are the
+/// contiguous slice `port_half_edges[port_offsets[v] ..][..degrees[v]]`.
+/// Segments carry doubling slack (`port_caps`) so [`Graph::add_edge`] stays
+/// amortized `O(1)` without a builder/freeze split; a full segment is
+/// relocated to the slab tail with twice the capacity, abandoning the old
+/// copy (total slab length stays `O(m)` by the usual doubling argument).
+///
+/// Alongside the slab, three half-edge-indexed tables (see
+/// [`HalfEdge::index`]) are maintained incrementally so the hot read paths
+/// are single array loads:
+///
+/// * `half_port[h]` — the port of `h` at its own node ([`Graph::port_of`],
+///   previously a linear scan of the port table);
+/// * `peer_node[h]` — the node at the *other* end of `h`'s edge
+///   ([`Graph::half_edge_peer`], previously two dependent loads);
+/// * `peer_port[h]` — the port of the opposite half-edge at the peer
+///   ([`Graph::peer_port`]): the receiving port of a message sent across
+///   `h`, which makes LOCAL message routing `O(1)` per message.
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
-    /// Per node: ordered incidences (the port table).
-    ports: Vec<Vec<HalfEdge>>,
+    /// The CSR slab: per-node port segments (with slack; see layout note).
+    port_half_edges: Vec<HalfEdge>,
+    /// Per node: start of its segment in the slab.
+    port_offsets: Vec<u32>,
+    /// Per node: capacity of its segment.
+    port_caps: Vec<u32>,
+    /// Per node: number of live ports (the node's degree).
+    degrees: Vec<u32>,
     /// Per edge: the two endpoints, indexed by [`Side`].
     edges: Vec<[NodeId; 2]>,
+    /// Per half-edge: its port at its own node.
+    half_port: Vec<u32>,
+    /// Per half-edge: the node at the opposite endpoint.
+    peer_node: Vec<NodeId>,
+    /// Per half-edge: the opposite half-edge's port at the peer.
+    peer_port: Vec<u32>,
 }
 
 impl Graph {
@@ -33,13 +66,24 @@ impl Graph {
     /// `edges` edges.
     #[must_use]
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        Graph { ports: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+        Graph {
+            port_half_edges: Vec::with_capacity(2 * edges),
+            port_offsets: Vec::with_capacity(nodes),
+            port_caps: Vec::with_capacity(nodes),
+            degrees: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            half_port: Vec::with_capacity(2 * edges),
+            peer_node: Vec::with_capacity(2 * edges),
+            peer_port: Vec::with_capacity(2 * edges),
+        }
     }
 
     /// Adds an isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(u32::try_from(self.ports.len()).expect("node count exceeds u32"));
-        self.ports.push(Vec::new());
+        let id = NodeId(u32::try_from(self.degrees.len()).expect("node count exceeds u32"));
+        self.port_offsets.push(0);
+        self.port_caps.push(0);
+        self.degrees.push(0);
         id
     }
 
@@ -47,11 +91,43 @@ impl Graph {
     ///
     /// The new nodes are `first, first+1, …, first+k-1` (ids are dense).
     pub fn add_nodes(&mut self, k: usize) -> NodeId {
-        let first = NodeId(u32::try_from(self.ports.len()).expect("node count exceeds u32"));
+        let first = NodeId(u32::try_from(self.degrees.len()).expect("node count exceeds u32"));
         for _ in 0..k {
-            self.ports.push(Vec::new());
+            self.add_node();
         }
         first
+    }
+
+    /// Appends `h` to `v`'s port segment, relocating the segment to the
+    /// slab tail with doubled capacity when full. Returns the port used.
+    fn push_port(&mut self, v: NodeId, h: HalfEdge) -> u32 {
+        let i = v.index();
+        let (len, cap) = (self.degrees[i], self.port_caps[i]);
+        if len == cap {
+            let tail = u32::try_from(self.port_half_edges.len()).expect("slab exceeds u32");
+            if cap > 0 && self.port_offsets[i] + cap == tail {
+                // Already the last segment: extend in place.
+                self.port_caps[i] = cap + cap;
+                self.port_half_edges.resize(
+                    self.port_half_edges.len() + cap as usize,
+                    HalfEdge::new(EdgeId(0), Side::A),
+                );
+            } else {
+                let new_cap = (2 * cap).max(2);
+                let old = self.port_offsets[i] as usize;
+                self.port_offsets[i] = tail;
+                self.port_caps[i] = new_cap;
+                for k in 0..len as usize {
+                    let copy = self.port_half_edges[old + k];
+                    self.port_half_edges.push(copy);
+                }
+                self.port_half_edges
+                    .resize(tail as usize + new_cap as usize, HalfEdge::new(EdgeId(0), Side::A));
+            }
+        }
+        self.port_half_edges[self.port_offsets[i] as usize + len as usize] = h;
+        self.degrees[i] = len + 1;
+        len
     }
 
     /// Adds an edge between `u` and `v` (they may coincide: a self-loop) and
@@ -62,19 +138,26 @@ impl Graph {
     ///
     /// Panics if either endpoint is not a node of this graph.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
-        assert!(u.index() < self.ports.len(), "endpoint {u:?} out of range");
-        assert!(v.index() < self.ports.len(), "endpoint {v:?} out of range");
+        assert!(u.index() < self.degrees.len(), "endpoint {u:?} out of range");
+        assert!(v.index() < self.degrees.len(), "endpoint {v:?} out of range");
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
         self.edges.push([u, v]);
-        self.ports[u.index()].push(HalfEdge::new(id, Side::A));
-        self.ports[v.index()].push(HalfEdge::new(id, Side::B));
+        let pa = self.push_port(u, HalfEdge::new(id, Side::A));
+        let pb = self.push_port(v, HalfEdge::new(id, Side::B));
+        // Half-edge tables, in index order (2·id, 2·id + 1).
+        self.half_port.push(pa);
+        self.half_port.push(pb);
+        self.peer_node.push(v);
+        self.peer_node.push(u);
+        self.peer_port.push(pb);
+        self.peer_port.push(pa);
         id
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.ports.len()
+        self.degrees.len()
     }
 
     /// Number of edges (self-loops count once).
@@ -85,7 +168,7 @@ impl Graph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        (0..self.ports.len() as u32).map(NodeId)
+        (0..self.degrees.len() as u32).map(NodeId)
     }
 
     /// Iterator over all edge ids.
@@ -101,19 +184,19 @@ impl Graph {
     /// Degree of `v` (self-loops contribute 2).
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.ports[v.index()].len()
+        self.degrees[v.index()] as usize
     }
 
     /// Maximum degree `Δ` over all nodes (0 for the empty graph).
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+        self.degrees.iter().max().copied().unwrap_or(0) as usize
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
     #[must_use]
     pub fn min_degree(&self) -> usize {
-        self.ports.iter().map(Vec::len).min().unwrap_or(0)
+        self.degrees.iter().min().copied().unwrap_or(0) as usize
     }
 
     /// The two endpoints of `e`, indexed by [`Side`] (`[A, B]`).
@@ -131,19 +214,21 @@ impl Graph {
     /// The node at the *other* end of the half-edge's edge.
     #[must_use]
     pub fn half_edge_peer(&self, h: HalfEdge) -> NodeId {
-        self.edges[h.edge.index()][h.side.flip().index()]
+        self.peer_node[h.index()]
     }
 
     /// The ordered incidences (port table) of `v`.
     #[must_use]
     pub fn ports(&self, v: NodeId) -> &[HalfEdge] {
-        &self.ports[v.index()]
+        let i = v.index();
+        let off = self.port_offsets[i] as usize;
+        &self.port_half_edges[off..off + self.degrees[i] as usize]
     }
 
     /// The half-edge plugged into port `p` of `v`, if `p < degree(v)`.
     #[must_use]
     pub fn half_edge_at_port(&self, v: NodeId, p: usize) -> Option<HalfEdge> {
-        self.ports[v.index()].get(p).copied()
+        self.ports(v).get(p).copied()
     }
 
     /// The neighbor reached through port `p` of `v` (the node itself for a
@@ -153,25 +238,33 @@ impl Graph {
         self.half_edge_at_port(v, p).map(|h| self.half_edge_peer(h))
     }
 
-    /// The port number of half-edge `h` at its node.
+    /// The port number of half-edge `h` at its node — `O(1)`, from the
+    /// precomputed inverse table.
     ///
     /// # Panics
     ///
-    /// Panics if the half-edge does not belong to this graph (internal
-    /// inconsistency).
+    /// Panics if the half-edge does not belong to this graph.
     #[must_use]
     pub fn port_of(&self, h: HalfEdge) -> usize {
-        let v = self.half_edge_node(h);
-        self.ports[v.index()]
-            .iter()
-            .position(|&x| x == h)
-            .expect("half-edge missing from its node's port table")
+        self.half_port[h.index()] as usize
+    }
+
+    /// The port at which the *opposite* half-edge of `h`'s edge sits on the
+    /// peer node — i.e. the receiving port of a message sent across `h`
+    /// from `h`'s node. Equal to `port_of(h.opposite())`, as one load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-edge does not belong to this graph.
+    #[must_use]
+    pub fn peer_port(&self, h: HalfEdge) -> usize {
+        self.peer_port[h.index()] as usize
     }
 
     /// Iterator over `(neighbor, half_edge)` pairs at `v`, in port order.
     /// The half-edge is the one attached to `v`.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, HalfEdge)> + '_ {
-        self.ports[v.index()].iter().map(move |&h| (self.half_edge_peer(h), h))
+        self.ports(v).iter().map(|&h| (self.peer_node[h.index()], h))
     }
 
     /// True if `e` is a self-loop.
@@ -236,6 +329,111 @@ impl Graph {
             self.add_edge(NodeId(a.0 + offset), NodeId(b.0 + offset));
         }
         NodeId(offset)
+    }
+
+    /// Rebuilds a graph from explicit port tables and endpoints — the
+    /// deserialization path. Validates that the tables describe a
+    /// consistent port numbering (every half-edge present exactly once, at
+    /// an endpoint of its edge), then packs the slab with zero slack.
+    fn from_tables(ports: Vec<Vec<HalfEdge>>, edges: Vec<[NodeId; 2]>) -> Result<Graph, DeError> {
+        let n = ports.len();
+        let m = edges.len();
+        for &[a, b] in &edges {
+            if a.index() >= n || b.index() >= n {
+                return Err(DeError::new(format!("edge endpoint out of range: [{a:?}, {b:?}]")));
+            }
+        }
+        let mut g = Graph::with_capacity(n, m);
+        g.edges = edges;
+        g.half_port = vec![u32::MAX; 2 * m];
+        g.peer_node = vec![NodeId(0); 2 * m];
+        g.peer_port = vec![0; 2 * m];
+        for (vi, table) in ports.iter().enumerate() {
+            let off = u32::try_from(g.port_half_edges.len()).expect("slab exceeds u32");
+            let len =
+                u32::try_from(table.len()).map_err(|_| DeError::new("port table exceeds u32"))?;
+            g.port_offsets.push(off);
+            g.port_caps.push(len);
+            g.degrees.push(len);
+            for (p, &h) in table.iter().enumerate() {
+                if h.edge.index() >= m {
+                    return Err(DeError::new(format!("half-edge {h:?} references unknown edge")));
+                }
+                if g.edges[h.edge.index()][h.side.index()].index() != vi {
+                    return Err(DeError::new(format!(
+                        "half-edge {h:?} listed at node n{vi}, but its edge endpoint disagrees"
+                    )));
+                }
+                if g.half_port[h.index()] != u32::MAX {
+                    return Err(DeError::new(format!("half-edge {h:?} appears twice")));
+                }
+                g.half_port[h.index()] = p as u32;
+                g.port_half_edges.push(h);
+            }
+        }
+        if let Some(h) = (0..2 * m).find(|&i| g.half_port[i] == u32::MAX) {
+            return Err(DeError::new(format!("half-edge index {h} missing from every port table")));
+        }
+        for (e, &[a, b]) in g.edges.iter().enumerate() {
+            let ha = 2 * e;
+            let hb = 2 * e + 1;
+            g.peer_node[ha] = b;
+            g.peer_node[hb] = a;
+            g.peer_port[ha] = g.half_port[hb];
+            g.peer_port[hb] = g.half_port[ha];
+        }
+        Ok(g)
+    }
+}
+
+/// Equality is structural: same nodes, same edges, same port tables. The
+/// CSR slab's slack and segment placement are construction artifacts and do
+/// not participate (a deserialized graph compares equal to the graph that
+/// produced it even though its slab is packed).
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.node_count() == other.node_count()
+            && self.edges == other.edges
+            && self.nodes().all(|v| self.ports(v) == other.ports(v))
+    }
+}
+
+impl Eq for Graph {}
+
+/// Serializes in the pre-CSR wire format — a map of nested `ports` tables
+/// and `edges` endpoint pairs — so persisted graphs and goldens are
+/// byte-identical across the layout change.
+impl Serialize for Graph {
+    fn to_value(&self) -> Value {
+        let ports = Value::Seq(self.nodes().map(|v| self.ports(v).to_vec().to_value()).collect());
+        Value::Map(vec![("ports".to_string(), ports), ("edges".to_string(), self.edges.to_value())])
+    }
+
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.map_begin();
+        sink.map_key("ports");
+        sink.seq_begin();
+        for v in self.nodes() {
+            sink.seq_elem();
+            sink.seq_begin();
+            for h in self.ports(v) {
+                sink.seq_elem();
+                h.stream(sink);
+            }
+            sink.seq_end();
+        }
+        sink.seq_end();
+        sink.map_key("edges");
+        self.edges.stream(sink);
+        sink.map_end();
+    }
+}
+
+impl Deserialize for Graph {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let ports = Vec::<Vec<HalfEdge>>::from_value(v.field("ports")?)?;
+        let edges = Vec::<[NodeId; 2]>::from_value(v.field("edges")?)?;
+        Graph::from_tables(ports, edges)
     }
 }
 
@@ -318,6 +516,20 @@ mod tests {
     }
 
     #[test]
+    fn peer_port_matches_port_of_opposite() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(a, a);
+        g.add_edge(a, b);
+        for h in g.half_edges() {
+            assert_eq!(g.peer_port(h), g.port_of(h.opposite()), "{h:?}");
+        }
+    }
+
+    #[test]
     fn induced_subgraph_keeps_internal_edges_only() {
         let mut g = Graph::new();
         let a = g.add_node();
@@ -365,5 +577,95 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node();
         g.add_edge(a, NodeId(99));
+    }
+
+    #[test]
+    fn high_degree_segment_relocation_preserves_port_order() {
+        // A star forces the hub's segment through every doubling step,
+        // interleaved with leaf segments so relocation (not in-place
+        // extension) is exercised.
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let mut edges = Vec::new();
+        for _ in 0..33 {
+            let leaf = g.add_node();
+            edges.push(g.add_edge(leaf, hub));
+        }
+        assert_eq!(g.degree(hub), 33);
+        for (p, e) in edges.iter().enumerate() {
+            let h = g.half_edge_at_port(hub, p).unwrap();
+            assert_eq!(h.edge, *e);
+            assert_eq!(h.side, Side::B);
+            assert_eq!(g.port_of(h), p);
+            assert_eq!(g.peer_port(h), 0);
+        }
+    }
+
+    #[test]
+    fn structural_equality_ignores_slab_layout() {
+        // An incrementally built graph carries slack and relocated
+        // segments in its slab; its deserialized twin is packed tight.
+        // Equality must not see the difference (in either direction).
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        for _ in 0..7 {
+            let leaf = g.add_node();
+            g.add_edge(hub, leaf); // hub's segment relocates repeatedly
+        }
+        let packed = Graph::from_value(&g.to_value()).expect("own output re-ingests");
+        assert_eq!(g, packed);
+        assert_eq!(packed, g);
+        // Port order is structure: the same edges with two of the hub's
+        // ports renumbered (a consistent table, so it deserializes fine)
+        // is a *different* port-numbered graph.
+        let Value::Map(mut entries) = g.to_value() else { panic!("map") };
+        let Value::Seq(tables) = &mut entries[0].1 else { panic!("seq") };
+        let Value::Seq(hub_table) = &mut tables[hub.index()] else { panic!("seq") };
+        hub_table.swap(0, 1);
+        let renumbered = Graph::from_value(&Value::Map(entries)).expect("consistent tables");
+        assert_ne!(g, renumbered);
+    }
+
+    #[test]
+    fn serde_wire_format_is_the_port_table_map() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        let v = g.to_value();
+        let ports = v.field("ports").unwrap();
+        let edges = v.field("edges").unwrap();
+        assert_eq!(ports.seq_n(2).unwrap().len(), 2);
+        assert_eq!(edges.seq_n(1).unwrap().len(), 1);
+        let back = Graph::from_value(&v).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn deserialize_rejects_inconsistent_tables() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        let good = g.to_value();
+        // Swap the two port tables: each half-edge now sits at the wrong
+        // node.
+        let Value::Map(mut entries) = good.clone() else { panic!("map") };
+        if let Value::Seq(tables) = &mut entries[0].1 {
+            tables.swap(0, 1);
+        }
+        assert!(Graph::from_value(&Value::Map(entries)).is_err());
+        // Duplicate a half-edge.
+        let Value::Map(mut entries) = good else { panic!("map") };
+        if let Value::Seq(tables) = &mut entries[0].1 {
+            let h = match &tables[0] {
+                Value::Seq(items) => items[0].clone(),
+                _ => panic!("seq"),
+            };
+            if let Value::Seq(items) = &mut tables[0] {
+                items.push(h);
+            }
+        }
+        assert!(Graph::from_value(&Value::Map(entries)).is_err());
     }
 }

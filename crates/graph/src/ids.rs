@@ -74,6 +74,22 @@ impl HalfEdge {
     pub fn opposite(self) -> Self {
         HalfEdge { edge: self.edge, side: self.side.flip() }
     }
+
+    /// Dense index of this half-edge: `2·edge + side`. The half-edges of a
+    /// graph with `m` edges are exactly the indices `0..2m`, which is what
+    /// lets per-half-edge tables (port inverses, message slots) be flat
+    /// arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        2 * self.edge.index() + self.side.index()
+    }
+
+    /// Inverse of [`HalfEdge::index`].
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        let side = if i.is_multiple_of(2) { Side::A } else { Side::B };
+        HalfEdge { edge: EdgeId((i / 2) as u32), side }
+    }
 }
 
 impl fmt::Debug for NodeId {
@@ -143,6 +159,18 @@ mod tests {
         assert_eq!(Side::A.flip(), Side::B);
         assert_eq!(Side::B.flip(), Side::A);
         assert_eq!(Side::A.flip().flip(), Side::A);
+    }
+
+    #[test]
+    fn half_edge_index_is_dense_and_invertible() {
+        for e in 0..4u32 {
+            for side in [Side::A, Side::B] {
+                let h = HalfEdge::new(EdgeId(e), side);
+                assert_eq!(h.index(), 2 * e as usize + side.index());
+                assert_eq!(HalfEdge::from_index(h.index()), h);
+                assert_eq!(h.opposite().index(), h.index() ^ 1);
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct Network {
     graph: Graph,
     ids: Vec<u64>,
     n_known: usize,
+    /// Cached `graph.max_degree()`: the simulators read `Δ` once per node
+    /// when building contexts, which would otherwise rescan the degree
+    /// table `n` times.
+    max_deg: usize,
 }
 
 impl Network {
@@ -64,7 +68,8 @@ impl Network {
                 ids
             }
         };
-        Network { graph, ids, n_known: n }
+        let max_deg = graph.max_degree();
+        Network { graph, ids, n_known: n, max_deg }
     }
 
     /// Wraps a graph with explicitly chosen identifiers (adversarial runs).
@@ -81,7 +86,8 @@ impl Network {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "ids must be unique");
         let n = graph.node_count();
-        Network { graph, ids, n_known: n }
+        let max_deg = graph.max_degree();
+        Network { graph, ids, n_known: n, max_deg }
     }
 
     /// Overrides the `n` announced to nodes (the paper often gives nodes an
@@ -130,10 +136,11 @@ impl Network {
         &self.ids
     }
 
-    /// Maximum degree `Δ` (announced to nodes).
+    /// Maximum degree `Δ` (announced to nodes). Precomputed at
+    /// construction — the graph is immutable inside a `Network`.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.graph.max_degree()
+        self.max_deg
     }
 }
 

@@ -4,6 +4,7 @@ use crate::exec::NodeExecutor;
 use crate::network::Network;
 use crate::trace::RoundTrace;
 use crate::views::rand_word;
+use lcl_graph::NodeId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -114,23 +115,32 @@ pub fn run_rounds<A: RoundAlgorithm>(
         .map(|v| ChaCha8Rng::seed_from_u64(rand_word(seed, net.id_of(v), 0x0C0D_E5EED)))
         .collect();
     let mut states: Vec<A::State> = (0..n).map(|i| alg.init(&ctxs[i], &mut rngs[i])).collect();
+    let decided =
+        |states: &[A::State]| states.iter().zip(&ctxs).all(|(s, c)| alg.output(s, c).is_some());
 
+    let mut arena = RouteArena::new(g);
     let mut rounds = 0;
-    let mut completed = all_decided(alg, &states, &ctxs);
+    let mut completed = decided(&states);
     while !completed && rounds < max_rounds {
-        let outgoing: Vec<Vec<(usize, A::Msg)>> =
-            (0..n).map(|i| alg.send(&states[i], &ctxs[i])).collect();
-        let inboxes = route_messages(g, outgoing);
+        // Sequential engine: each node's sends are deposited straight into
+        // the routing arena — no per-round outbox materialization at all.
+        arena.begin_round();
+        for i in 0..n {
+            for (port, msg) in alg.send(&states[i], &ctxs[i]) {
+                arena.deposit(g, NodeId(i as u32), port, msg);
+            }
+        }
+        arena.compact(g);
         for v in g.nodes() {
             alg.receive(
                 &mut states[v.index()],
                 &ctxs[v.index()],
-                &inboxes[v.index()],
+                arena.inbox(v),
                 &mut rngs[v.index()],
             );
         }
         rounds += 1;
-        completed = all_decided(alg, &states, &ctxs);
+        completed = decided(&states);
     }
 
     let outputs = states.iter().zip(&ctxs).map(|(s, c)| alg.output(s, c)).collect();
@@ -181,14 +191,29 @@ where
         exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]).is_some()).into_iter().all(|d| d)
     };
 
+    // The outbox container and the routing arena are engine-owned and
+    // reused across rounds. The per-node inner vectors are still fresh
+    // each round — `send` returns an owned `Vec` by contract (see the
+    // ROADMAP open item on an outbox-writer API).
+    let mut outboxes: Vec<Vec<(usize, A::Msg)>> = Vec::new();
+    outboxes.resize_with(n, Vec::new);
+    let mut arena = RouteArena::new(g);
     let mut rounds = 0;
     let mut completed = decided(&cells);
     while !completed && rounds < max_rounds {
-        let outgoing: Vec<Vec<(usize, A::Msg)>> =
-            exec.map_nodes(n, |i| alg.send(&cells[i].0, &ctxs[i]));
-        let inboxes = route_messages(g, outgoing);
+        exec.update_nodes(&mut outboxes, |i, outbox| {
+            *outbox = alg.send(&cells[i].0, &ctxs[i]);
+        });
+        arena.begin_round();
+        for (i, outbox) in outboxes.iter_mut().enumerate() {
+            for (port, msg) in outbox.drain(..) {
+                arena.deposit(g, NodeId(i as u32), port, msg);
+            }
+        }
+        arena.compact(g);
+        let arena_ref = &arena;
         exec.update_nodes(&mut cells, |i, (state, rng)| {
-            alg.receive(state, &ctxs[i], &inboxes[i], rng);
+            alg.receive(state, &ctxs[i], arena_ref.inbox(NodeId(i as u32)), rng);
         });
         rounds += 1;
         completed = decided(&cells);
@@ -198,33 +223,93 @@ where
     RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
 }
 
-/// Delivers each node's outgoing `(port, message)` list: a message sent on
-/// port `p` of `v` arrives at the peer's port for the same edge. Inboxes
-/// come back sorted by receiving port (stable, so parallel-engine inboxes
-/// match the sequential engine's exactly).
-fn route_messages<M>(g: &lcl_graph::Graph, outgoing: Vec<Vec<(usize, M)>>) -> Vec<Vec<(usize, M)>> {
-    let mut inboxes: Vec<Vec<(usize, M)>> = Vec::new();
-    inboxes.resize_with(g.node_count(), Vec::new);
-    for (i, msgs) in outgoing.into_iter().enumerate() {
-        let v = lcl_graph::NodeId(i as u32);
-        for (port, msg) in msgs {
-            let h = g
-                .half_edge_at_port(v, port)
-                .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
-            let peer_half = h.opposite();
-            let w = g.half_edge_node(peer_half);
-            let peer_port = g.port_of(peer_half);
-            inboxes[w.index()].push((peer_port, msg));
-        }
-    }
-    for inbox in &mut inboxes {
-        inbox.sort_by_key(|(p, _)| *p);
-    }
-    inboxes
+/// Reusable `O(n + m)` message-routing scratch for the round engines.
+///
+/// The pre-CSR router materialized `Vec<Vec<(port, Msg)>>` inboxes from
+/// scratch every round and resolved each receiving port with
+/// [`lcl_graph::Graph::port_of`], then a linear scan — `O(Σ deg²)` per
+/// round plus `2n` vector allocations. The arena instead exploits that a
+/// round delivers **at most one message per receiving half-edge**: a
+/// message sent on port `p` of `v` crosses half-edge `h` and lands in the
+/// slot indexed by `h.opposite()` ([`lcl_graph::HalfEdge::index`] is
+/// dense), stamped
+/// with the round number so slots invalidate in `O(1)`. A compaction pass
+/// then walks every node's CSR port table once, in order, concatenating
+/// the occupied slots into one flat inbox array — which both sorts each
+/// inbox by receiving port (matching the old router's contract exactly)
+/// and yields per-node slices without any per-node allocation. All buffers
+/// are allocated once per run and reused across rounds.
+struct RouteArena<M> {
+    /// Per receiving half-edge: the message in flight this round.
+    slots: Vec<Option<M>>,
+    /// Per receiving half-edge: round stamp; the slot is live iff equal to
+    /// `round`.
+    stamps: Vec<u64>,
+    /// Current round stamp (starts at 1 so zeroed stamps read as stale).
+    round: u64,
+    /// Flat inbox storage: node `v`'s inbox is
+    /// `inbox[inbox_starts[v] .. inbox_starts[v + 1]]`, sorted by port.
+    inbox: Vec<(usize, M)>,
+    inbox_starts: Vec<usize>,
 }
 
-fn all_decided<A: RoundAlgorithm>(alg: &A, states: &[A::State], ctxs: &[NodeCtx]) -> bool {
-    states.iter().zip(ctxs).all(|(s, c)| alg.output(s, c).is_some())
+impl<M> RouteArena<M> {
+    fn new(g: &lcl_graph::Graph) -> RouteArena<M> {
+        let mut slots = Vec::new();
+        slots.resize_with(2 * g.edge_count(), || None);
+        RouteArena {
+            slots,
+            stamps: vec![0; 2 * g.edge_count()],
+            round: 0,
+            inbox: Vec::new(),
+            inbox_starts: vec![0; g.node_count() + 1],
+        }
+    }
+
+    /// Invalidates all slots (`O(1)`) and clears the flat inboxes.
+    fn begin_round(&mut self) {
+        self.round += 1;
+        self.inbox.clear();
+    }
+
+    /// Routes one message sent on `port` of `v` into its receiving slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist at `v` or already carried a
+    /// message this round (the [`RoundAlgorithm::send`] contract allows at
+    /// most one message per port).
+    fn deposit(&mut self, g: &lcl_graph::Graph, v: NodeId, port: usize, msg: M) {
+        let h = g
+            .half_edge_at_port(v, port)
+            .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
+        let slot = h.opposite().index();
+        assert!(self.stamps[slot] != self.round, "node {v:?} sent twice on port {port}");
+        self.stamps[slot] = self.round;
+        self.slots[slot] = Some(msg);
+    }
+
+    /// Gathers this round's live slots into the flat per-node inboxes, in
+    /// port order. One pass over the CSR port tables: `O(n + m)`.
+    fn compact(&mut self, g: &lcl_graph::Graph) {
+        for v in g.nodes() {
+            self.inbox_starts[v.index()] = self.inbox.len();
+            for (p, &h) in g.ports(v).iter().enumerate() {
+                let slot = h.index();
+                if self.stamps[slot] == self.round {
+                    let msg = self.slots[slot].take().expect("stamped slot holds a message");
+                    self.inbox.push((p, msg));
+                }
+            }
+        }
+        self.inbox_starts[g.node_count()] = self.inbox.len();
+    }
+
+    /// The inbox of `v` for the compacted round: `(receiving port,
+    /// message)` pairs sorted by port.
+    fn inbox(&self, v: NodeId) -> &[(usize, M)] {
+        &self.inbox[self.inbox_starts[v.index()]..self.inbox_starts[v.index() + 1]]
+    }
 }
 
 #[cfg(test)]

@@ -183,11 +183,20 @@ fn cmd_trend(store: &RunStore, experiment: &str, series: &str) -> std::io::Resul
         println!("no rows for series `{series}` in {} run(s)", runs.len());
         return Ok(ExitCode::SUCCESS);
     }
-    println!("{:<28} {:<20} {:>9} {:>12} {:>8}", "run-id", "timestamp", "n", "mean", "samples");
+    println!(
+        "{:<28} {:<20} {:>9} {:>12} {:>12} {:>12} {:>8}",
+        "run-id", "timestamp", "n", "mean", "p50", "p95", "samples"
+    );
     for p in points {
         println!(
-            "{:<28} {:<20} {:>9} {:>12.3} {:>8}",
-            p.run_id, p.timestamp_utc, p.n, p.mean_measured, p.samples
+            "{:<28} {:<20} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+            p.run_id,
+            p.timestamp_utc,
+            p.n,
+            p.mean_measured,
+            p.p50_measured,
+            p.p95_measured,
+            p.samples
         );
     }
     Ok(ExitCode::SUCCESS)

@@ -137,7 +137,8 @@ pub fn diff_rows(a: &[RowRecord], b: &[RowRecord], tol: f64) -> Vec<Delta> {
     deltas
 }
 
-/// One trend sample: a run's mean measured value for a series at size `n`.
+/// One trend sample: a run's measured-value statistics for a series at
+/// size `n`, aggregated across the run's seeds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TrendPoint {
     /// Run id the sample comes from.
@@ -148,12 +149,26 @@ pub struct TrendPoint {
     pub n: usize,
     /// Mean measured value over the run's seeds at this `n`.
     pub mean_measured: f64,
-    /// Number of rows averaged.
+    /// Median (nearest-rank p50) over the run's seeds at this `n`.
+    pub p50_measured: f64,
+    /// Nearest-rank 95th percentile over the run's seeds at this `n` —
+    /// makes tail regressions visible where the mean stays flat.
+    pub p95_measured: f64,
+    /// Number of rows aggregated.
     pub samples: usize,
+}
+
+/// Nearest-rank percentile of `sorted` (ascending, non-empty):
+/// `sorted[⌈q·len⌉ - 1]`. For 3 seeds, `q = 0.5` is the middle value and
+/// `q = 0.95` the maximum — the conventional small-sample reading.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Measured-vs-n for `series` across every given run (callers pass the
 /// runs of one experiment, already in store order — i.e. by timestamp).
+/// Each point carries mean and p50/p95 bands across the run's seeds.
 ///
 /// # Errors
 ///
@@ -162,19 +177,20 @@ pub fn trend(runs: &[StoredRun], series: &str) -> io::Result<Vec<TrendPoint>> {
     let mut points = Vec::new();
     for run in runs {
         let rows = run.rows()?;
-        let mut by_n: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        let mut by_n: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         for r in rows.iter().filter(|r| r.series == series) {
-            let slot = by_n.entry(r.n).or_insert((0.0, 0));
-            slot.0 += r.measured;
-            slot.1 += 1;
+            by_n.entry(r.n).or_default().push(r.measured);
         }
-        for (n, (sum, count)) in by_n {
+        for (n, mut values) in by_n {
+            values.sort_by(f64::total_cmp);
             points.push(TrendPoint {
                 run_id: run.manifest.run_id.clone(),
                 timestamp_utc: run.manifest.timestamp_utc.clone(),
                 n,
-                mean_measured: sum / count as f64,
-                samples: count,
+                mean_measured: values.iter().sum::<f64>() / values.len() as f64,
+                p50_measured: percentile(&values, 0.5),
+                p95_measured: percentile(&values, 0.95),
+                samples: values.len(),
             });
         }
     }

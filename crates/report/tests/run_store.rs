@@ -157,3 +157,51 @@ fn missing_root_lists_empty() {
     assert!(store.list().expect("missing root is an empty store").is_empty());
     assert!(store.find("anything").unwrap().is_none());
 }
+
+#[test]
+fn trend_reports_mean_and_percentile_bands_across_seeds() {
+    // Three persisted runs of one experiment; each run measures one series
+    // at n = 64 across three seeds. The bands must be computed per run:
+    // nearest-rank p50 is the middle seed value, p95 the maximum.
+    let scratch = Scratch::new("trend");
+    let store = scratch.store();
+    let grids: [(&str, [f64; 3]); 3] =
+        [("run-1", [10.0, 12.0, 14.0]), ("run-2", [10.0, 10.0, 40.0]), ("run-3", [9.0, 9.0, 9.0])];
+    for (id, measures) in grids {
+        let rows: Vec<RowRecord> = measures
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| RowRecord {
+                experiment: "E9".into(),
+                series: "mis-rand".into(),
+                n: 64,
+                seed: i as u64 + 1,
+                measured: m,
+                extra: vec![],
+            })
+            .collect();
+        let manifest = RunManifest::new("trendexp", id, &rows, 1, false, false);
+        store.save(&manifest, &rows).expect("save succeeds");
+    }
+
+    let runs = store.list().expect("list succeeds");
+    assert_eq!(runs.len(), 3);
+    let points = lcl_report::trend(&runs, "mis-rand").expect("trend re-ingests");
+    assert_eq!(points.len(), 3, "one point per run at n = 64");
+    let by_id = |id: &str| points.iter().find(|p| p.run_id == id).expect("point exists");
+
+    let p1 = by_id("run-1");
+    assert_eq!((p1.mean_measured, p1.p50_measured, p1.p95_measured), (12.0, 12.0, 14.0));
+    assert_eq!(p1.samples, 3);
+
+    // A tail outlier moves mean and p95 but not the median.
+    let p2 = by_id("run-2");
+    assert_eq!((p2.mean_measured, p2.p50_measured, p2.p95_measured), (20.0, 10.0, 40.0));
+
+    // Constant seeds: all statistics coincide.
+    let p3 = by_id("run-3");
+    assert_eq!((p3.mean_measured, p3.p50_measured, p3.p95_measured), (9.0, 9.0, 9.0));
+
+    // Unknown series yields no points rather than an error.
+    assert!(lcl_report::trend(&runs, "absent").expect("ok").is_empty());
+}
