@@ -168,10 +168,15 @@ fn bench_round_engines(c: &mut Criterion) {
         sweep(&nets, |net, seed| digest(&run_rounds(net, &DistributedLuby, seed, cap).outputs))
     });
     assert_eq!(a, b);
-    println!(
-        "acceptance: baseline {baseline:?} vs csr-arena {arena:?} ({:.1}x)",
-        baseline.as_secs_f64() / arena.as_secs_f64().max(1e-9)
-    );
+    let ratio = baseline.as_secs_f64() / arena.as_secs_f64().max(1e-9);
+    println!("acceptance: baseline {baseline:?} vs csr-arena {arena:?} ({ratio:.1}x)");
+    // Publish the machine-readable trajectory point before asserting, so a
+    // failing gate still records what it measured.
+    let gate = lcl_report::BenchGate::new("rounds", 2.0, ratio, 4096, "cycle+8reg-tree");
+    match gate.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: BENCH_rounds.json not written: {e}"),
+    }
     assert!(
         baseline.as_secs_f64() >= 2.0 * arena.as_secs_f64(),
         "CSR+arena round engine must be >= 2x faster: baseline {baseline:?}, arena {arena:?}"

@@ -108,10 +108,15 @@ fn bench_serialize(c: &mut Criterion) {
     let (a, tree) = timed_min(&|| jsonl_value_tree(&rows));
     let (b, streaming) = timed_min(&|| render_to_writer(&rows));
     assert_eq!(a, b, "streamed rows.jsonl must be byte-identical to the value-tree path");
-    println!(
-        "acceptance: value-tree {tree:?} vs streaming {streaming:?} ({:.2}x)",
-        tree.as_secs_f64() / streaming.as_secs_f64().max(1e-9)
-    );
+    let ratio = tree.as_secs_f64() / streaming.as_secs_f64().max(1e-9);
+    println!("acceptance: value-tree {tree:?} vs streaming {streaming:?} ({ratio:.2}x)");
+    // Publish the machine-readable trajectory point before asserting, so a
+    // failing gate still records what it measured.
+    let gate = lcl_report::BenchGate::new("serialize", 1.3, ratio, 30_000, "rows-jsonl");
+    match gate.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: BENCH_serialize.json not written: {e}"),
+    }
     assert!(
         tree.as_secs_f64() >= 1.3 * streaming.as_secs_f64(),
         "streaming serializer must be >= 1.3x faster: value-tree {tree:?}, streaming {streaming:?}"

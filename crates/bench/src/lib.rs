@@ -122,12 +122,51 @@ impl CliOpts {
     pub fn has(&self, flag: &str) -> bool {
         self.args.iter().any(|a| a == flag)
     }
+
+    /// The value following a binary-specific `--flag VALUE` pair, if
+    /// present and not itself a flag (same rule the common flags use).
+    #[must_use]
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let i = self.args.iter().position(|a| a == flag)?;
+        match self.args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The positional (non-flag) arguments, in order: everything that is
+    /// neither a `--flag` nor the value consumed by a value-taking flag.
+    /// Binaries with subcommands (`scenarios list|describe|run`) parse
+    /// these.
+    #[must_use]
+    pub fn positional(&self) -> Vec<&str> {
+        const VALUE_FLAGS: [&str; 4] = ["--out", "--run-id", "--spec-dir", "--tol"];
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(a) = self.args.get(i) {
+            if a.starts_with("--") {
+                // A value flag consumes the next token unless that token is
+                // itself a flag (the "forgotten value" rule of `from_args`).
+                let takes_value = VALUE_FLAGS.contains(&a.as_str())
+                    && self.args.get(i + 1).is_some_and(|v| !v.starts_with("--"));
+                i += if takes_value { 2 } else { 1 };
+            } else {
+                out.push(a.as_str());
+                i += 1;
+            }
+        }
+        out
+    }
 }
 
 /// Collects rows and renders them.
 #[derive(Debug, Default)]
 pub struct Report {
     rows: Vec<Row>,
+    /// Provenance pairs recorded into the persisted manifest (not part of
+    /// the rendered report, so stdout stays byte-identical across runs
+    /// that differ only in provenance).
+    meta: Vec<(String, String)>,
 }
 
 impl Report {
@@ -140,6 +179,13 @@ impl Report {
     /// Adds a row.
     pub fn push(&mut self, row: Row) {
         self.rows.push(row);
+    }
+
+    /// Records a provenance pair into the run manifest (e.g. the
+    /// `scenarios` bin stamps the spec name and hash). Rendering is
+    /// unaffected.
+    pub fn push_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
     }
 
     /// All rows.
@@ -219,7 +265,8 @@ impl Report {
             .unwrap_or_else(|| store.unique_run_id(experiment, &default_run_id()));
         let pool_width = if opts.seq { 1 } else { rayon::current_num_threads() };
         let manifest =
-            RunManifest::new(experiment, &run_id, &records, pool_width, opts.quick, opts.seq);
+            RunManifest::new(experiment, &run_id, &records, pool_width, opts.quick, opts.seq)
+                .with_meta(self.meta.clone());
         store.save(&manifest, &records)
     }
 
@@ -330,6 +377,23 @@ mod tests {
     }
 
     #[test]
+    fn cli_opts_positionals_and_value_of() {
+        let opts = CliOpts::from_args(
+            ["run", "zoo", "--quick", "--out", "dir", "--spec-dir", "specs", "--json"]
+                .map(String::from),
+        );
+        assert_eq!(opts.positional(), vec!["run", "zoo"]);
+        assert_eq!(opts.value_of("--spec-dir"), Some("specs"));
+        assert_eq!(opts.value_of("--out"), Some("dir"));
+        assert_eq!(opts.value_of("--run-id"), None);
+        // A value flag missing its value never swallows the next flag.
+        let opts = CliOpts::from_args(["list", "--spec-dir", "--json"].map(String::from));
+        assert_eq!(opts.positional(), vec!["list"]);
+        assert_eq!(opts.value_of("--spec-dir"), None);
+        assert!(opts.json);
+    }
+
+    #[test]
     fn finish_persists_through_the_store() {
         let root = std::env::temp_dir().join(format!("lcl-bench-finish-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
@@ -342,6 +406,8 @@ mod tests {
             measured: 7.0,
             extra: vec![("phase1".into(), 3.0)],
         });
+        rep.push_meta("scenario", "unit");
+        rep.push_meta("spec_hash", "00ff");
         let mut opts = CliOpts::from_args(["--json".to_string()]);
         opts.out = root.clone();
         opts.run_id = Some("test-run".into());
@@ -350,6 +416,11 @@ mod tests {
         let stored = RunStore::new(&root).find("test-run").unwrap().expect("run listed");
         assert_eq!(stored.manifest.row_count, 1);
         assert_eq!(stored.manifest.series, vec!["demo".to_string()]);
+        // Meta pairs land in the persisted manifest verbatim.
+        assert_eq!(
+            stored.manifest.meta,
+            vec![("scenario".to_string(), "unit".to_string()), ("spec_hash".into(), "00ff".into())]
+        );
         let rows = stored.rows().unwrap();
         // The persisted line re-serializes to the exact `--json` stdout line.
         assert_eq!(serde_json::to_string(&rows[0]).unwrap(), rep.render(true));

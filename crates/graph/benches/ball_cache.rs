@@ -68,10 +68,15 @@ fn bench_ball_sweeps(c: &mut Criterion) {
     let (a, uncached) = timed_min(&|| sweep_uncached_adaptive(&g, 3));
     let (b, cached) = timed_min(&|| sweep_cached_adaptive(&g, 3));
     assert_eq!(a, b);
-    println!(
-        "acceptance: uncached {uncached:?} vs cached {cached:?} ({:.1}x)",
-        uncached.as_secs_f64() / cached.as_secs_f64().max(1e-9)
-    );
+    let ratio = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-9);
+    println!("acceptance: uncached {uncached:?} vs cached {cached:?} ({ratio:.1}x)");
+    // Publish the machine-readable trajectory point before asserting, so a
+    // failing gate still records what it measured.
+    let gate = lcl_report::BenchGate::new("ball_cache", 2.0, ratio, 4096, "cycle-r3");
+    match gate.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: BENCH_ball_cache.json not written: {e}"),
+    }
     assert!(
         uncached.as_secs_f64() >= 2.0 * cached.as_secs_f64(),
         "cached sweep must be >= 2x faster: uncached {uncached:?}, cached {cached:?}"

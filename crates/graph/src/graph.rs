@@ -316,6 +316,45 @@ impl Graph {
         (sub, new_to_old)
     }
 
+    /// Total length of the CSR port slab, including segment slack and dead
+    /// segments abandoned by relocation. Equals `2 · edge_count()` exactly
+    /// when the slab is fully packed (see [`Graph::compact`]).
+    #[must_use]
+    pub fn port_slab_len(&self) -> usize {
+        self.port_half_edges.len()
+    }
+
+    /// Repacks the CSR slab: every node's port segment is rewritten
+    /// contiguously in node order with capacity equal to its degree,
+    /// dropping the dead segments and doubling slack that incremental
+    /// [`Graph::add_edge`] construction leaves behind. After this call
+    /// `port_slab_len() == 2 · edge_count()` and neighbor iteration walks
+    /// the slab strictly forward — the layout [`Graph::from_tables`]
+    /// produces. `O(n + m)`; a no-op on an already-packed graph. The
+    /// half-edge tables are position-independent and unaffected.
+    ///
+    /// Called automatically where a graph becomes immutable (e.g.
+    /// `lcl_local::Network` construction); callers that keep appending
+    /// afterwards just regrow slack as usual.
+    pub fn compact(&mut self) {
+        let packed_len = 2 * self.edges.len();
+        let already_packed = self.port_half_edges.len() == packed_len
+            && self.port_caps.iter().zip(&self.degrees).all(|(c, d)| c == d);
+        if already_packed {
+            return;
+        }
+        let mut slab = Vec::with_capacity(packed_len);
+        for i in 0..self.degrees.len() {
+            let off = self.port_offsets[i] as usize;
+            let len = self.degrees[i] as usize;
+            let new_off = u32::try_from(slab.len()).expect("slab exceeds u32");
+            slab.extend_from_slice(&self.port_half_edges[off..off + len]);
+            self.port_offsets[i] = new_off;
+            self.port_caps[i] = self.degrees[i];
+        }
+        self.port_half_edges = slab;
+    }
+
     /// Disjoint union: appends all of `other`'s nodes and edges to `self`,
     /// returning the id offset applied to `other`'s nodes (its node `k`
     /// becomes `offset + k`).
@@ -599,6 +638,55 @@ mod tests {
             assert_eq!(g.port_of(h), p);
             assert_eq!(g.peer_port(h), 0);
         }
+    }
+
+    #[test]
+    fn compact_repacks_the_slab_and_preserves_structure() {
+        // Interleaved hub/leaf growth leaves dead relocated segments.
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        for _ in 0..33 {
+            let leaf = g.add_node();
+            g.add_edge(hub, leaf);
+        }
+        let before = g.clone();
+        assert!(g.port_slab_len() > 2 * g.edge_count(), "construction must leave slack");
+        g.compact();
+        assert_eq!(g.port_slab_len(), 2 * g.edge_count());
+        assert_eq!(g, before);
+        // Every read API survives: ports, inverse tables, neighbors.
+        for v in g.nodes() {
+            assert_eq!(g.ports(v), before.ports(v));
+            for (p, &h) in g.ports(v).iter().enumerate() {
+                assert_eq!(g.port_of(h), p);
+                assert_eq!(g.peer_port(h), before.peer_port(h));
+                assert_eq!(g.half_edge_peer(h), before.half_edge_peer(h));
+            }
+        }
+        // Idempotent, and appending afterwards still works.
+        g.compact();
+        assert_eq!(g.port_slab_len(), 2 * g.edge_count());
+        let v = g.add_node();
+        g.add_edge(hub, v);
+        assert_eq!(g.degree(hub), 34);
+        assert_eq!(g.neighbor_via_port(hub, 33), Some(v));
+    }
+
+    #[test]
+    fn compact_empty_and_packed_graphs_are_noops() {
+        let mut g = Graph::new();
+        g.compact();
+        assert_eq!(g.port_slab_len(), 0);
+        // A deserialized graph is already packed; compact must not disturb it.
+        let mut h = Graph::new();
+        let a = h.add_node();
+        let b = h.add_node();
+        h.add_edge(a, b);
+        let mut packed = Graph::from_value(&h.to_value()).unwrap();
+        let slab_before = packed.port_slab_len();
+        packed.compact();
+        assert_eq!(packed.port_slab_len(), slab_before);
+        assert_eq!(packed, h);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Structural invariants of the expanded generator zoo, pinned by
+//! proptests: handshake lemma, degree bounds, simplicity, connectivity
+//! where promised, and bit-identical output for identical seeds across two
+//! independent constructions.
+
+use lcl_graph::gen;
+use lcl_graph::{connected_components, girth, Graph, NodeId};
+use proptest::prelude::*;
+
+/// The handshake lemma: Σ deg(v) = 2m. Holds for every multigraph, so
+/// every generator must satisfy it unconditionally.
+fn assert_handshake(g: &Graph) {
+    let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+    assert_eq!(total, 2 * g.edge_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // --- G(n, m) ---------------------------------------------------------
+
+    #[test]
+    fn gnm_invariants(n in 2usize..80, frac_pm in 0usize..1000, seed in 0u64..1000) {
+        let max_m = n * (n - 1) / 2;
+        let m = frac_pm * max_m / 1000;
+        let g = gen::gnm(n, m, seed).expect("m <= n(n-1)/2 is generable");
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), m);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        // Degrees bounded by n-1 in any simple graph.
+        prop_assert!(g.max_degree() < n);
+        assert_handshake(&g);
+        // Bit-identical second construction.
+        prop_assert_eq!(&g, &gen::gnm(n, m, seed).unwrap());
+    }
+
+    // --- hypercube -------------------------------------------------------
+
+    #[test]
+    fn hypercube_invariants(dim in 1u32..10) {
+        let g = gen::hypercube(dim);
+        let n = 1usize << dim;
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n * dim as usize / 2);
+        prop_assert_eq!(g.min_degree(), dim as usize);
+        prop_assert_eq!(g.max_degree(), dim as usize);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        prop_assert_eq!(connected_components(&g).len(), 1);
+        // Bipartite with 4-cycles from dim >= 2 (girth exactly 4).
+        if dim >= 2 {
+            prop_assert_eq!(girth(&g), Some(4));
+        }
+        assert_handshake(&g);
+    }
+
+    // --- caterpillar -----------------------------------------------------
+
+    #[test]
+    fn caterpillar_invariants(spine in 1usize..40, leaves in 0usize..60, seed in 0u64..1000) {
+        let g = gen::caterpillar(spine, leaves, seed);
+        let n = spine + leaves;
+        prop_assert_eq!(g.node_count(), n);
+        // A connected acyclic graph: exactly n-1 edges, one component, no
+        // cycle.
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert_eq!(connected_components(&g).len(), 1);
+        prop_assert_eq!(girth(&g), None);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        // Leaves really are leaves; removing them leaves the spine path.
+        for i in spine..n {
+            prop_assert_eq!(g.degree(NodeId(i as u32)), 1);
+        }
+        assert_handshake(&g);
+        prop_assert_eq!(&g, &gen::caterpillar(spine, leaves, seed));
+    }
+
+    // --- random k-lift ---------------------------------------------------
+
+    #[test]
+    fn random_lift_invariants(k in 1usize..9, seed in 0u64..1000, base_kind in 0usize..4) {
+        let base = match base_kind {
+            0 => gen::complete(5),
+            1 => gen::cycle(7),
+            2 => gen::star(6),
+            _ => gen::random_regular(12, 3, seed ^ 0xBA5E).unwrap(),
+        };
+        let g = gen::random_lift(&base, k, seed);
+        prop_assert_eq!(g.node_count(), k * base.node_count());
+        prop_assert_eq!(g.edge_count(), k * base.edge_count());
+        // Fiber (v, i) inherits deg(v) exactly: lifts preserve the degree
+        // sequence per fiber.
+        for v in base.nodes() {
+            for i in 0..k {
+                let lifted = NodeId((v.index() * k + i) as u32);
+                prop_assert_eq!(g.degree(lifted), base.degree(v));
+            }
+        }
+        // Lifts of simple bases are simple.
+        prop_assert!(!g.has_multi_edges_or_loops());
+        // At most k components (each permutation orbit spans fibers).
+        prop_assert!(connected_components(&g).len() <= k);
+        assert_handshake(&g);
+        prop_assert_eq!(&g, &gen::random_lift(&base, k, seed));
+    }
+
+    // --- random regular (pairing model), now a scenario-facing family ----
+
+    #[test]
+    fn random_regular_invariants(half_n in 6usize..30, d in 2usize..5, seed in 0u64..500) {
+        let n = 2 * half_n; // n·d always even; d = O(1) << n is the
+                            // generator's promised regime
+        let g = gen::random_regular(n, d, seed).expect("d << n is generable");
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n * d / 2);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+        assert_handshake(&g);
+        prop_assert_eq!(&g, &gen::random_regular(n, d, seed).unwrap());
+    }
+
+    // --- torus, the sixth scenario family --------------------------------
+
+    #[test]
+    fn torus_invariants(w in 3usize..12, h in 3usize..12) {
+        let g = gen::torus(w, h);
+        prop_assert_eq!(g.node_count(), w * h);
+        prop_assert_eq!(g.edge_count(), 2 * w * h);
+        prop_assert_eq!(g.min_degree(), 4);
+        prop_assert_eq!(g.max_degree(), 4);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        prop_assert_eq!(connected_components(&g).len(), 1);
+        assert_handshake(&g);
+    }
+}
+
+/// Seeds must matter: across a spread of seeds, at least two constructions
+/// differ for every randomized generator (a generator ignoring its seed
+/// would silently collapse every "random" sweep to one instance).
+#[test]
+fn randomized_generators_vary_with_the_seed() {
+    let differs = |build: &dyn Fn(u64) -> Graph| (1..5u64).any(|s| build(0) != build(s));
+    assert!(differs(&|s| gen::gnm(24, 30, s).unwrap()));
+    assert!(differs(&|s| gen::caterpillar(10, 14, s)));
+    assert!(differs(&|s| gen::random_lift(&gen::complete(5), 4, s)));
+    assert!(differs(&|s| gen::random_regular(24, 3, s).unwrap()));
+}

@@ -45,7 +45,11 @@ impl Network {
     /// Wraps a graph with identifiers assigned per `assignment`. Nodes are
     /// told the exact `n = graph.node_count()`.
     #[must_use]
-    pub fn new(graph: Graph, assignment: IdAssignment) -> Self {
+    pub fn new(mut graph: Graph, assignment: IdAssignment) -> Self {
+        // The graph is immutable inside a Network: repack the CSR slab now
+        // (drops dead relocation segments, tightens locality for the
+        // simulators' port walks).
+        graph.compact();
         let n = graph.node_count();
         let ids = match assignment {
             IdAssignment::Sequential => (1..=n as u64).collect(),
@@ -78,7 +82,8 @@ impl Network {
     ///
     /// Panics if `ids` has the wrong length or contains duplicates or zeros.
     #[must_use]
-    pub fn with_ids(graph: Graph, ids: Vec<u64>) -> Self {
+    pub fn with_ids(mut graph: Graph, ids: Vec<u64>) -> Self {
+        graph.compact();
         assert_eq!(ids.len(), graph.node_count(), "one id per node required");
         assert!(ids.iter().all(|&x| x > 0), "ids must be positive");
         let mut sorted = ids.clone();
@@ -195,6 +200,19 @@ mod tests {
     #[should_panic(expected = "unique")]
     fn duplicate_explicit_ids_rejected() {
         let _ = Network::with_ids(gen::path(2), vec![7, 7]);
+    }
+
+    #[test]
+    fn construction_compacts_the_graph_slab() {
+        // star() grows the hub incrementally, leaving dead relocated
+        // segments in the slab; Network construction must repack it.
+        let g = gen::star(33);
+        assert!(g.port_slab_len() > 2 * g.edge_count());
+        let edges = g.edge_count();
+        let net = Network::new(g, IdAssignment::Sequential);
+        assert_eq!(net.graph().port_slab_len(), 2 * edges);
+        let net = Network::with_ids(gen::star(33), (1..=34).collect());
+        assert_eq!(net.graph().port_slab_len(), 2 * edges);
     }
 
     #[test]

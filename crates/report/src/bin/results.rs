@@ -133,6 +133,9 @@ fn cmd_show(store: &RunStore, run_id: &str) -> std::io::Result<ExitCode> {
     println!("sizes        {:?}", m.sizes);
     println!("series       {}", m.series.join(", "));
     println!("rows         {}", m.row_count);
+    for (k, v) in &m.meta {
+        println!("meta         {k} = {v}");
+    }
     println!();
     println!("{:<4} {:<28} {:>9} {:>6} {:>12}  extra", "exp", "series", "n", "seed", "measured");
     for r in run.rows()? {

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench_gate;
 mod diff;
 mod manifest;
 mod store;
 
+pub use bench_gate::BenchGate;
 pub use diff::{diff_rows, trend, Delta, TrendPoint};
 pub use manifest::{git_rev, utc_timestamp, RowRecord, RunManifest};
 pub use store::{RunStore, StoredRun};

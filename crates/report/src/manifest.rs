@@ -27,7 +27,11 @@ pub struct RowRecord {
 /// Provenance of one persisted run: everything needed to re-run or audit
 /// it — which binary, when, on which commit, over which grid, and with
 /// which execution strategy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) so manifests written
+/// before the `meta` field existed still parse — `meta` defaults to
+/// empty when the key is absent.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct RunManifest {
     /// Experiment binary name (e.g. "landscape").
     pub experiment: String,
@@ -51,6 +55,35 @@ pub struct RunManifest {
     pub quick: bool,
     /// Whether cells ran sequentially (`--seq`).
     pub sequential: bool,
+    /// Free-form provenance pairs recorded by the producing binary —
+    /// e.g. the `scenarios` bin stamps `("scenario", name)` and
+    /// `("spec_hash", hex)` so a persisted run is traceable to the exact
+    /// declarative spec that produced it. Empty for binaries with nothing
+    /// to add.
+    pub meta: Vec<(String, String)>,
+}
+
+impl Deserialize for RunManifest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(RunManifest {
+            experiment: Deserialize::from_value(v.field("experiment")?)?,
+            run_id: Deserialize::from_value(v.field("run_id")?)?,
+            timestamp_utc: Deserialize::from_value(v.field("timestamp_utc")?)?,
+            git_rev: Deserialize::from_value(v.field("git_rev")?)?,
+            seeds: Deserialize::from_value(v.field("seeds")?)?,
+            series: Deserialize::from_value(v.field("series")?)?,
+            sizes: Deserialize::from_value(v.field("sizes")?)?,
+            row_count: Deserialize::from_value(v.field("row_count")?)?,
+            pool_width: Deserialize::from_value(v.field("pool_width")?)?,
+            quick: Deserialize::from_value(v.field("quick")?)?,
+            sequential: Deserialize::from_value(v.field("sequential")?)?,
+            // Absent in pre-meta manifests: default to empty.
+            meta: match v.field("meta") {
+                Ok(m) => Deserialize::from_value(m)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl RunManifest {
@@ -89,7 +122,15 @@ impl RunManifest {
             pool_width,
             quick,
             sequential,
+            meta: Vec::new(),
         }
+    }
+
+    /// Attaches free-form provenance pairs (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, meta: Vec<(String, String)>) -> Self {
+        self.meta = meta;
+        self
     }
 }
 
@@ -207,10 +248,24 @@ mod tests {
 
     #[test]
     fn manifest_roundtrips_through_json() {
-        let m = RunManifest::new("demo", "r1", &[row("s", 8, 3)], 1, false, true);
+        let m = RunManifest::new("demo", "r1", &[row("s", 8, 3)], 1, false, true)
+            .with_meta(vec![("spec_hash".into(), "deadbeef".into())]);
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+        assert_eq!(back.meta[0].1, "deadbeef");
+    }
+
+    #[test]
+    fn manifest_without_meta_key_still_parses() {
+        // A pre-meta manifest on disk: the field is simply absent.
+        let m = RunManifest::new("demo", "r1", &[row("s", 8, 3)], 1, false, true);
+        let json = serde_json::to_string(&m).unwrap();
+        let legacy = json.replace(",\"meta\":[]", "");
+        assert_ne!(legacy, json, "meta key must have been stripped");
+        let back: RunManifest = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, m);
+        assert!(back.meta.is_empty());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! `scenarios` — the declarative-workload CLI.
+//!
+//! ```text
+//! scenarios [--spec-dir DIR] list
+//! scenarios [--spec-dir DIR] describe <name>
+//! scenarios [--spec-dir DIR] run <name> [--quick --seq --json
+//!                                        --out DIR --run-id ID --no-persist]
+//! ```
+//!
+//! `run` expands the named spec into its `(family, n, seed)` grid,
+//! streams it through the deterministic batch engine, and exits through
+//! `Report::finish` — the run lands in the run store under
+//! `scenario-<name>` with the spec's content hash in the manifest meta.
+//! Specs resolve from `--spec-dir` (default `scenarios/`) first, then the
+//! built-in presets; a file spec shadows a builtin of the same name.
+
+use lcl_bench::CliOpts;
+use lcl_scenario::{catalog, expand, experiment_name, run_spec, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scenarios [--spec-dir DIR] <command>
+  list                 catalog: file specs (scenarios/*.json) + built-in presets
+  describe <name>      spec JSON, grid summary, and content hash
+  run <name> [flags]   expand + run + persist (common flags: --quick --seq
+                       --json --out DIR --run-id ID --no-persist)";
+
+fn main() -> ExitCode {
+    let opts = CliOpts::parse();
+    let dir = PathBuf::from(opts.value_of("--spec-dir").unwrap_or(lcl_scenario::DEFAULT_SPEC_DIR));
+    let positional = opts.positional();
+    match positional.as_slice() {
+        ["list"] => cmd_list(&dir),
+        ["describe", name] => cmd_describe(&dir, name, opts.quick),
+        ["run", name] => cmd_run(&dir, name, &opts),
+        _ => {
+            eprintln!("scenarios: missing or unknown command\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn resolve(dir: &std::path::Path, name: &str) -> Result<ScenarioSpec, String> {
+    match lcl_scenario::find(name, dir) {
+        Ok(Some(spec)) => {
+            spec.validate().map_err(|e| e.to_string())?;
+            Ok(spec)
+        }
+        Ok(None) => {
+            Err(format!("no scenario `{name}` (try `scenarios list`; spec dir: {})", dir.display()))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_list(dir: &std::path::Path) -> ExitCode {
+    let specs = match catalog(dir) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{:<16} {:>8} {:>6} {:>6} {:>6}  description",
+        "name", "families", "sizes", "seeds", "algos"
+    );
+    for s in specs {
+        println!(
+            "{:<16} {:>8} {:>6} {:>6} {:>6}  {}",
+            s.name,
+            s.families.len(),
+            s.sizes.len(),
+            s.seeds.len(),
+            s.algos.len(),
+            s.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_describe(dir: &std::path::Path, name: &str, quick: bool) -> ExitCode {
+    let spec = match resolve(dir, name) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("name         {}", spec.name);
+    println!("description  {}", spec.description);
+    println!("spec-hash    {}", spec.hash());
+    println!("experiment   {}", experiment_name(&spec));
+    for f in &spec.families {
+        println!("family       {:<18} {}", f.slug(), f.describe());
+    }
+    println!("sizes        {:?}", spec.sizes);
+    println!("seeds        {:?}", spec.seeds);
+    println!("algos        {}", spec.algos.iter().map(|a| a.slug()).collect::<Vec<_>>().join(", "));
+    let cells = expand(&spec, quick);
+    println!(
+        "grid         {} cells ({} rows){}",
+        cells.len(),
+        cells.len() * spec.algos.len(),
+        if quick { " [--quick]" } else { "" }
+    );
+    println!("spec-json    {}", spec.to_json());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(dir: &std::path::Path, name: &str, opts: &CliOpts) -> ExitCode {
+    let spec = match resolve(dir, name) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_spec(&spec, opts);
+    report.finish(&experiment_name(&spec), opts);
+    ExitCode::SUCCESS
+}

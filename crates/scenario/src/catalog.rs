@@ -1,0 +1,193 @@
+//! Built-in scenario presets and `scenarios/*.json` spec loading.
+
+use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec, SpecError};
+use std::io;
+use std::path::Path;
+
+/// The conventional spec directory, relative to the working dir.
+pub const DEFAULT_SPEC_DIR: &str = "scenarios";
+
+/// The built-in presets, in catalog order.
+///
+/// `zoo` is the acceptance preset: it covers all six generator-zoo
+/// families with every wired algorithm.
+#[must_use]
+pub fn builtins() -> Vec<ScenarioSpec> {
+    vec![zoo(), mis_scaling(), lift_ladder()]
+}
+
+/// All six zoo families × all three algorithms — the everything preset
+/// and the CI determinism workload (`scenarios run zoo --quick`).
+#[must_use]
+pub fn zoo() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "zoo".into(),
+        description: "all six generator-zoo families under Luby MIS, matching, and Linial".into(),
+        families: vec![
+            FamilySpec::RandomRegular { d: 3 },
+            FamilySpec::Gnm { avg_deg: 3.0 },
+            FamilySpec::Torus,
+            FamilySpec::Hypercube,
+            FamilySpec::Caterpillar { leaf_frac: 0.5 },
+            FamilySpec::LiftedGadget { delta: 3, height: 2 },
+        ],
+        sizes: vec![64, 128, 256],
+        seeds: vec![1, 2, 3],
+        algos: vec![AlgoSpec::Luby, AlgoSpec::Matching, AlgoSpec::Linial],
+    }
+}
+
+/// Luby MIS round scaling across sparse random families, on a doubling
+/// size ladder — the symmetry-breaking `O(log n)` story.
+#[must_use]
+pub fn mis_scaling() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mis-scaling".into(),
+        description: "Luby MIS rounds vs n across sparse random families".into(),
+        families: vec![
+            FamilySpec::RandomRegular { d: 3 },
+            FamilySpec::RandomRegular { d: 4 },
+            FamilySpec::Gnm { avg_deg: 4.0 },
+            FamilySpec::Hypercube,
+        ],
+        sizes: vec![256, 512, 1024, 2048],
+        seeds: vec![1, 2, 3, 4, 5],
+        algos: vec![AlgoSpec::Luby],
+    }
+}
+
+/// Random lifts of gadget bases at growing lift degree: high-girth
+/// locally-gadget workloads for the symmetry-breaking algorithms.
+#[must_use]
+pub fn lift_ladder() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "lift-ladder".into(),
+        description: "random k-lifts of (log, Δ) gadget bases, k growing with n".into(),
+        families: vec![
+            FamilySpec::LiftedGadget { delta: 3, height: 2 },
+            FamilySpec::LiftedGadget { delta: 3, height: 3 },
+            FamilySpec::LiftedGadget { delta: 4, height: 2 },
+        ],
+        sizes: vec![128, 256, 512, 1024],
+        seeds: vec![1, 2, 3],
+        algos: vec![AlgoSpec::Luby, AlgoSpec::Matching],
+    }
+}
+
+/// Loads every `*.json` spec under `dir`, sorted by file name. A missing
+/// directory is an empty catalog, not an error; a malformed spec file is
+/// an error naming the file.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` with the offending path and parse error.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<ScenarioSpec>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<_> = entries
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut specs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let spec = ScenarioSpec::from_json(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        })?;
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// The full catalog: file specs from `dir` first (they shadow builtins
+/// with the same name), then the non-shadowed builtins.
+///
+/// # Errors
+///
+/// As [`load_dir`].
+pub fn catalog(dir: &Path) -> io::Result<Vec<ScenarioSpec>> {
+    let mut specs = load_dir(dir)?;
+    for b in builtins() {
+        if !specs.iter().any(|s| s.name == b.name) {
+            specs.push(b);
+        }
+    }
+    Ok(specs)
+}
+
+/// Finds a spec by name in [`catalog`] order.
+///
+/// # Errors
+///
+/// As [`load_dir`] for I/O; `NotFound`-style lookup misses return `Ok(None)`.
+pub fn find(name: &str, dir: &Path) -> io::Result<Option<ScenarioSpec>> {
+    Ok(catalog(dir)?.into_iter().find(|s| s.name == name))
+}
+
+/// Validates every builtin (exercised by tests; presets must never rot).
+///
+/// # Errors
+///
+/// The first invalid builtin's [`SpecError`].
+pub fn validate_builtins() -> Result<(), SpecError> {
+    for spec in builtins() {
+        spec.validate()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_valid_and_uniquely_named() {
+        validate_builtins().unwrap();
+        let names: Vec<String> = builtins().into_iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn zoo_covers_all_six_families() {
+        let spec = zoo();
+        assert_eq!(spec.families.len(), 6);
+        let slugs: Vec<String> = spec.families.iter().map(FamilySpec::slug).collect();
+        for expect in ["3-regular", "gnm-d3", "torus", "hypercube", "caterpillar-50", "lift-d3h2"] {
+            assert!(slugs.contains(&expect.to_string()), "zoo missing {expect}");
+        }
+        assert_eq!(spec.algos.len(), 3);
+    }
+
+    #[test]
+    fn dir_loading_shadows_builtins_and_rejects_malformed() {
+        let dir = std::env::temp_dir().join(format!("lcl-scn-catalog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing dir = empty catalog (builtins only).
+        let missing = dir.join("nope");
+        assert_eq!(catalog(&missing).unwrap().len(), builtins().len());
+        // A file spec shadowing the `zoo` builtin.
+        let mut shadow = zoo();
+        shadow.description = "shadowed".into();
+        std::fs::write(dir.join("a-zoo.json"), shadow.to_json()).unwrap();
+        let cat = catalog(&dir).unwrap();
+        assert_eq!(cat.len(), builtins().len());
+        assert_eq!(cat.iter().find(|s| s.name == "zoo").unwrap().description, "shadowed");
+        assert_eq!(find("zoo", &dir).unwrap().unwrap().description, "shadowed");
+        assert!(find("no-such", &dir).unwrap().is_none());
+        // Malformed JSON names the file.
+        std::fs::write(dir.join("bad.json"), "{nope").unwrap();
+        let err = catalog(&dir).expect_err("malformed spec must error");
+        assert!(err.to_string().contains("bad.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

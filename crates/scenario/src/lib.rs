@@ -1,0 +1,37 @@
+//! Declarative workload scenarios for the LCL experiment system.
+//!
+//! The ROADMAP north-star asks for "as many scenarios as you can
+//! imagine"; this crate makes scenarios **data** instead of code. A
+//! [`ScenarioSpec`] (JSON — built-in presets or `scenarios/*.json` files)
+//! names a set of graph families with their knobs, a `(sizes × seeds)`
+//! grid, and the target algorithms; [`run_spec`] expands it through the
+//! same deterministic batch engine every experiment binary uses and lands
+//! the rows in the persistent run store with the spec's content hash in
+//! the manifest — so every stored run is traceable to the exact workload
+//! description that produced it.
+//!
+//! The family layer fronts the `lcl_graph::gen` generator zoo:
+//!
+//! | [`FamilySpec`] variant | generator |
+//! |---|---|
+//! | `RandomRegular { d }` | `gen::random_regular` (pairing model + rejection) |
+//! | `Gnm { avg_deg }` | `gen::gnm` (Erdős–Rényi `G(n,m)`) |
+//! | `Torus` | `gen::torus` (2-D wraparound grid) |
+//! | `Hypercube` | `gen::hypercube` |
+//! | `Caterpillar { leaf_frac }` | `gen::caterpillar` |
+//! | `LiftedGadget { delta, height }` | `gen::random_lift` of a `(log, Δ)`-gadget base |
+//!
+//! The `scenarios` binary (`list` / `describe` / `run`) is the CLI
+//! surface; see the repository README's "Scenario catalog" section for
+//! the spec schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod run;
+mod spec;
+
+pub use catalog::{builtins, catalog, find, load_dir, DEFAULT_SPEC_DIR};
+pub use run::{expand, experiment_name, measure_cell, run_spec, EXPERIMENT_ID};
+pub use spec::{AlgoSpec, FamilySpec, ScenarioSpec, SpecError};

@@ -1,0 +1,176 @@
+//! Scenario execution: spec → grid → [`lcl_bench::BatchRunner`] → rows.
+//!
+//! A scenario run is the same deterministic pipeline every experiment
+//! binary uses — independent `(family, n, seed)` cells fanned across the
+//! worker pool, per-node work threaded through the cell's
+//! [`lcl_local::NodeExecutor`] — so a pooled run's report and persisted
+//! `rows.jsonl` are byte-identical to a `--seq` run's (gated in CI).
+
+use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
+use lcl_bench::{grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
+use lcl_core::problems::{MatchingLabel, MisLabel};
+use lcl_local::{IdAssignment, Network};
+
+/// Experiment id stamped on every scenario row (the run-store directory
+/// carries the scenario name: `scenario-<name>`).
+pub const EXPERIMENT_ID: &str = "SCN";
+
+/// Runs one `(family, n, seed)` cell: builds the instance once, wraps it
+/// in a [`Network`] (shuffled ids from the cell seed), and runs every
+/// requested algorithm on it — one row per algorithm.
+#[must_use]
+pub fn measure_cell(cell: &Cell<FamilySpec>, algos: &[AlgoSpec], exec: EngineExec) -> Vec<Row> {
+    let g = cell
+        .family
+        .build(cell.n, cell.seed)
+        .unwrap_or_else(|e| panic!("{} at n={}: {e}", cell.family.slug(), cell.n));
+    let net = Network::new(g, IdAssignment::Shuffled { seed: cell.seed });
+    let nodes = net.len() as f64;
+    let edges = net.graph().edge_count() as f64;
+    algos
+        .iter()
+        .map(|algo| {
+            let (measured, mut extra) = run_algo(*algo, &net, cell.seed, exec);
+            extra.push(("nodes".to_string(), nodes));
+            extra.push(("edges".to_string(), edges));
+            Row {
+                experiment: EXPERIMENT_ID,
+                series: format!("{}/{}", cell.family.slug(), algo.slug()),
+                n: cell.n,
+                seed: cell.seed,
+                measured,
+                extra,
+            }
+        })
+        .collect()
+}
+
+fn run_algo(
+    algo: AlgoSpec,
+    net: &Network,
+    seed: u64,
+    exec: EngineExec,
+) -> (f64, Vec<(String, f64)>) {
+    let n = net.len() as f64;
+    match algo {
+        AlgoSpec::Luby => {
+            let out = lcl_algos::luby_rounds::run_with(net, seed, &exec);
+            let in_set =
+                net.graph().nodes().filter(|&v| *out.labeling.node(v) == MisLabel::InSet).count();
+            (f64::from(out.rounds), vec![("mis_frac".to_string(), in_set as f64 / n)])
+        }
+        AlgoSpec::Matching => {
+            let out = lcl_algos::matching_rounds::run_with(net, seed, &exec);
+            let matched = net
+                .graph()
+                .nodes()
+                .filter(|&v| *out.labeling.node(v) == MatchingLabel::Matched)
+                .count();
+            (f64::from(out.rounds), vec![("matched_frac".to_string(), matched as f64 / n)])
+        }
+        AlgoSpec::Linial => {
+            let out = lcl_algos::linial::run_with(net, &exec);
+            let mut palette = out.colors.clone();
+            palette.sort_unstable();
+            palette.dedup();
+            (f64::from(out.total_rounds()), vec![("colors".to_string(), palette.len() as f64)])
+        }
+    }
+}
+
+/// Expands the spec into its cell grid (family outermost, seed innermost
+/// — the canonical row-major order every bin uses).
+#[must_use]
+pub fn expand(spec: &ScenarioSpec, quick: bool) -> Vec<Cell<FamilySpec>> {
+    let (sizes, seeds) = spec.grid_axes(quick);
+    grid(&spec.families, &sizes, &seeds)
+}
+
+/// Runs a whole scenario through the batch engine and returns the report,
+/// with the scenario name and spec hash recorded as manifest meta — the
+/// caller exits through [`Report::finish`] to render and persist.
+#[must_use]
+pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> Report {
+    let cells = expand(spec, opts.quick);
+    let runner = BatchRunner::from_opts(opts);
+    let exec = runner.node_executor();
+    let algos = spec.algos.clone();
+    let mut report = runner.run(&cells, |cell| measure_cell(cell, &algos, exec));
+    report.push_meta("scenario", spec.name.clone());
+    report.push_meta("spec_hash", spec.hash());
+    report
+}
+
+/// The run-store experiment name for a scenario.
+#[must_use]
+pub fn experiment_name(spec: &ScenarioSpec) -> String {
+    format!("scenario-{}", spec.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecError;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".into(),
+            description: "unit fixture".into(),
+            families: vec![FamilySpec::Torus, FamilySpec::Caterpillar { leaf_frac: 0.4 }],
+            sizes: vec![16, 25],
+            seeds: vec![1, 2],
+            algos: vec![AlgoSpec::Luby, AlgoSpec::Linial],
+        }
+    }
+
+    #[test]
+    fn expand_is_row_major_family_outermost() {
+        let cells = expand(&tiny_spec(), false);
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].family, FamilySpec::Torus);
+        assert_eq!((cells[0].n, cells[0].seed), (16, 1));
+        assert_eq!((cells[1].n, cells[1].seed), (16, 2));
+        assert_eq!(cells[4].family, FamilySpec::Caterpillar { leaf_frac: 0.4 });
+    }
+
+    #[test]
+    fn measure_cell_emits_one_row_per_algo() {
+        let spec = tiny_spec();
+        let cells = expand(&spec, false);
+        let rows = measure_cell(&cells[0], &spec.algos, EngineExec::Sequential);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].series, "torus/luby");
+        assert_eq!(rows[1].series, "torus/linial");
+        for row in &rows {
+            assert!(row.measured >= 0.0);
+            let nodes = row.extra.iter().find(|(k, _)| k == "nodes").unwrap().1;
+            assert!(nodes >= 9.0);
+        }
+        // Luby on a torus: the MIS is non-empty.
+        let mis = rows[0].extra.iter().find(|(k, _)| k == "mis_frac").unwrap().1;
+        assert!(mis > 0.0);
+        // Linial colors a 4-regular torus with at most Δ+1 = 5 colors.
+        let colors = rows[1].extra.iter().find(|(k, _)| k == "colors").unwrap().1;
+        assert!((1.0..=5.0).contains(&colors), "colors = {colors}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_scenario_reports_are_identical() {
+        let spec = tiny_spec();
+        let cells = expand(&spec, false);
+        let algos = spec.algos.clone();
+        let seq = BatchRunner::sequential()
+            .run(&cells, |c| measure_cell(c, &algos, EngineExec::Sequential));
+        let par =
+            BatchRunner::parallel().run(&cells, |c| measure_cell(c, &algos, EngineExec::Parallel));
+        assert_eq!(seq.render(true), par.render(true));
+        assert_eq!(seq.render(false), par.render(false));
+        assert_eq!(seq.rows().len(), 16);
+    }
+
+    #[test]
+    fn experiment_name_prefixes_scenario() {
+        assert_eq!(experiment_name(&tiny_spec()), "scenario-tiny");
+        let _: Result<(), SpecError> = tiny_spec().validate();
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end scenario runs: spec → grid → batch engine → run store.
+//!
+//! The acceptance path of the scenario subsystem: a preset covering all
+//! six zoo families persists a run whose pooled and sequential
+//! `rows.jsonl` are byte-identical, with the spec hash recorded in the
+//! manifest meta.
+
+use lcl_bench::CliOpts;
+use lcl_report::{diff_rows, RunStore};
+use lcl_scenario::{catalog, experiment_name, run_spec, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcl-scn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(quick_seq: (bool, bool), out: &Path, run_id: &str) -> CliOpts {
+    let mut args = vec!["--json".to_string()];
+    if quick_seq.0 {
+        args.push("--quick".into());
+    }
+    if quick_seq.1 {
+        args.push("--seq".into());
+    }
+    let mut opts = CliOpts::from_args(args);
+    opts.out = out.to_path_buf();
+    opts.run_id = Some(run_id.to_string());
+    opts
+}
+
+/// The tentpole acceptance: `zoo --quick` (all six families) persists
+/// pooled and `--seq` runs with byte-identical `rows.jsonl`, zero diff,
+/// and the spec hash in both manifests.
+#[test]
+fn zoo_quick_pooled_and_sequential_runs_are_byte_identical() {
+    let root = temp_root("zoo");
+    let spec = lcl_scenario::catalog::zoo();
+    assert_eq!(spec.families.len(), 6);
+
+    let par_opts = opts((true, false), &root, "par");
+    let par = run_spec(&spec, &par_opts);
+    par.persist(&experiment_name(&spec), &par_opts).expect("parallel run persists");
+    let seq_opts = opts((true, true), &root, "seq");
+    let seq = run_spec(&spec, &seq_opts);
+    seq.persist(&experiment_name(&spec), &seq_opts).expect("sequential run persists");
+
+    // Rendered reports agree in both formats.
+    assert_eq!(par.render(true), seq.render(true));
+    assert_eq!(par.render(false), seq.render(false));
+
+    // Persisted rows.jsonl agree byte for byte.
+    let store_dir = root.join("scenario-zoo");
+    let par_rows = std::fs::read(store_dir.join("par/rows.jsonl")).unwrap();
+    let seq_rows = std::fs::read(store_dir.join("seq/rows.jsonl")).unwrap();
+    assert!(!par_rows.is_empty());
+    assert_eq!(par_rows, seq_rows, "pooled vs --seq rows.jsonl must be byte-identical");
+
+    // Re-ingested rows diff empty, and both manifests carry the spec hash.
+    let store = RunStore::new(&root);
+    let a = store.find("par").unwrap().expect("par listed");
+    let b = store.find("seq").unwrap().expect("seq listed");
+    assert!(diff_rows(&a.rows().unwrap(), &b.rows().unwrap(), 0.0).is_empty());
+    for run in [&a, &b] {
+        let meta = &run.manifest.meta;
+        assert_eq!(
+            meta.iter().find(|(k, _)| k == "scenario").map(|(_, v)| v.as_str()),
+            Some("zoo")
+        );
+        assert_eq!(
+            meta.iter().find(|(k, _)| k == "spec_hash").map(|(_, v)| v.as_str()),
+            Some(spec.hash().as_str())
+        );
+        assert_eq!(run.manifest.experiment, "scenario-zoo");
+    }
+    // Every family × algo series is present in the persisted run.
+    assert_eq!(a.manifest.series.len(), 6 * 3);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The shipped `scenarios/*.json` files parse, validate, and shadow into
+/// the catalog exactly like builtins.
+#[test]
+fn shipped_spec_files_are_valid() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let file_specs = lcl_scenario::load_dir(&dir).expect("shipped specs load");
+    assert!(
+        file_specs.iter().any(|s| s.name == "sparse-frontier"),
+        "repo must ship the sparse-frontier example spec"
+    );
+    for spec in &file_specs {
+        spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        // Hash is stable across a JSON round-trip (the manifest meta must
+        // identify re-serialized specs identically).
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.hash(), spec.hash());
+    }
+    let cat = catalog(&dir).expect("catalog loads");
+    for name in ["zoo", "mis-scaling", "lift-ladder", "sparse-frontier"] {
+        assert!(cat.iter().any(|s| s.name == name), "catalog missing {name}");
+    }
+}
+
+/// A file spec run end-to-end through the quick path stays deterministic
+/// too (different family mix than zoo: G(n,m) below the giant-component
+/// threshold produces disconnected instances).
+#[test]
+fn file_spec_runs_deterministically() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let spec = lcl_scenario::find("sparse-frontier", &dir).unwrap().expect("shipped spec");
+    let root = temp_root("file");
+    let a = run_spec(&spec, &opts((true, false), &root, "a"));
+    let b = run_spec(&spec, &opts((true, true), &root, "b"));
+    assert_eq!(a.render(true), b.render(true));
+    assert!(!a.rows().is_empty());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -18,3 +18,4 @@ pub use lcl_graph as graph;
 pub use lcl_local as local;
 pub use lcl_padding as padding;
 pub use lcl_report as report;
+pub use lcl_scenario as scenario;
