@@ -7,6 +7,7 @@
 //! edges' endpoint-identifier pairs (unique per edge up to parallel
 //! bundles, which are separated by a port index).
 
+use crate::error::AlgoError;
 use lcl_core::problems::EdgeColoringLabel;
 use lcl_core::Labeling;
 use lcl_local::Network;
@@ -22,16 +23,41 @@ pub struct EdgeColoringOutcome {
     pub colors: Vec<u32>,
 }
 
+impl EdgeColoringOutcome {
+    /// The outcome as a plain certifiable [`lcl_certify::Solution`]
+    /// against the `(2Δ−1)`-palette the algorithm targets.
+    #[must_use]
+    pub fn solution(&self, g: &lcl_graph::Graph) -> lcl_certify::Solution {
+        let palette = 2 * g.max_degree().max(1) as u32 - 1;
+        lcl_certify::Solution::EdgeColoring { colors: self.colors.clone(), palette: Some(palette) }
+    }
+}
+
 /// Runs `(2Δ−1)`-edge-coloring.
 ///
 /// # Panics
 ///
-/// Panics if the graph contains a self-loop (a loop conflicts with
-/// itself).
+/// Panics on the [`try_run`] error case.
 #[must_use]
 pub fn run(net: &Network) -> EdgeColoringOutcome {
+    try_run(net).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run`]: a pathological instance fails this call instead of
+/// panicking the process.
+///
+/// # Errors
+///
+/// [`AlgoError::Unsolvable`] if the graph contains a self-loop — a loop
+/// conflicts with itself (the reason mentions "loopless").
+pub fn try_run(net: &Network) -> Result<EdgeColoringOutcome, AlgoError> {
     let g = net.graph();
-    assert!(g.edges().all(|e| !g.is_self_loop(e)), "edge coloring requires a loopless graph");
+    if g.edges().any(|e| g.is_self_loop(e)) {
+        return Err(AlgoError::Unsolvable {
+            algo: "edge-coloring",
+            reason: "edge coloring requires a loopless graph".into(),
+        });
+    }
     let delta = g.max_degree().max(1) as u64;
     let line_degree = 2 * (delta - 1);
     let target = 2 * delta - 1;
@@ -105,7 +131,11 @@ pub fn run(net: &Network) -> EdgeColoringOutcome {
         |e| EdgeColoringLabel::Color(colors_u32[e.index()]),
         |_| EdgeColoringLabel::Blank,
     );
-    EdgeColoringOutcome { labeling, rounds, colors: colors_u32 }
+    let outcome = EdgeColoringOutcome { labeling, rounds, colors: colors_u32 };
+    if lcl_certify::enabled() {
+        crate::error::self_certify(g, &outcome.solution(g));
+    }
+    Ok(outcome)
 }
 
 // Shared small-number helpers (duplicated from `linial` to keep the

@@ -33,12 +33,23 @@
 //! locality audits confirm a node's output is unchanged under arbitrary
 //! modifications outside its reported radius (see
 //! `tests/locality_audit.rs` at the workspace root).
+//!
+//! # Self-certification and typed failures
+//!
+//! Every runner additionally lowers its finished output into a plain
+//! [`lcl_certify::Solution`] and replays it through the independent
+//! `lcl-certify` checkers whenever [`lcl_certify::enabled`] says so
+//! (debug builds, or `LCL_CERTIFY=1`): the algorithms do not grade their
+//! own homework. Pathological instances surface as typed
+//! [`error::AlgoError`]s through the `try_run` variants instead of
+//! panicking the shared worker pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decomposition;
 pub mod edge_coloring;
+pub mod error;
 pub mod linial;
 pub mod luby;
 pub mod luby_rounds;

@@ -20,6 +20,7 @@
 //!    independent set of the conflict graph *within their class*, so one
 //!    round per class suffices).
 
+use crate::error::AlgoError;
 use lcl_core::problems::ColoringLabel;
 use lcl_core::Labeling;
 use lcl_local::{Network, NodeExecutor, Sequential};
@@ -43,6 +44,14 @@ impl LinialOutcome {
     pub fn total_rounds(&self) -> u32 {
         self.reduction_rounds + self.elimination_rounds
     }
+
+    /// The outcome as a plain certifiable [`lcl_certify::Solution`]
+    /// against the `(Δ+1)`-palette the algorithm targets.
+    #[must_use]
+    pub fn solution(&self, g: &lcl_graph::Graph) -> lcl_certify::Solution {
+        let palette = g.max_degree().max(1) as u32 + 1;
+        lcl_certify::Solution::Coloring { colors: self.colors.clone(), palette: Some(palette) }
+    }
 }
 
 /// Runs Linial color reduction to `Δ + 1` colors (3 colors on cycles).
@@ -55,18 +64,43 @@ pub fn run(net: &Network) -> LinialOutcome {
     run_with(net, &Sequential)
 }
 
-/// [`run`] with a pluggable [`NodeExecutor`]: every simulated round's
-/// per-node recoloring step fans out across the executor. Each node reads
-/// only the previous round's colors, so the outcome is bit-identical to
-/// [`run`] under **any** executor.
+/// [`run`] with a pluggable [`NodeExecutor`].
 ///
 /// # Panics
 ///
 /// As [`run`].
 #[must_use]
 pub fn run_with<X: NodeExecutor>(net: &Network, exec: &X) -> LinialOutcome {
+    try_run_with(net, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run`]: a pathological instance fails this call instead of
+/// panicking the process.
+///
+/// # Errors
+///
+/// [`AlgoError::Unsolvable`] if the graph contains a self-loop — no
+/// proper coloring exists (the reason mentions "loopless").
+pub fn try_run(net: &Network) -> Result<LinialOutcome, AlgoError> {
+    try_run_with(net, &Sequential)
+}
+
+/// [`try_run`] with a pluggable [`NodeExecutor`]: every simulated round's
+/// per-node recoloring step fans out across the executor. Each node reads
+/// only the previous round's colors, so the outcome is bit-identical to
+/// [`try_run`] under **any** executor.
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_run_with<X: NodeExecutor>(net: &Network, exec: &X) -> Result<LinialOutcome, AlgoError> {
     let g = net.graph();
-    assert!(g.edges().all(|e| !g.is_self_loop(e)), "proper coloring requires a loopless graph");
+    if g.edges().any(|e| g.is_self_loop(e)) {
+        return Err(AlgoError::Unsolvable {
+            algo: "linial",
+            reason: "proper coloring requires a loopless graph".into(),
+        });
+    }
     let n = g.node_count();
     let delta = g.max_degree().max(1) as u64;
 
@@ -124,7 +158,12 @@ pub fn run_with<X: NodeExecutor>(net: &Network, exec: &X) -> LinialOutcome {
         |_| ColoringLabel::Blank,
         |_| ColoringLabel::Blank,
     );
-    LinialOutcome { labeling, reduction_rounds, elimination_rounds, colors: colors_u32 }
+    let outcome =
+        LinialOutcome { labeling, reduction_rounds, elimination_rounds, colors: colors_u32 };
+    if lcl_certify::enabled() {
+        crate::error::self_certify(g, &outcome.solution(g));
+    }
+    Ok(outcome)
 }
 
 /// Number of base-`q` digits needed for values below `k`.

@@ -6,6 +6,7 @@
 //! neighbors leave. Ties (probability ~0 with 64-bit draws, but the
 //! adversary of the model gets no say) are broken by identifier.
 
+use crate::error::AlgoError;
 use lcl_core::problems::MisLabel;
 use lcl_core::Labeling;
 use lcl_graph::HalfEdge;
@@ -26,15 +27,24 @@ pub struct LubyOutcome {
     pub in_set: Vec<bool>,
 }
 
+impl LubyOutcome {
+    /// The outcome as a plain certifiable [`lcl_certify::Solution`].
+    #[must_use]
+    pub fn solution(&self) -> lcl_certify::Solution {
+        lcl_certify::Solution::Mis { in_set: self.in_set.clone() }
+    }
+}
+
 /// Runs Luby's algorithm.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on graphs with self-loops at otherwise-isolated nodes (such a
-/// node can neither join the set nor be dominated; the problem is
-/// unsatisfiable there).
-#[must_use]
-pub fn run(net: &Network, seed: u64) -> LubyOutcome {
+/// [`AlgoError::Unsolvable`] on graphs with self-loops at
+/// otherwise-isolated nodes (such a node can neither join the set nor be
+/// dominated), [`AlgoError::NoProgress`] if the undecided residue stops
+/// shrinking — either way one bad instance fails one call, not the
+/// process.
+pub fn run(net: &Network, seed: u64) -> Result<LubyOutcome, AlgoError> {
     let g = net.graph();
     let n = g.node_count();
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1_5EED_AB1E);
@@ -64,10 +74,12 @@ pub fn run(net: &Network, seed: u64) -> LubyOutcome {
             if self_loop {
                 let dominated_possible =
                     g.neighbors(v).any(|(w, _)| w != v && state[w.index()] != St::Out);
-                assert!(
-                    dominated_possible || state[v.index()] != St::Undecided,
-                    "self-looped node {v:?} with no usable neighbor: MIS unsatisfiable"
-                );
+                if !dominated_possible {
+                    return Err(AlgoError::Unsolvable {
+                        algo: "luby",
+                        reason: format!("self-looped node {v:?} with no usable neighbor"),
+                    });
+                }
                 continue;
             }
             let mine = priority[v.index()];
@@ -80,7 +92,7 @@ pub fn run(net: &Network, seed: u64) -> LubyOutcome {
             }
         }
         if joins.is_empty() && rounds > 4 * n as u32 {
-            panic!("MIS made no progress; unsatisfiable instance");
+            return Err(AlgoError::NoProgress { algo: "luby", rounds });
         }
         for v in joins {
             state[v.index()] = St::In;
@@ -116,7 +128,11 @@ pub fn run(net: &Network, seed: u64) -> LubyOutcome {
             *labeling.half_mut(h) = MisLabel::Pointer;
         }
     }
-    LubyOutcome { labeling, rounds, in_set }
+    let outcome = LubyOutcome { labeling, rounds, in_set };
+    if lcl_certify::enabled() {
+        crate::error::self_certify(g, &outcome.solution());
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -137,7 +153,7 @@ mod tests {
             (gen::random_tree(50, 5), 5),
         ] {
             let net = Network::new(g, IdAssignment::Shuffled { seed });
-            let out = run(&net, seed);
+            let out = run(&net, seed).unwrap();
             let input = L::uniform(net.graph(), ());
             check(&MaximalIndependentSet, net.graph(), &input, &out.labeling).expect_ok();
         }
@@ -147,7 +163,7 @@ mod tests {
     fn rounds_are_logarithmic_ish() {
         let g = gen::random_regular(2048, 3, 7).unwrap();
         let net = Network::new(g, IdAssignment::Shuffled { seed: 7 });
-        let out = run(&net, 7);
+        let out = run(&net, 7).unwrap();
         assert!(out.rounds <= 40, "Luby should finish fast, took {}", out.rounds);
         assert!(out.rounds >= 2);
     }
@@ -155,7 +171,7 @@ mod tests {
     #[test]
     fn complete_graph_has_singleton_mis() {
         let net = Network::new(gen::complete(8), IdAssignment::Sequential);
-        let out = run(&net, 1);
+        let out = run(&net, 1).unwrap();
         assert_eq!(out.in_set.iter().filter(|&&b| b).count(), 1);
     }
 
@@ -163,7 +179,7 @@ mod tests {
     fn reproducible() {
         let g = gen::random_regular(50, 3, 9).unwrap();
         let net = Network::new(g, IdAssignment::Shuffled { seed: 9 });
-        assert_eq!(run(&net, 5).in_set, run(&net, 5).in_set);
+        assert_eq!(run(&net, 5).unwrap().in_set, run(&net, 5).unwrap().in_set);
     }
 
     #[test]
@@ -171,10 +187,21 @@ mod tests {
         let mut g = gen::path(2);
         g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
         let net = Network::new(g, IdAssignment::Sequential);
-        let out = run(&net, 3);
+        let out = run(&net, 3).unwrap();
         assert!(!out.in_set[0]);
         assert!(out.in_set[1]);
         let input = L::uniform(net.graph(), ());
         check(&MaximalIndependentSet, net.graph(), &input, &out.labeling).expect_ok();
+    }
+
+    #[test]
+    fn isolated_self_loop_is_typed_unsolvable() {
+        let mut g = gen::path(1);
+        g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
+        let net = Network::new(g, IdAssignment::Sequential);
+        match run(&net, 1) {
+            Err(AlgoError::Unsolvable { algo: "luby", .. }) => {}
+            other => panic!("expected Unsolvable, got {other:?}"),
+        }
     }
 }

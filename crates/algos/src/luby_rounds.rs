@@ -14,6 +14,7 @@
 //! [`lcl_core::assemble`] — the same edge-agreement rule the paper imposes
 //! on ne-LCL outputs — and checked against `MaximalIndependentSet`.
 
+use crate::error::AlgoError;
 use lcl_core::problems::MisLabel;
 use lcl_core::{assemble, Labeling, NodeLocalOutput};
 use lcl_local::{run_rounds_with, Network, NodeCtx, NodeExecutor, RoundAlgorithm, Sequential};
@@ -143,34 +144,78 @@ pub struct DistributedLubyOutcome {
     pub rounds: u32,
 }
 
+impl DistributedLubyOutcome {
+    /// Decodes the labeling into a plain certifiable
+    /// [`lcl_certify::Solution`].
+    ///
+    /// # Errors
+    ///
+    /// [`lcl_certify::Violation::Decode`] if the labeling is malformed.
+    pub fn solution(
+        &self,
+        g: &lcl_graph::Graph,
+    ) -> Result<lcl_certify::Solution, lcl_certify::Violation> {
+        lcl_certify::decode::mis(g, &self.labeling)
+    }
+}
+
 /// Runs the protocol and assembles the global labeling.
 ///
 /// # Panics
 ///
-/// Panics if the graph has self-loops (MIS is ill-posed there) or the
-/// protocol fails to terminate within `8·(log₂ n + 4)` phases — an event
-/// of vanishing probability that would indicate a bug.
+/// Panics on the [`try_run`] error cases.
 #[must_use]
 pub fn run(net: &Network, seed: u64) -> DistributedLubyOutcome {
     run_with(net, seed, &Sequential)
 }
 
-/// [`run`] with a pluggable [`NodeExecutor`]: per-node protocol steps fan
-/// out across the executor, with the outcome bit-identical to [`run`]
-/// under **any** executor (per-node RNG streams never interleave).
+/// [`run`] with a pluggable [`NodeExecutor`].
 ///
 /// # Panics
 ///
 /// As [`run`].
 #[must_use]
 pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> DistributedLubyOutcome {
-    assert!(
-        net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
-        "distributed Luby requires a loopless graph"
-    );
+    try_run_with(net, seed, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run`]: a pathological instance fails this call instead of
+/// panicking the process.
+///
+/// # Errors
+///
+/// [`AlgoError::Unsolvable`] on graphs with self-loops (MIS is ill-posed
+/// there; the reason mentions "loopless"), [`AlgoError::RoundCapExceeded`]
+/// if the protocol does not terminate within `8·(log₂ n + 4)` phases — an
+/// event of vanishing probability that would indicate a bug.
+pub fn try_run(net: &Network, seed: u64) -> Result<DistributedLubyOutcome, AlgoError> {
+    try_run_with(net, seed, &Sequential)
+}
+
+/// [`try_run`] with a pluggable [`NodeExecutor`]: per-node protocol steps
+/// fan out across the executor, with the outcome bit-identical to
+/// [`try_run`] under **any** executor (per-node RNG streams never
+/// interleave).
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_run_with<X: NodeExecutor>(
+    net: &Network,
+    seed: u64,
+    exec: &X,
+) -> Result<DistributedLubyOutcome, AlgoError> {
+    if net.graph().edges().any(|e| net.graph().is_self_loop(e)) {
+        return Err(AlgoError::Unsolvable {
+            algo: "luby-rounds",
+            reason: "distributed Luby requires a loopless graph".into(),
+        });
+    }
     let cap = 16 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
     let out = run_rounds_with(net, &DistributedLuby, seed, cap, exec);
-    assert!(out.trace.completed, "Luby did not terminate within {cap} rounds");
+    if !out.trace.completed {
+        return Err(AlgoError::RoundCapExceeded { algo: "luby-rounds", cap });
+    }
     let rounds = out.trace.rounds;
     let locals: Vec<NodeLocalOutput<MisLabel>> = out
         .into_outputs()
@@ -189,7 +234,11 @@ pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> Distribu
         })
         .collect();
     let labeling = assemble(net.graph(), &locals).expect("edge labels agree trivially");
-    DistributedLubyOutcome { labeling, rounds }
+    let outcome = DistributedLubyOutcome { labeling, rounds };
+    if lcl_certify::enabled() {
+        crate::error::self_certify_decoded(net.graph(), outcome.solution(net.graph()));
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -232,7 +281,7 @@ mod tests {
         let g = gen::random_regular(80, 3, 9).unwrap();
         let net = Network::new(g, IdAssignment::Shuffled { seed: 9 });
         let dist = run(&net, 11);
-        let cent = crate::luby::run(&net, 11);
+        let cent = crate::luby::run(&net, 11).unwrap();
         let input = Labeling::uniform(net.graph(), ());
         check(&MaximalIndependentSet, net.graph(), &input, &dist.labeling).expect_ok();
         check(&MaximalIndependentSet, net.graph(), &input, &cent.labeling).expect_ok();
@@ -245,5 +294,18 @@ mod tests {
         let net = Network::new(g, IdAssignment::Sequential);
         let out = run(&net, 1);
         assert_eq!(*out.labeling.node(lcl_graph::NodeId(2)), MisLabel::InSet);
+    }
+
+    #[test]
+    fn self_loop_is_typed_unsolvable() {
+        let mut g = gen::path(2);
+        g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
+        let net = Network::new(g, IdAssignment::Sequential);
+        match try_run(&net, 1) {
+            Err(AlgoError::Unsolvable { algo: "luby-rounds", reason }) => {
+                assert!(reason.contains("loopless"));
+            }
+            other => panic!("expected Unsolvable, got {other:?}"),
+        }
     }
 }

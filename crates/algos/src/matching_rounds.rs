@@ -18,6 +18,7 @@
 //! [`lcl_core::assemble`] and checked against the `MaximalMatching`
 //! ne-LCL.
 
+use crate::error::AlgoError;
 use lcl_core::problems::MatchingLabel;
 use lcl_core::{assemble, Labeling, NodeLocalOutput};
 use lcl_local::{run_rounds_with, Network, NodeCtx, NodeExecutor, RoundAlgorithm, Sequential};
@@ -201,33 +202,76 @@ pub struct DistributedMatchingOutcome {
     pub rounds: u32,
 }
 
+impl DistributedMatchingOutcome {
+    /// Decodes the labeling into a plain certifiable
+    /// [`lcl_certify::Solution`].
+    ///
+    /// # Errors
+    ///
+    /// [`lcl_certify::Violation::Decode`] if the labeling is malformed.
+    pub fn solution(
+        &self,
+        g: &lcl_graph::Graph,
+    ) -> Result<lcl_certify::Solution, lcl_certify::Violation> {
+        lcl_certify::decode::matching(g, &self.labeling)
+    }
+}
+
 /// Runs the handshake protocol and assembles the labeling.
 ///
 /// # Panics
 ///
-/// Panics on graphs with self-loops, and if the protocol exceeds its
-/// round cap (vanishing probability).
+/// Panics on the [`try_run`] error cases.
 #[must_use]
 pub fn run(net: &Network, seed: u64) -> DistributedMatchingOutcome {
     run_with(net, seed, &Sequential)
 }
 
-/// [`run`] with a pluggable [`NodeExecutor`]: per-node protocol steps fan
-/// out across the executor, with the outcome bit-identical to [`run`]
-/// under **any** executor.
+/// [`run`] with a pluggable [`NodeExecutor`].
 ///
 /// # Panics
 ///
 /// As [`run`].
 #[must_use]
 pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> DistributedMatchingOutcome {
-    assert!(
-        net.graph().edges().all(|e| !net.graph().is_self_loop(e)),
-        "matching requires a loopless graph"
-    );
+    try_run_with(net, seed, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run`]: a pathological instance fails this call instead of
+/// panicking the process.
+///
+/// # Errors
+///
+/// [`AlgoError::Unsolvable`] on graphs with self-loops (the reason
+/// mentions "loopless"), [`AlgoError::RoundCapExceeded`] if the protocol
+/// exceeds its round cap (vanishing probability).
+pub fn try_run(net: &Network, seed: u64) -> Result<DistributedMatchingOutcome, AlgoError> {
+    try_run_with(net, seed, &Sequential)
+}
+
+/// [`try_run`] with a pluggable [`NodeExecutor`]: per-node protocol steps
+/// fan out across the executor, with the outcome bit-identical to
+/// [`try_run`] under **any** executor.
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_run_with<X: NodeExecutor>(
+    net: &Network,
+    seed: u64,
+    exec: &X,
+) -> Result<DistributedMatchingOutcome, AlgoError> {
+    if net.graph().edges().any(|e| net.graph().is_self_loop(e)) {
+        return Err(AlgoError::Unsolvable {
+            algo: "matching-rounds",
+            reason: "matching requires a loopless graph".into(),
+        });
+    }
     let cap = 40 * ((net.known_n().max(2) as f64).log2() as u32 + 4);
     let out = run_rounds_with(net, &DistributedMatching, seed, cap, exec);
-    assert!(out.trace.completed, "matching did not terminate within {cap} rounds");
+    if !out.trace.completed {
+        return Err(AlgoError::RoundCapExceeded { algo: "matching-rounds", cap });
+    }
     let rounds = out.trace.rounds;
     let decisions = out.into_outputs();
     // A node's matched_port must be symmetric; assemble enforces edge
@@ -255,7 +299,11 @@ pub fn run_with<X: NodeExecutor>(net: &Network, seed: u64, exec: &X) -> Distribu
         .collect();
     let labeling = assemble(net.graph(), &locals)
         .expect("handshake matches are symmetric, so edge labels agree");
-    DistributedMatchingOutcome { labeling, rounds }
+    let outcome = DistributedMatchingOutcome { labeling, rounds };
+    if lcl_certify::enabled() {
+        crate::error::self_certify_decoded(net.graph(), outcome.solution(net.graph()));
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

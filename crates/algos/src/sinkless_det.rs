@@ -66,6 +66,21 @@ pub struct DetOutcome {
     pub analysis: Vec<NodeAnalysis>,
 }
 
+impl DetOutcome {
+    /// Decodes the orientation into a plain certifiable
+    /// [`lcl_certify::Solution`] (nodes of degree ≥ 3 constrained).
+    ///
+    /// # Errors
+    ///
+    /// [`lcl_certify::Violation::Decode`] if the labeling is malformed.
+    pub fn solution(
+        &self,
+        g: &lcl_graph::Graph,
+    ) -> Result<lcl_certify::Solution, lcl_certify::Violation> {
+        lcl_certify::decode::orientation(g, &self.labeling, 3)
+    }
+}
+
 /// Runs deterministic sinkless orientation on the network.
 #[must_use]
 pub fn run(net: &Network, params: &Params) -> DetOutcome {
@@ -131,7 +146,11 @@ pub fn run_with<X: NodeExecutor>(net: &Network, params: &Params, exec: &X) -> De
         }
     });
 
-    DetOutcome { labeling, trace: LocalityTrace::new(radii), analysis }
+    let outcome = DetOutcome { labeling, trace: LocalityTrace::new(radii), analysis };
+    if lcl_certify::enabled() {
+        crate::error::self_certify_decoded(g, outcome.solution(g));
+    }
+    outcome
 }
 
 #[cfg(test)]

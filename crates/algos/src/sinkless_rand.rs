@@ -96,6 +96,21 @@ impl RandOutcome {
     pub fn total_rounds(&self) -> u32 {
         self.phase1_rounds + self.finish_radius
     }
+
+    /// Decodes the orientation into a plain certifiable
+    /// [`lcl_certify::Solution`] against the given constrained-degree
+    /// threshold (the run's `min_constrained_degree`).
+    ///
+    /// # Errors
+    ///
+    /// [`lcl_certify::Violation::Decode`] if the labeling is malformed.
+    pub fn solution(
+        &self,
+        g: &lcl_graph::Graph,
+        min_constrained_degree: usize,
+    ) -> Result<lcl_certify::Solution, lcl_certify::Violation> {
+        lcl_certify::decode::orientation(g, &self.labeling, min_constrained_degree)
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -300,13 +315,17 @@ pub fn run_with<X: NodeExecutor>(
 
     let finish_radius = finish_radius_per_node.iter().copied().max().unwrap_or(0);
     let radii: Vec<u32> = finish_radius_per_node.iter().map(|&r| phase1_rounds + r).collect();
-    RandOutcome {
+    let outcome = RandOutcome {
         labeling,
         phase1_rounds,
         finish_radius,
         shattered_nodes,
         trace: LocalityTrace::new(radii),
+    };
+    if lcl_certify::enabled() {
+        crate::error::self_certify_decoded(g, outcome.solution(g, params.min_constrained_degree));
     }
+    outcome
 }
 
 /// Snapshot of which edges of the component were unoriented when gathering

@@ -20,7 +20,7 @@ fn bench_landscape(c: &mut Criterion) {
             b.iter(|| sinkless_rand::run(net, &sinkless_rand::Params::default(), 7));
         });
         group.bench_with_input(BenchmarkId::new("luby-mis", n), &net, |b, net| {
-            b.iter(|| luby::run(net, 7));
+            b.iter(|| luby::run(net, 7).unwrap());
         });
         let cyc = Network::new(gen::cycle(n), IdAssignment::Shuffled { seed: 1 });
         group.bench_with_input(BenchmarkId::new("linial-3col", n), &cyc, |b, net| {

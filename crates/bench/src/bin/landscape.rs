@@ -63,7 +63,7 @@ fn flat_rows(n: usize, seed: u64, exec: EngineExec) -> Vec<Row> {
     let net = Network::new(g, IdAssignment::Shuffled { seed });
 
     // Luby MIS: O(log n) randomized.
-    let out = luby::run(&net, seed);
+    let out = luby::run(&net, seed).unwrap();
     rows.push(Row {
         experiment: "E1",
         series: "mis-rand".into(),

@@ -202,6 +202,36 @@ impl BatchRunner {
         }
         report
     }
+
+    /// Like [`BatchRunner::run`], but a cell may fail: failed cells
+    /// contribute no rows and come back as `(cell index, error)` pairs in
+    /// cell order, so one pathological instance fails one cell instead of
+    /// panicking the shared worker pool.
+    pub fn try_run<C, M, E>(&self, cells: &[C], measure: M) -> (Report, Vec<(usize, E)>)
+    where
+        C: Sync,
+        E: Send,
+        M: Fn(&C) -> Result<Vec<Row>, E> + Sync,
+    {
+        let per_cell: Vec<Result<Vec<Row>, E>> = if self.parallel {
+            cells.par_iter().map(&measure).collect()
+        } else {
+            cells.iter().map(&measure).collect()
+        };
+        let mut report = Report::new();
+        let mut failures = Vec::new();
+        for (i, result) in per_cell.into_iter().enumerate() {
+            match result {
+                Ok(rows) => {
+                    for row in rows {
+                        report.push(row);
+                    }
+                }
+                Err(e) => failures.push((i, e)),
+            }
+        }
+        (report, failures)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +266,31 @@ mod tests {
         assert_eq!(seq.render(true), par.render(true));
         assert_eq!(seq.render(false), par.render(false));
         assert_eq!(seq.rows().len(), cells.len());
+    }
+
+    #[test]
+    fn try_run_isolates_failing_cells() {
+        let cells = grid(&["fam"], &[2, 3, 4, 5], &[1]);
+        let measure = |c: &Cell<&str>| {
+            if c.n.is_multiple_of(2) {
+                Err(format!("n={} refused", c.n))
+            } else {
+                Ok(vec![Row {
+                    experiment: "T",
+                    series: c.family.to_string(),
+                    n: c.n,
+                    seed: c.seed,
+                    measured: c.n as f64,
+                    extra: Vec::new(),
+                }])
+            }
+        };
+        let (seq, seq_fail) = BatchRunner::sequential().try_run(&cells, measure);
+        let (par, par_fail) = BatchRunner::parallel().try_run(&cells, measure);
+        assert_eq!(seq.render(true), par.render(true));
+        assert_eq!(seq_fail, par_fail);
+        assert_eq!(seq.rows().len(), 2);
+        assert_eq!(seq_fail, vec![(0, "n=2 refused".to_string()), (2, "n=4 refused".to_string())]);
     }
 
     #[test]

@@ -194,6 +194,13 @@ impl Report {
         &self.rows
     }
 
+    /// The provenance pairs recorded so far (what `persist` writes into
+    /// the manifest's `meta`).
+    #[must_use]
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
     /// Renders the report: a fixed-width table, or JSON lines when
     /// `json` is set.
     #[must_use]

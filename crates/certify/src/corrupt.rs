@@ -1,0 +1,233 @@
+//! Seeded corruptions of known-good solutions, for adversarial tests.
+//!
+//! Each corruption picks its target from the seed deterministically and
+//! is constructed to break exactly one invariant, so a test can assert
+//! the certifier rejects the corrupted solution *with the right violation
+//! kind* ([`Corruption::apply`] returns the expected
+//! [`crate::Violation::kind`] slug). A corruption that finds no
+//! applicable site (e.g. unmatching an edge of an empty matching) returns
+//! `None` and leaves the solution untouched.
+
+use crate::Solution;
+use lcl_graph::{Graph, Side};
+
+/// The corruption kinds of the adversarial matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Flip one node's MIS membership bit.
+    FlipMisBit,
+    /// Add a second matching edge at an already-matched node.
+    MatchNodeTwice,
+    /// Remove one edge from the matching, leaving it addable.
+    UnmatchEdge,
+    /// Merge two adjacent color classes of a vertex coloring.
+    MergeColorClasses,
+    /// Recolor an edge to collide with a neighbor at a shared endpoint.
+    MiscolorEdge,
+    /// Turn all of one constrained node's edges inward, making it a sink.
+    OrientIntoSink,
+}
+
+impl Corruption {
+    /// Every corruption kind, for matrix-style tests.
+    pub const ALL: [Corruption; 6] = [
+        Corruption::FlipMisBit,
+        Corruption::MatchNodeTwice,
+        Corruption::UnmatchEdge,
+        Corruption::MergeColorClasses,
+        Corruption::MiscolorEdge,
+        Corruption::OrientIntoSink,
+    ];
+
+    /// Short label for test output.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Corruption::FlipMisBit => "flip-mis-bit",
+            Corruption::MatchNodeTwice => "match-node-twice",
+            Corruption::UnmatchEdge => "unmatch-edge",
+            Corruption::MergeColorClasses => "merge-color-classes",
+            Corruption::MiscolorEdge => "miscolor-edge",
+            Corruption::OrientIntoSink => "orient-into-sink",
+        }
+    }
+
+    /// Applies this corruption to a **valid** solution in place.
+    ///
+    /// Returns the [`crate::Violation::kind`] slug the certifier must now
+    /// report, or `None` (solution untouched) when the corruption does
+    /// not apply to this solution class or finds no usable site.
+    pub fn apply(self, g: &Graph, solution: &mut Solution, seed: u64) -> Option<&'static str> {
+        match (self, solution) {
+            (Corruption::FlipMisBit, Solution::Mis { in_set }) => flip_mis_bit(in_set, seed),
+            (Corruption::MatchNodeTwice, Solution::Matching { in_matching }) => {
+                match_node_twice(g, in_matching, seed)
+            }
+            (Corruption::UnmatchEdge, Solution::Matching { in_matching }) => {
+                unmatch_edge(in_matching, seed)
+            }
+            (Corruption::MergeColorClasses, Solution::Coloring { colors, .. }) => {
+                merge_color_classes(g, colors, seed)
+            }
+            (Corruption::MiscolorEdge, Solution::EdgeColoring { colors, .. }) => {
+                miscolor_edge(g, colors, seed)
+            }
+            (
+                Corruption::OrientIntoSink,
+                Solution::Orientation { source, min_constrained_degree },
+            ) => orient_into_sink(g, source, *min_constrained_degree, seed),
+            _ => None,
+        }
+    }
+}
+
+/// SplitMix64: one deterministic draw from the seed.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Indices `0..len` starting at a seed-chosen offset, wrapping around —
+/// every corruption scans circularly so any applicable site is found
+/// while the seed still varies the choice.
+fn scan(len: usize, seed: u64) -> impl Iterator<Item = usize> {
+    let start = if len == 0 { 0 } else { (mix(seed) % len as u64) as usize };
+    (0..len).map(move |i| (start + i) % len)
+}
+
+fn flip_mis_bit(in_set: &mut [bool], seed: u64) -> Option<&'static str> {
+    let k = scan(in_set.len(), seed).next()?;
+    in_set[k] = !in_set[k];
+    // Flipping out -> in collides with the (previously dominating) set
+    // neighbor; flipping in -> out leaves the node itself uncovered.
+    Some(if in_set[k] { "mis-independence" } else { "mis-maximality" })
+}
+
+fn match_node_twice(g: &Graph, in_matching: &mut [bool], seed: u64) -> Option<&'static str> {
+    for ei in scan(in_matching.len(), seed) {
+        if !in_matching[ei] {
+            continue;
+        }
+        let e = lcl_graph::EdgeId(ei as u32);
+        for v in g.endpoints(e) {
+            // Any other edge at a matched endpoint is necessarily
+            // unmatched (the matching is valid); adding it double-covers v.
+            if let Some(&h) = g.ports(v).iter().find(|h| h.edge != e) {
+                in_matching[h.edge.index()] = true;
+                return Some("matching-matched-twice");
+            }
+        }
+    }
+    None
+}
+
+fn unmatch_edge(in_matching: &mut [bool], seed: u64) -> Option<&'static str> {
+    let k = scan(in_matching.len(), seed).find(|&i| in_matching[i])?;
+    in_matching[k] = false;
+    Some("matching-maximality")
+}
+
+fn merge_color_classes(g: &Graph, colors: &mut [u32], seed: u64) -> Option<&'static str> {
+    let m = g.edge_count();
+    let e = scan(m, seed).map(|i| lcl_graph::EdgeId(i as u32)).find(|&e| !g.is_self_loop(e))?;
+    let [u, v] = g.endpoints(e);
+    let (from, to) = (colors[u.index()], colors[v.index()]);
+    for c in colors.iter_mut() {
+        if *c == from {
+            *c = to;
+        }
+    }
+    Some("coloring-monochromatic-edge")
+}
+
+fn miscolor_edge(g: &Graph, colors: &mut [u32], seed: u64) -> Option<&'static str> {
+    for vi in scan(g.node_count(), seed) {
+        let ports = g.ports(lcl_graph::NodeId(vi as u32));
+        if let Some((&h0, &h1)) = ports
+            .iter()
+            .flat_map(|h0| ports.iter().map(move |h1| (h0, h1)))
+            .find(|(h0, h1)| h0.edge != h1.edge)
+        {
+            colors[h1.edge.index()] = colors[h0.edge.index()];
+            return Some("edge-coloring-conflict");
+        }
+    }
+    None
+}
+
+fn orient_into_sink(
+    g: &Graph,
+    source: &mut [Side],
+    min_constrained_degree: usize,
+    seed: u64,
+) -> Option<&'static str> {
+    'nodes: for vi in scan(g.node_count(), seed) {
+        let v = lcl_graph::NodeId(vi as u32);
+        if g.degree(v) < min_constrained_degree {
+            continue;
+        }
+        for (w, _) in g.neighbors(v) {
+            if w == v {
+                // A self-loop keeps its node un-sinkable; pick another.
+                continue 'nodes;
+            }
+        }
+        for &h in g.ports(v) {
+            // Orient each incident edge away from the far endpoint,
+            // i.e. *into* v.
+            let e = h.edge;
+            source[e.index()] = if g.endpoints(e)[0] == v { Side::B } else { Side::A };
+        }
+        return Some("orientation-sink");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify;
+    use lcl_graph::gen;
+
+    #[test]
+    fn corruptions_only_apply_to_their_class() {
+        let g = gen::cycle(6);
+        let mut sol = Solution::Mis { in_set: vec![true, false, true, false, true, false] };
+        assert_eq!(Corruption::UnmatchEdge.apply(&g, &mut sol, 1), None);
+        assert_eq!(Corruption::OrientIntoSink.apply(&g, &mut sol, 1), None);
+    }
+
+    #[test]
+    fn inapplicable_sites_leave_the_solution_untouched() {
+        // Empty matching on an edgeless graph: nothing to corrupt.
+        let mut g = gen::path(1);
+        g.add_node();
+        let mut sol = Solution::Matching { in_matching: vec![] };
+        let before = sol.clone();
+        assert_eq!(Corruption::UnmatchEdge.apply(&g, &mut sol, 3), None);
+        assert_eq!(Corruption::MatchNodeTwice.apply(&g, &mut sol, 3), None);
+        assert_eq!(sol, before);
+        certify(&g, &sol).unwrap();
+        // No constrained node on a path: sink corruption cannot land.
+        let p = gen::path(3);
+        let mut sol = Solution::Orientation { source: vec![Side::A; 2], min_constrained_degree: 3 };
+        assert_eq!(Corruption::OrientIntoSink.apply(&p, &mut sol, 5), None);
+    }
+
+    #[test]
+    fn flip_direction_decides_the_expected_kind() {
+        let g = gen::cycle(4);
+        // Seeds land on different indices; both directions must occur and
+        // the predicted kind must always match the certifier's verdict.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            let mut sol = Solution::Mis { in_set: vec![true, false, true, false] };
+            let expected = Corruption::FlipMisBit.apply(&g, &mut sol, seed).unwrap();
+            assert_eq!(certify(&g, &sol).unwrap_err().kind(), expected);
+            seen.insert(expected);
+        }
+        assert_eq!(seen.len(), 2, "both flip directions exercised: {seen:?}");
+    }
+}

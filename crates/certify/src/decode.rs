@@ -1,0 +1,200 @@
+//! Lowering `lcl_core::Labeling` outputs into plain [`Solution`]s.
+//!
+//! The decoders read only the labeling entries a definition needs (node
+//! labels for MIS/coloring, edge labels for matching/edge-coloring,
+//! half-edge labels for orientations) and reject structurally malformed
+//! labelings with [`Violation::Decode`] — a labeling that cannot even be
+//! decoded is as rejected as one that decodes to an invalid solution.
+
+use crate::{Solution, Violation};
+use lcl_core::problems::{ColoringLabel, EdgeColoringLabel, MatchingLabel, MisLabel, Orient};
+use lcl_core::Labeling;
+use lcl_graph::{Graph, HalfEdge, Side};
+
+fn fits(class: &'static str, ok: bool) -> Result<(), Violation> {
+    if ok {
+        Ok(())
+    } else {
+        Err(Violation::Decode { class, detail: "labeling does not fit the instance".into() })
+    }
+}
+
+/// Decodes MIS membership from node labels.
+///
+/// # Errors
+///
+/// [`Violation::Decode`] if the labeling does not fit the graph or a node
+/// carries a non-membership label.
+pub fn mis(g: &Graph, labeling: &Labeling<MisLabel>) -> Result<Solution, Violation> {
+    fits("mis", labeling.fits(g))?;
+    let mut in_set = Vec::with_capacity(g.node_count());
+    for v in g.nodes() {
+        in_set.push(match labeling.node(v) {
+            MisLabel::InSet => true,
+            MisLabel::OutSet => false,
+            other => {
+                return Err(Violation::Decode {
+                    class: "mis",
+                    detail: format!("node {} labeled {other:?}, not InSet/OutSet", v.0),
+                })
+            }
+        });
+    }
+    Ok(Solution::Mis { in_set })
+}
+
+/// Decodes matching membership from edge labels.
+///
+/// # Errors
+///
+/// [`Violation::Decode`] if the labeling does not fit the graph or an
+/// edge carries a non-membership label.
+pub fn matching(g: &Graph, labeling: &Labeling<MatchingLabel>) -> Result<Solution, Violation> {
+    fits("matching", labeling.fits(g))?;
+    let mut in_matching = Vec::with_capacity(g.edge_count());
+    for e in g.edges() {
+        in_matching.push(match labeling.edge(e) {
+            MatchingLabel::InMatching => true,
+            MatchingLabel::NotInMatching => false,
+            other => {
+                return Err(Violation::Decode {
+                    class: "matching",
+                    detail: format!("edge {} labeled {other:?}, not In/NotInMatching", e.0),
+                })
+            }
+        });
+    }
+    Ok(Solution::Matching { in_matching })
+}
+
+/// Decodes a vertex coloring from node labels.
+///
+/// # Errors
+///
+/// [`Violation::Decode`] if the labeling does not fit the graph or a node
+/// carries no color.
+pub fn coloring(
+    g: &Graph,
+    labeling: &Labeling<ColoringLabel>,
+    palette: Option<u32>,
+) -> Result<Solution, Violation> {
+    fits("coloring", labeling.fits(g))?;
+    let mut colors = Vec::with_capacity(g.node_count());
+    for v in g.nodes() {
+        match labeling.node(v) {
+            ColoringLabel::Color(c) => colors.push(*c),
+            ColoringLabel::Blank => {
+                return Err(Violation::Decode {
+                    class: "coloring",
+                    detail: format!("node {} is uncolored", v.0),
+                })
+            }
+        }
+    }
+    Ok(Solution::Coloring { colors, palette })
+}
+
+/// Decodes an edge coloring from edge labels.
+///
+/// # Errors
+///
+/// [`Violation::Decode`] if the labeling does not fit the graph or an
+/// edge carries no color.
+pub fn edge_coloring(
+    g: &Graph,
+    labeling: &Labeling<EdgeColoringLabel>,
+    palette: Option<u32>,
+) -> Result<Solution, Violation> {
+    fits("edge-coloring", labeling.fits(g))?;
+    let mut colors = Vec::with_capacity(g.edge_count());
+    for e in g.edges() {
+        match labeling.edge(e) {
+            EdgeColoringLabel::Color(c) => colors.push(*c),
+            EdgeColoringLabel::Blank => {
+                return Err(Violation::Decode {
+                    class: "edge-coloring",
+                    detail: format!("edge {} is uncolored", e.0),
+                })
+            }
+        }
+    }
+    Ok(Solution::EdgeColoring { colors, palette })
+}
+
+/// Decodes an orientation from half-edge labels: each edge must carry one
+/// `Out` and one `In` half; the `Out` side is the edge's source.
+///
+/// # Errors
+///
+/// [`Violation::Decode`] if the labeling does not fit the graph or an
+/// edge's halves are not complementary.
+pub fn orientation(
+    g: &Graph,
+    labeling: &Labeling<Orient>,
+    min_constrained_degree: usize,
+) -> Result<Solution, Violation> {
+    fits("orientation", labeling.fits(g))?;
+    let mut source = Vec::with_capacity(g.edge_count());
+    for e in g.edges() {
+        let a = labeling.half(HalfEdge::new(e, Side::A));
+        let b = labeling.half(HalfEdge::new(e, Side::B));
+        source.push(match (a, b) {
+            (Orient::Out, Orient::In) => Side::A,
+            (Orient::In, Orient::Out) => Side::B,
+            _ => {
+                return Err(Violation::Decode {
+                    class: "orientation",
+                    detail: format!("edge {} halves are {a:?}/{b:?}, not Out/In", e.0),
+                })
+            }
+        });
+    }
+    Ok(Solution::Orientation { source, min_constrained_degree })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify;
+    use lcl_graph::gen;
+
+    #[test]
+    fn luby_labeling_decodes_and_certifies() {
+        let g = gen::random_regular(60, 3, 2).unwrap();
+        let net = lcl_local::Network::new(g, lcl_local::IdAssignment::Shuffled { seed: 2 });
+        let out = lcl_algos::luby::run(&net, 2).unwrap();
+        let sol = mis(net.graph(), &out.labeling).unwrap();
+        assert_eq!(sol, Solution::Mis { in_set: out.in_set.clone() });
+        certify(net.graph(), &sol).unwrap();
+    }
+
+    #[test]
+    fn matching_labeling_decodes_and_certifies() {
+        let g = gen::grid(6, 5);
+        let net = lcl_local::Network::new(g, lcl_local::IdAssignment::Shuffled { seed: 4 });
+        let out = lcl_algos::matching_rounds::run(&net, 4);
+        let sol = matching(net.graph(), &out.labeling).unwrap();
+        certify(net.graph(), &sol).unwrap();
+    }
+
+    #[test]
+    fn linial_labeling_decodes_and_certifies() {
+        let g = gen::cycle(64);
+        let net = lcl_local::Network::new(g, lcl_local::IdAssignment::Shuffled { seed: 8 });
+        let out = lcl_algos::linial::run(&net);
+        let sol = coloring(net.graph(), &out.labeling, Some(3)).unwrap();
+        certify(net.graph(), &sol).unwrap();
+    }
+
+    #[test]
+    fn malformed_labelings_are_decode_violations() {
+        let g = gen::path(3);
+        let lab = Labeling::uniform(&g, MisLabel::Blank);
+        assert_eq!(mis(&g, &lab).unwrap_err().kind(), "decode");
+        let lab = Labeling::uniform(&g, Orient::Out);
+        assert_eq!(orientation(&g, &lab, 3).unwrap_err().kind(), "decode");
+        let other = gen::path(7);
+        let lab = Labeling::uniform(&other, MisLabel::InSet);
+        assert_eq!(mis(&g, &lab).unwrap_err().kind(), "decode");
+    }
+}

@@ -1,0 +1,643 @@
+//! Independent certification of LCL solutions: verify the artifact, not
+//! the process.
+//!
+//! Every algorithm in this workspace checks its own output, but a bug in
+//! an algorithm *and* its self-check ships silently into `results/`. This
+//! crate is the second, independent line of defense: streaming `O(n + m)`
+//! checkers for each persisted output class — MIS, maximal matching,
+//! proper vertex/edge coloring, sinkless orientation — written against
+//! the problem *definitions* only, sharing no code with the algorithms
+//! they audit.
+//!
+//! The API is deliberately dumb: a [`Solution`] is plain per-node /
+//! per-edge data (no labelings, no protocol state), [`certify`] either
+//! returns a [`Certificate`] with independently re-derived statistics or
+//! the first [`Violation`] found. [`decode`] lowers the workspace's
+//! `lcl_core::Labeling` outputs into [`Solution`]s; [`corrupt`] applies
+//! seeded corruptions for adversarial tests. [`enabled`] gates the
+//! in-algorithm self-certification hooks (on under `debug_assertions`,
+//! opt-in via `LCL_CERTIFY` elsewhere).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corrupt;
+pub mod decode;
+
+use lcl_graph::{EdgeId, Graph, NodeId, Side};
+use std::collections::{HashMap, HashSet};
+
+/// A concrete reason a claimed solution is not one. Each variant carries
+/// the witness elements, so a violation is checkable by hand; the
+/// [`Violation::kind`] slug is the stable name tests and the `results
+/// verify` report match on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// The solution vector's length does not match the graph.
+    ShapeMismatch {
+        /// Output class being certified.
+        class: &'static str,
+        /// Expected length (node or edge count).
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// Two adjacent nodes both claim to be in the independent set.
+    MisIndependence {
+        /// The violating edge.
+        edge: EdgeId,
+        /// Its endpoints (equal for a self-loop).
+        endpoints: [NodeId; 2],
+    },
+    /// A node outside the set has no neighbor in the set.
+    MisMaximality {
+        /// The uncovered node.
+        node: NodeId,
+    },
+    /// A node is covered by more than one matching edge (or a self-loop).
+    MatchedTwice {
+        /// The doubly-matched node.
+        node: NodeId,
+    },
+    /// An edge with two free endpoints could be added to the matching.
+    MatchingMaximality {
+        /// The addable edge.
+        edge: EdgeId,
+        /// Its two free endpoints.
+        endpoints: [NodeId; 2],
+    },
+    /// Two adjacent nodes share a color (includes self-loops).
+    MonochromaticEdge {
+        /// The violating edge.
+        edge: EdgeId,
+        /// Its endpoints.
+        endpoints: [NodeId; 2],
+        /// The shared color.
+        color: u32,
+    },
+    /// A node color is outside the declared palette.
+    PaletteExceeded {
+        /// The offending node.
+        node: NodeId,
+        /// Its color.
+        color: u32,
+        /// Palette size (valid colors are `0..palette`).
+        palette: u32,
+    },
+    /// Two edges sharing an endpoint carry the same color.
+    EdgeColorConflict {
+        /// The shared endpoint.
+        node: NodeId,
+        /// The two conflicting edges (equal for a self-loop).
+        edges: [EdgeId; 2],
+        /// The shared color.
+        color: u32,
+    },
+    /// An edge color is outside the declared palette.
+    EdgePaletteExceeded {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its color.
+        color: u32,
+        /// Palette size.
+        palette: u32,
+    },
+    /// A constrained node has no outgoing edge.
+    Sink {
+        /// The sink node.
+        node: NodeId,
+        /// Its degree (≥ the constrained threshold).
+        degree: usize,
+    },
+    /// A labeling could not be lowered into a plain solution.
+    Decode {
+        /// Output class being decoded.
+        class: &'static str,
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable kebab-case name of the violation kind (the string the
+    /// corruption-matrix tests and `results verify` reports key on).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::ShapeMismatch { .. } => "shape-mismatch",
+            Violation::MisIndependence { .. } => "mis-independence",
+            Violation::MisMaximality { .. } => "mis-maximality",
+            Violation::MatchedTwice { .. } => "matching-matched-twice",
+            Violation::MatchingMaximality { .. } => "matching-maximality",
+            Violation::MonochromaticEdge { .. } => "coloring-monochromatic-edge",
+            Violation::PaletteExceeded { .. } => "coloring-palette",
+            Violation::EdgeColorConflict { .. } => "edge-coloring-conflict",
+            Violation::EdgePaletteExceeded { .. } => "edge-coloring-palette",
+            Violation::Sink { .. } => "orientation-sink",
+            Violation::Decode { .. } => "decode",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ShapeMismatch { class, expected, got } => {
+                write!(f, "{class}: solution has {got} entries, instance needs {expected}")
+            }
+            Violation::MisIndependence { edge, endpoints } => write!(
+                f,
+                "edge {} joins set nodes {} and {}",
+                edge.0, endpoints[0].0, endpoints[1].0
+            ),
+            Violation::MisMaximality { node } => {
+                write!(f, "node {} is outside the set with no set neighbor", node.0)
+            }
+            Violation::MatchedTwice { node } => {
+                write!(f, "node {} is covered by more than one matching edge", node.0)
+            }
+            Violation::MatchingMaximality { edge, endpoints } => write!(
+                f,
+                "edge {} ({}-{}) has two free endpoints and could be matched",
+                edge.0, endpoints[0].0, endpoints[1].0
+            ),
+            Violation::MonochromaticEdge { edge, endpoints, color } => write!(
+                f,
+                "edge {} joins nodes {} and {} of the same color {color}",
+                edge.0, endpoints[0].0, endpoints[1].0
+            ),
+            Violation::PaletteExceeded { node, color, palette } => {
+                write!(f, "node {} has color {color} outside palette 0..{palette}", node.0)
+            }
+            Violation::EdgeColorConflict { node, edges, color } => write!(
+                f,
+                "edges {} and {} at node {} share color {color}",
+                edges[0].0, edges[1].0, node.0
+            ),
+            Violation::EdgePaletteExceeded { edge, color, palette } => {
+                write!(f, "edge {} has color {color} outside palette 0..{palette}", edge.0)
+            }
+            Violation::Sink { node, degree } => {
+                write!(f, "constrained node {} (degree {degree}) has no outgoing edge", node.0)
+            }
+            Violation::Decode { class, detail } => write!(f, "{class}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// A successful certification: the class that was checked and statistics
+/// re-derived from the solution itself (never copied from the claimant),
+/// keyed to match the row extras the scenario pipeline records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// Output class certified (`"mis"`, `"matching"`, …).
+    pub class: &'static str,
+    /// Node count of the certified instance.
+    pub nodes: usize,
+    /// Edge count of the certified instance.
+    pub edges: usize,
+    /// Independently re-derived statistics (e.g. `mis_frac`).
+    pub stats: Vec<(String, f64)>,
+}
+
+impl Certificate {
+    /// Looks up a re-derived statistic by key.
+    #[must_use]
+    pub fn stat(&self, key: &str) -> Option<f64> {
+        self.stats.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// One claimed solution, as plain data. This is the boundary between the
+/// certifier and the rest of the workspace: everything upstream (labeling
+/// assembly, protocol state, row extras) must lower into one of these
+/// before it can be certified.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Solution {
+    /// Independent-set membership per node.
+    Mis {
+        /// `in_set[v]` — node `v` is in the set.
+        in_set: Vec<bool>,
+    },
+    /// Matching membership per edge.
+    Matching {
+        /// `in_matching[e]` — edge `e` is in the matching.
+        in_matching: Vec<bool>,
+    },
+    /// Vertex coloring.
+    Coloring {
+        /// Color per node.
+        colors: Vec<u32>,
+        /// Palette size to enforce (`None` skips the palette check).
+        palette: Option<u32>,
+    },
+    /// Edge coloring.
+    EdgeColoring {
+        /// Color per edge.
+        colors: Vec<u32>,
+        /// Palette size to enforce (`None` skips the palette check).
+        palette: Option<u32>,
+    },
+    /// Edge orientation with the sinkless constraint.
+    Orientation {
+        /// Per edge: the endpoint slot the edge leaves
+        /// (`source[e] == Side::A` orients `A → B`).
+        source: Vec<Side>,
+        /// Nodes of at least this degree must not be sinks.
+        min_constrained_degree: usize,
+    },
+}
+
+impl Solution {
+    /// The output class this solution claims to solve.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            Solution::Mis { .. } => "mis",
+            Solution::Matching { .. } => "matching",
+            Solution::Coloring { .. } => "coloring",
+            Solution::EdgeColoring { .. } => "edge-coloring",
+            Solution::Orientation { .. } => "orientation",
+        }
+    }
+}
+
+/// Certifies a claimed solution against its instance.
+///
+/// Dispatches to the class checker; every checker is a constant number of
+/// passes over the nodes and edges, `O(n + m)` total.
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify(g: &Graph, solution: &Solution) -> Result<Certificate, Violation> {
+    match solution {
+        Solution::Mis { in_set } => certify_mis(g, in_set),
+        Solution::Matching { in_matching } => certify_matching(g, in_matching),
+        Solution::Coloring { colors, palette } => certify_coloring(g, colors, *palette),
+        Solution::EdgeColoring { colors, palette } => certify_edge_coloring(g, colors, *palette),
+        Solution::Orientation { source, min_constrained_degree } => {
+            certify_sinkless(g, source, *min_constrained_degree)
+        }
+    }
+}
+
+/// True when in-algorithm self-certification hooks should run: always in
+/// debug builds, and in release builds when the `LCL_CERTIFY` environment
+/// variable is set to anything but `0`.
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("LCL_CERTIFY").is_some_and(|v| v != "0")
+}
+
+fn shape(class: &'static str, expected: usize, got: usize) -> Result<(), Violation> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(Violation::ShapeMismatch { class, expected, got })
+    }
+}
+
+/// Certifies a maximal independent set: no edge joins two set nodes
+/// (independence; a self-loop at a set node violates it), and every
+/// non-set node has a set neighbor (maximality).
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify_mis(g: &Graph, in_set: &[bool]) -> Result<Certificate, Violation> {
+    shape("mis", g.node_count(), in_set.len())?;
+    let mut covered = vec![false; g.node_count()];
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if in_set[u.index()] && in_set[v.index()] {
+            return Err(Violation::MisIndependence { edge: e, endpoints: [u, v] });
+        }
+        if u != v {
+            if in_set[u.index()] {
+                covered[v.index()] = true;
+            }
+            if in_set[v.index()] {
+                covered[u.index()] = true;
+            }
+        }
+    }
+    for v in g.nodes() {
+        if !in_set[v.index()] && !covered[v.index()] {
+            return Err(Violation::MisMaximality { node: v });
+        }
+    }
+    let in_count = in_set.iter().filter(|&&b| b).count();
+    Ok(Certificate {
+        class: "mis",
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        stats: vec![("mis_frac".to_string(), frac(in_count, g.node_count()))],
+    })
+}
+
+/// Certifies a maximal matching: no node is covered twice (a matched
+/// self-loop covers its node twice), and no edge with two free endpoints
+/// remains (maximality; self-loops are never addable).
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify_matching(g: &Graph, in_matching: &[bool]) -> Result<Certificate, Violation> {
+    shape("matching", g.edge_count(), in_matching.len())?;
+    let mut covered = vec![0u8; g.node_count()];
+    for e in g.edges() {
+        if !in_matching[e.index()] {
+            continue;
+        }
+        let [u, v] = g.endpoints(e);
+        for w in [u, v] {
+            covered[w.index()] = covered[w.index()].saturating_add(1);
+            if covered[w.index()] > 1 {
+                return Err(Violation::MatchedTwice { node: w });
+            }
+        }
+    }
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if !in_matching[e.index()] && u != v && covered[u.index()] == 0 && covered[v.index()] == 0 {
+            return Err(Violation::MatchingMaximality { edge: e, endpoints: [u, v] });
+        }
+    }
+    let matched_nodes = covered.iter().filter(|&&c| c > 0).count();
+    Ok(Certificate {
+        class: "matching",
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        stats: vec![("matched_frac".to_string(), frac(matched_nodes, g.node_count()))],
+    })
+}
+
+/// Certifies a proper vertex coloring: adjacent nodes differ (a self-loop
+/// is always monochromatic), and every color fits the palette if one is
+/// declared.
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify_coloring(
+    g: &Graph,
+    colors: &[u32],
+    palette: Option<u32>,
+) -> Result<Certificate, Violation> {
+    shape("coloring", g.node_count(), colors.len())?;
+    if let Some(p) = palette {
+        for v in g.nodes() {
+            if colors[v.index()] >= p {
+                return Err(Violation::PaletteExceeded {
+                    node: v,
+                    color: colors[v.index()],
+                    palette: p,
+                });
+            }
+        }
+    }
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if colors[u.index()] == colors[v.index()] {
+            return Err(Violation::MonochromaticEdge {
+                edge: e,
+                endpoints: [u, v],
+                color: colors[u.index()],
+            });
+        }
+    }
+    let distinct: HashSet<u32> = colors.iter().copied().collect();
+    Ok(Certificate {
+        class: "coloring",
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        stats: vec![("colors".to_string(), distinct.len() as f64)],
+    })
+}
+
+/// Certifies a proper edge coloring: edges sharing an endpoint differ (a
+/// self-loop conflicts with itself), palette enforced if declared.
+///
+/// One pass over the port tables with a stamped color map: expected
+/// `O(n + m)`.
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify_edge_coloring(
+    g: &Graph,
+    colors: &[u32],
+    palette: Option<u32>,
+) -> Result<Certificate, Violation> {
+    shape("edge-coloring", g.edge_count(), colors.len())?;
+    if let Some(p) = palette {
+        for e in g.edges() {
+            if colors[e.index()] >= p {
+                return Err(Violation::EdgePaletteExceeded {
+                    edge: e,
+                    color: colors[e.index()],
+                    palette: p,
+                });
+            }
+        }
+    }
+    // seen[color] = (stamp of the node that last touched it, the edge).
+    let mut seen: HashMap<u32, (usize, EdgeId)> = HashMap::new();
+    for v in g.nodes() {
+        let stamp = v.index() + 1;
+        for &h in g.ports(v) {
+            let e = h.edge;
+            let c = colors[e.index()];
+            match seen.get(&c) {
+                Some(&(s, first)) if s == stamp => {
+                    return Err(Violation::EdgeColorConflict {
+                        node: v,
+                        edges: [first, e],
+                        color: c,
+                    });
+                }
+                _ => {
+                    seen.insert(c, (stamp, e));
+                }
+            }
+        }
+    }
+    let distinct: HashSet<u32> = colors.iter().copied().collect();
+    Ok(Certificate {
+        class: "edge-coloring",
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        stats: vec![("edge_colors".to_string(), distinct.len() as f64)],
+    })
+}
+
+/// Certifies a sinkless orientation: every node of degree at least
+/// `min_constrained_degree` has an outgoing edge (a self-loop is always
+/// outgoing at its node).
+///
+/// # Errors
+///
+/// The first [`Violation`] found.
+pub fn certify_sinkless(
+    g: &Graph,
+    source: &[Side],
+    min_constrained_degree: usize,
+) -> Result<Certificate, Violation> {
+    shape("orientation", g.edge_count(), source.len())?;
+    let mut has_out = vec![false; g.node_count()];
+    for e in g.edges() {
+        let src = g.endpoints(e)[source[e.index()].index()];
+        has_out[src.index()] = true;
+    }
+    let mut constrained = 0usize;
+    for v in g.nodes() {
+        let degree = g.degree(v);
+        if degree >= min_constrained_degree {
+            constrained += 1;
+            if !has_out[v.index()] {
+                return Err(Violation::Sink { node: v, degree });
+            }
+        }
+    }
+    Ok(Certificate {
+        class: "orientation",
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        stats: vec![("constrained".to_string(), constrained as f64)],
+    })
+}
+
+fn frac(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    #[test]
+    fn triangle_mis_certifies_and_rejects() {
+        let g = gen::cycle(3);
+        let cert = certify_mis(&g, &[true, false, false]).unwrap();
+        assert_eq!(cert.class, "mis");
+        assert!((cert.stat("mis_frac").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // Adjacent pair in the set.
+        let v = certify_mis(&g, &[true, true, false]).unwrap_err();
+        assert_eq!(v.kind(), "mis-independence");
+        // Empty set on a nonempty graph is not maximal.
+        let v = certify_mis(&g, &[false, false, false]).unwrap_err();
+        assert_eq!(v.kind(), "mis-maximality");
+        // Shape mismatch.
+        assert_eq!(certify_mis(&g, &[true]).unwrap_err().kind(), "shape-mismatch");
+    }
+
+    #[test]
+    fn isolated_node_must_join_the_set() {
+        let mut g = gen::path(2);
+        g.add_node();
+        assert!(certify_mis(&g, &[true, false, true]).is_ok());
+        let v = certify_mis(&g, &[true, false, false]).unwrap_err();
+        assert_eq!(v, Violation::MisMaximality { node: lcl_graph::NodeId(2) });
+    }
+
+    #[test]
+    fn path_matching_certifies_and_rejects() {
+        let g = gen::path(4); // edges 0-1, 1-2, 2-3
+        let cert = certify_matching(&g, &[true, false, true]).unwrap();
+        assert_eq!(cert.stat("matched_frac").unwrap(), 1.0);
+        // Node 1 matched twice.
+        let v = certify_matching(&g, &[true, true, false]).unwrap_err();
+        assert_eq!(v.kind(), "matching-matched-twice");
+        // Middle edge addable.
+        let v = certify_matching(&g, &[false, false, false]).unwrap_err();
+        assert_eq!(v.kind(), "matching-maximality");
+        // Matching only the middle edge IS maximal: ends have no partner.
+        assert!(certify_matching(&g, &[false, true, false]).is_ok());
+    }
+
+    #[test]
+    fn coloring_certifies_and_rejects() {
+        let g = gen::cycle(4);
+        let cert = certify_coloring(&g, &[0, 1, 0, 1], Some(3)).unwrap();
+        assert_eq!(cert.stat("colors").unwrap(), 2.0);
+        let v = certify_coloring(&g, &[0, 0, 1, 2], Some(3)).unwrap_err();
+        assert_eq!(v.kind(), "coloring-monochromatic-edge");
+        let v = certify_coloring(&g, &[0, 7, 0, 1], Some(3)).unwrap_err();
+        assert_eq!(v.kind(), "coloring-palette");
+    }
+
+    #[test]
+    fn edge_coloring_certifies_and_rejects() {
+        let g = gen::path(3); // edges 0-1, 1-2 share node 1
+        assert!(certify_edge_coloring(&g, &[0, 1], Some(3)).is_ok());
+        let v = certify_edge_coloring(&g, &[0, 0], Some(3)).unwrap_err();
+        assert_eq!(v.kind(), "edge-coloring-conflict");
+        let v = certify_edge_coloring(&g, &[0, 9], Some(3)).unwrap_err();
+        assert_eq!(v.kind(), "edge-coloring-palette");
+    }
+
+    #[test]
+    fn sinkless_certifies_and_rejects() {
+        // K4: every node has degree 3, so all are constrained.
+        let g = gen::complete(4);
+        // Orient every edge A -> B: node 3 (always the B side of its
+        // edges) becomes a sink.
+        let all_a = vec![Side::A; g.edge_count()];
+        let v = certify_sinkless(&g, &all_a, 3).unwrap_err();
+        assert_eq!(v.kind(), "orientation-sink");
+        // Flip one edge into node 3's out-edge.
+        let mut fixed = all_a;
+        let e = g.edges().find(|&e| g.endpoints(e)[1] == lcl_graph::NodeId(3)).unwrap();
+        fixed[e.index()] = Side::B;
+        let cert = certify_sinkless(&g, &fixed, 3).unwrap();
+        assert_eq!(cert.stat("constrained").unwrap(), 4.0);
+        // Low-degree nodes are unconstrained by default.
+        let p = gen::path(3);
+        assert!(certify_sinkless(&p, &[Side::A; 2], 3).is_ok());
+    }
+
+    #[test]
+    fn self_loops_are_handled_per_definition() {
+        let mut g = gen::path(2);
+        let e = g.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
+        // Set membership of a self-looped node violates independence.
+        let v = certify_mis(&g, &[true, false]).unwrap_err();
+        assert_eq!(v.kind(), "mis-independence");
+        // A matched self-loop covers its node twice.
+        let mut m = vec![false; g.edge_count()];
+        m[e.index()] = true;
+        let v = certify_matching(&g, &m).unwrap_err();
+        assert_eq!(v.kind(), "matching-matched-twice");
+        // No proper coloring colors a self-loop.
+        let v = certify_coloring(&g, &[0, 1], None).unwrap_err();
+        assert_eq!(v.kind(), "coloring-monochromatic-edge");
+        // A self-loop conflicts with itself in an edge coloring.
+        let v = certify_edge_coloring(&g, &[0, 1], None).unwrap_err();
+        assert_eq!(v.kind(), "edge-coloring-conflict");
+    }
+
+    #[test]
+    fn dispatcher_routes_by_class() {
+        let g = gen::cycle(5);
+        let sol = Solution::Coloring { colors: vec![0, 1, 0, 1, 2], palette: Some(3) };
+        assert_eq!(sol.class(), "coloring");
+        assert_eq!(certify(&g, &sol).unwrap().class, "coloring");
+    }
+
+    #[test]
+    fn violations_render_their_witnesses() {
+        let g = gen::cycle(3);
+        let v = certify_mis(&g, &[true, true, false]).unwrap_err();
+        let text = v.to_string();
+        assert!(text.contains("set nodes"), "unexpected message: {text}");
+        assert!(!Violation::MisMaximality { node: NodeId(7) }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! The adversarial corruption matrix: every solution class × every
+//! corruption kind.
+//!
+//! Each case starts from a **known-good** solution produced by a real
+//! algorithm, applies one seeded [`Corruption`], and asserts the
+//! certifier rejects the result with exactly the violation kind the
+//! corruption predicts — or, when the corruption finds no applicable
+//! site, that the solution is untouched and still certifies clean. This
+//! is the "stop trusting the process" guarantee from the other side: the
+//! checkers must not only accept honest outputs but pinpoint dishonest
+//! ones correctly.
+
+use lcl_algos::{edge_coloring, linial, luby, matching_rounds, sinkless_det};
+use lcl_certify::corrupt::Corruption;
+use lcl_certify::{certify, Solution};
+use lcl_graph::{gen, Graph};
+use lcl_local::{IdAssignment, Network};
+use proptest::prelude::*;
+
+/// A shuffled-id network over a random 3-regular graph (all classes run
+/// on it: loopless for the coloring algorithms, min degree 3 for the
+/// sinkless checker's constrained nodes).
+fn cubic_net(half_n: usize, seed: u64) -> Network {
+    let g = gen::random_regular(2 * half_n, 3, seed).expect("cubic graph generable");
+    Network::new(g, IdAssignment::Shuffled { seed })
+}
+
+/// Runs the full corruption matrix against one valid solution: every
+/// applicable corruption must be rejected with its predicted kind, every
+/// inapplicable one must leave the solution certifiable.
+fn check_matrix(g: &Graph, valid: &Solution, seed: u64) {
+    certify(g, valid).unwrap_or_else(|v| panic!("valid {} rejected: {v}", valid.class()));
+    for c in Corruption::ALL {
+        let mut sol = valid.clone();
+        match c.apply(g, &mut sol, seed) {
+            Some(expected) => {
+                let v = certify(g, &sol).expect_err(expected);
+                assert_eq!(
+                    v.kind(),
+                    expected,
+                    "{} on {}: certifier said [{}] {v}, corruption predicted [{}]",
+                    c.slug(),
+                    valid.class(),
+                    v.kind(),
+                    expected
+                );
+            }
+            None => {
+                assert_eq!(&sol, valid, "{} declined but mutated the solution", c.slug());
+                certify(g, &sol).unwrap_or_else(|v| panic!("untouched solution rejected: {v}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mis_matrix(half_n in 6usize..24, seed in 0u64..1 << 48) {
+        let net = cubic_net(half_n, seed % 1009);
+        let out = luby::run(&net, seed).unwrap();
+        check_matrix(net.graph(), &out.solution(), seed);
+    }
+
+    #[test]
+    fn matching_matrix(half_n in 6usize..24, seed in 0u64..1 << 48) {
+        let net = cubic_net(half_n, seed % 1009);
+        let sol = matching_rounds::run(&net, seed).solution(net.graph()).unwrap();
+        check_matrix(net.graph(), &sol, seed);
+    }
+
+    #[test]
+    fn coloring_matrix(half_n in 6usize..24, seed in 0u64..1 << 48) {
+        let net = cubic_net(half_n, seed % 1009);
+        let sol = linial::run(&net).solution(net.graph());
+        check_matrix(net.graph(), &sol, seed);
+    }
+
+    #[test]
+    fn edge_coloring_matrix(half_n in 6usize..24, seed in 0u64..1 << 48) {
+        let net = cubic_net(half_n, seed % 1009);
+        let sol = edge_coloring::run(&net).solution(net.graph());
+        check_matrix(net.graph(), &sol, seed);
+    }
+
+    #[test]
+    fn orientation_matrix(half_n in 6usize..24, seed in 0u64..1 << 48) {
+        let net = cubic_net(half_n, seed % 1009);
+        let out = sinkless_det::run(&net, &sinkless_det::Params::default());
+        let sol = out.solution(net.graph()).unwrap();
+        check_matrix(net.graph(), &sol, seed);
+    }
+}

@@ -276,15 +276,29 @@ impl<M> RouteArena<M> {
     ///
     /// # Panics
     ///
-    /// Panics if the port does not exist at `v` or already carried a
-    /// message this round (the [`RoundAlgorithm::send`] contract allows at
-    /// most one message per port).
+    /// Panics — attributed as an **algorithm violation**, with node,
+    /// degree, port, and round — if the port does not exist at `v` or
+    /// already carried a message this round (the
+    /// [`RoundAlgorithm::send`] contract allows at most one message per
+    /// port). The engine itself cannot recover: a protocol that addresses
+    /// ports it does not have is broken code, not a bad instance.
     fn deposit(&mut self, g: &lcl_graph::Graph, v: NodeId, port: usize, msg: M) {
-        let h = g
-            .half_edge_at_port(v, port)
-            .unwrap_or_else(|| panic!("node {v:?} sent on invalid port {port}"));
+        let h = g.half_edge_at_port(v, port).unwrap_or_else(|| {
+            panic!(
+                "algorithm violation: node {v:?} (degree {deg}) sent on invalid port {port} in \
+                 round {round}",
+                deg = g.degree(v),
+                round = self.round,
+            )
+        });
         let slot = h.opposite().index();
-        assert!(self.stamps[slot] != self.round, "node {v:?} sent twice on port {port}");
+        assert!(
+            self.stamps[slot] != self.round,
+            "algorithm violation: node {v:?} (degree {deg}) sent twice on port {port} in round \
+             {round}",
+            deg = g.degree(v),
+            round = self.round,
+        );
         self.stamps[slot] = self.round;
         self.slots[slot] = Some(msg);
     }
@@ -463,5 +477,45 @@ mod tests {
         assert_eq!(a, b);
         let c = run_rounds(&net, &CoinOnce, 10, 1).into_outputs();
         assert_ne!(a, c);
+    }
+
+    /// A deliberately broken protocol: sends on `degree` (one past the
+    /// last valid port) when `bad_port`, else sends twice on port 0.
+    struct Misbehaver {
+        bad_port: bool,
+    }
+
+    impl RoundAlgorithm for Misbehaver {
+        type State = ();
+        type Msg = u64;
+        type Output = u64;
+        fn init(&self, _ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> Self::State {}
+        fn send(&self, _s: &Self::State, ctx: &NodeCtx) -> Vec<(usize, u64)> {
+            if self.bad_port {
+                vec![(ctx.degree, 1)]
+            } else {
+                vec![(0, 1), (0, 2)]
+            }
+        }
+        fn receive(&self, _s: &mut (), _c: &NodeCtx, _i: &[(usize, u64)], _r: &mut ChaCha8Rng) {}
+        fn output(&self, _s: &(), _c: &NodeCtx) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm violation: node n0 (degree 2) sent on invalid port 2 \
+                               in round 1")]
+    fn invalid_port_is_attributed_as_algorithm_violation() {
+        let net = Network::new(gen::cycle(3), IdAssignment::Sequential);
+        let _ = run_rounds(&net, &Misbehaver { bad_port: true }, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm violation: node n0 (degree 2) sent twice on port 0 in \
+                               round 1")]
+    fn double_send_is_attributed_as_algorithm_violation() {
+        let net = Network::new(gen::cycle(3), IdAssignment::Sequential);
+        let _ = run_rounds(&net, &Misbehaver { bad_port: false }, 0, 2);
     }
 }

@@ -98,18 +98,7 @@ impl RunManifest {
         quick: bool,
         sequential: bool,
     ) -> Self {
-        let mut seeds: Vec<u64> = rows.iter().map(|r| r.seed).collect();
-        seeds.sort_unstable();
-        seeds.dedup();
-        let mut sizes: Vec<usize> = rows.iter().map(|r| r.n).collect();
-        sizes.sort_unstable();
-        sizes.dedup();
-        let mut series: Vec<String> = Vec::new();
-        for r in rows {
-            if !series.contains(&r.series) {
-                series.push(r.series.clone());
-            }
-        }
+        let (seeds, sizes, series) = grid_summary(rows);
         RunManifest {
             experiment: experiment.to_string(),
             run_id: run_id.to_string(),
@@ -132,6 +121,53 @@ impl RunManifest {
         self.meta = meta;
         self
     }
+
+    /// Re-derives the grid summary from `rows` and compares it against
+    /// what this manifest claims — the integrity half of `results verify`.
+    /// Returns one human-readable line per mismatch (empty = consistent),
+    /// so a manifest edited after the fact, or rows dropped/added behind
+    /// its back, are caught without trusting the producing process.
+    #[must_use]
+    pub fn integrity_violations(&self, rows: &[RowRecord]) -> Vec<String> {
+        let (seeds, sizes, series) = grid_summary(rows);
+        let mut out = Vec::new();
+        if rows.len() != self.row_count {
+            out.push(format!(
+                "row_count: manifest claims {}, rows.jsonl holds {}",
+                self.row_count,
+                rows.len()
+            ));
+        }
+        if seeds != self.seeds {
+            out.push(format!("seeds: manifest claims {:?}, rows yield {seeds:?}", self.seeds));
+        }
+        if sizes != self.sizes {
+            out.push(format!("sizes: manifest claims {:?}, rows yield {sizes:?}", self.sizes));
+        }
+        if series != self.series {
+            out.push(format!("series: manifest claims {:?}, rows yield {series:?}", self.series));
+        }
+        out
+    }
+}
+
+/// The grid summary (`new` records it; `integrity_violations` re-derives
+/// it): distinct seeds ascending, distinct sizes ascending, series in
+/// first-appearance order.
+fn grid_summary(rows: &[RowRecord]) -> (Vec<u64>, Vec<usize>, Vec<String>) {
+    let mut seeds: Vec<u64> = rows.iter().map(|r| r.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let mut sizes: Vec<usize> = rows.iter().map(|r| r.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut series: Vec<String> = Vec::new();
+    for r in rows {
+        if !series.contains(&r.series) {
+            series.push(r.series.clone());
+        }
+    }
+    (seeds, sizes, series)
 }
 
 /// The current UTC wall-clock time as `YYYY-MM-DDTHH:MM:SSZ` (no external
@@ -266,6 +302,24 @@ mod tests {
         let back: RunManifest = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back, m);
         assert!(back.meta.is_empty());
+    }
+
+    #[test]
+    fn integrity_violations_catch_tampering() {
+        let rows = vec![row("a", 16, 1), row("b", 64, 2)];
+        let m = RunManifest::new("demo", "r1", &rows, 4, false, false);
+        assert!(m.integrity_violations(&rows).is_empty());
+        // Dropping a row trips the count, and the seed/size/series sets.
+        let truncated = &rows[..1];
+        let v = m.integrity_violations(truncated);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v[0].contains("manifest claims 2"), "{}", v[0]);
+        // A relabeled series trips only the series summary.
+        let mut relabeled = rows.clone();
+        relabeled[1].series = "c".into();
+        let v = m.integrity_violations(&relabeled);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("series:"), "{}", v[0]);
     }
 
     #[test]

@@ -3,14 +3,17 @@
 //! ```text
 //! scenarios [--spec-dir DIR] list
 //! scenarios [--spec-dir DIR] describe <name>
-//! scenarios [--spec-dir DIR] run <name> [--quick --seq --json
+//! scenarios [--spec-dir DIR] run <name> [--quick --seq --json --certify
 //!                                        --out DIR --run-id ID --no-persist]
 //! ```
 //!
 //! `run` expands the named spec into its `(family, n, seed)` grid,
 //! streams it through the deterministic batch engine, and exits through
 //! `Report::finish` — the run lands in the run store under
-//! `scenario-<name>` with the spec's content hash in the manifest meta.
+//! `scenario-<name>` with the spec's content hash and canonical JSON in
+//! the manifest meta. `--certify` re-checks every algorithm output with
+//! the independent `lcl_certify` checkers before accepting its row;
+//! failed cells are reported individually and the process exits nonzero.
 //! Specs resolve from `--spec-dir` (default `scenarios/`) first, then the
 //! built-in presets; a file spec shadows a builtin of the same name.
 
@@ -23,7 +26,7 @@ const USAGE: &str = "usage: scenarios [--spec-dir DIR] <command>
   list                 catalog: file specs (scenarios/*.json) + built-in presets
   describe <name>      spec JSON, grid summary, and content hash
   run <name> [flags]   expand + run + persist (common flags: --quick --seq
-                       --json --out DIR --run-id ID --no-persist)";
+                       --json --certify --out DIR --run-id ID --no-persist)";
 
 fn main() -> ExitCode {
     let opts = CliOpts::parse();
@@ -116,7 +119,19 @@ fn cmd_run(dir: &std::path::Path, name: &str, opts: &CliOpts) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_spec(&spec, opts);
+    let (report, failures) = run_spec(&spec, opts);
     report.finish(&experiment_name(&spec), opts);
-    ExitCode::SUCCESS
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("scenarios: cell failed: {f}");
+        }
+        eprintln!(
+            "scenarios: {} of {} cells failed",
+            failures.len(),
+            expand(&spec, opts.quick).len()
+        );
+        ExitCode::FAILURE
+    }
 }

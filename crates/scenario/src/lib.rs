@@ -31,7 +31,11 @@
 pub mod catalog;
 mod run;
 mod spec;
+pub mod verify;
 
 pub use catalog::{builtins, catalog, find, load_dir, DEFAULT_SPEC_DIR};
-pub use run::{expand, experiment_name, measure_cell, run_spec, EXPERIMENT_ID};
+pub use run::{
+    expand, experiment_name, measure_cell, run_spec, try_measure_cell, CellError, EXPERIMENT_ID,
+};
 pub use spec::{AlgoSpec, FamilySpec, ScenarioSpec, SpecError};
+pub use verify::{verify_run, RowViolation, VerifiedRun};

@@ -10,70 +10,136 @@ use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
 use lcl_bench::{grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
 use lcl_core::problems::{MatchingLabel, MisLabel};
 use lcl_local::{IdAssignment, Network};
+use std::fmt;
 
 /// Experiment id stamped on every scenario row (the run-store directory
 /// carries the scenario name: `scenario-<name>`).
 pub const EXPERIMENT_ID: &str = "SCN";
 
+/// One grid cell that produced no rows: which `(family, n, seed)` point
+/// failed and why — a generator refusal, a typed algorithm error, or (with
+/// `--certify`) a certifier violation. Surfaced per cell instead of
+/// panicking the shared worker pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// Family slug of the failing cell.
+    pub family: String,
+    /// Instance size of the failing cell.
+    pub n: usize,
+    /// Run seed of the failing cell.
+    pub seed: u64,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at n={} seed={}: {}", self.family, self.n, self.seed, self.detail)
+    }
+}
+
 /// Runs one `(family, n, seed)` cell: builds the instance once, wraps it
 /// in a [`Network`] (shuffled ids from the cell seed), and runs every
-/// requested algorithm on it — one row per algorithm.
+/// requested algorithm on it — one row per algorithm. Panicking wrapper
+/// around [`try_measure_cell`] for callers that treat any failure as fatal.
 #[must_use]
 pub fn measure_cell(cell: &Cell<FamilySpec>, algos: &[AlgoSpec], exec: EngineExec) -> Vec<Row> {
-    let g = cell
-        .family
-        .build(cell.n, cell.seed)
-        .unwrap_or_else(|e| panic!("{} at n={}: {e}", cell.family.slug(), cell.n));
+    try_measure_cell(cell, algos, exec, false).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`measure_cell`]: an infeasible instance or failing algorithm
+/// yields a structured [`CellError`] naming the cell, and with `certify`
+/// set every algorithm's output is re-checked by the independent
+/// `lcl_certify` checkers before its row is accepted.
+///
+/// # Errors
+///
+/// [`CellError`] naming the `(family, n, seed)` cell and the cause.
+pub fn try_measure_cell(
+    cell: &Cell<FamilySpec>,
+    algos: &[AlgoSpec],
+    exec: EngineExec,
+    certify: bool,
+) -> Result<Vec<Row>, CellError> {
+    let fail = |detail: String| CellError {
+        family: cell.family.slug(),
+        n: cell.n,
+        seed: cell.seed,
+        detail,
+    };
+    let g = cell.family.build(cell.n, cell.seed).map_err(|e| fail(e.to_string()))?;
     let net = Network::new(g, IdAssignment::Shuffled { seed: cell.seed });
     let nodes = net.len() as f64;
     let edges = net.graph().edge_count() as f64;
-    algos
-        .iter()
-        .map(|algo| {
-            let (measured, mut extra) = run_algo(*algo, &net, cell.seed, exec);
-            extra.push(("nodes".to_string(), nodes));
-            extra.push(("edges".to_string(), edges));
-            Row {
-                experiment: EXPERIMENT_ID,
-                series: format!("{}/{}", cell.family.slug(), algo.slug()),
-                n: cell.n,
-                seed: cell.seed,
-                measured,
-                extra,
-            }
-        })
-        .collect()
+    let mut rows = Vec::with_capacity(algos.len());
+    for algo in algos {
+        let (measured, mut extra) = try_run_algo(*algo, &net, cell.seed, exec, certify)
+            .map_err(|e| fail(format!("{}: {e}", algo.slug())))?;
+        extra.push(("nodes".to_string(), nodes));
+        extra.push(("edges".to_string(), edges));
+        rows.push(Row {
+            experiment: EXPERIMENT_ID,
+            series: format!("{}/{}", cell.family.slug(), algo.slug()),
+            n: cell.n,
+            seed: cell.seed,
+            measured,
+            extra,
+        });
+    }
+    Ok(rows)
 }
 
-fn run_algo(
+/// Runs a [`lcl_certify::Solution`] (or a decode failure) through the
+/// independent checker, flattening any violation into the error string.
+fn recheck(
+    g: &lcl_graph::Graph,
+    decoded: Result<lcl_certify::Solution, lcl_certify::Violation>,
+) -> Result<(), String> {
+    let sol = decoded.map_err(|v| format!("certify [{}]: {v}", v.kind()))?;
+    lcl_certify::certify(g, &sol).map(|_| ()).map_err(|v| format!("certify [{}]: {v}", v.kind()))
+}
+
+fn try_run_algo(
     algo: AlgoSpec,
     net: &Network,
     seed: u64,
     exec: EngineExec,
-) -> (f64, Vec<(String, f64)>) {
+    certify: bool,
+) -> Result<(f64, Vec<(String, f64)>), String> {
     let n = net.len() as f64;
     match algo {
         AlgoSpec::Luby => {
-            let out = lcl_algos::luby_rounds::run_with(net, seed, &exec);
+            let out = lcl_algos::luby_rounds::try_run_with(net, seed, &exec)
+                .map_err(|e| e.to_string())?;
+            if certify {
+                recheck(net.graph(), out.solution(net.graph()))?;
+            }
             let in_set =
                 net.graph().nodes().filter(|&v| *out.labeling.node(v) == MisLabel::InSet).count();
-            (f64::from(out.rounds), vec![("mis_frac".to_string(), in_set as f64 / n)])
+            Ok((f64::from(out.rounds), vec![("mis_frac".to_string(), in_set as f64 / n)]))
         }
         AlgoSpec::Matching => {
-            let out = lcl_algos::matching_rounds::run_with(net, seed, &exec);
+            let out = lcl_algos::matching_rounds::try_run_with(net, seed, &exec)
+                .map_err(|e| e.to_string())?;
+            if certify {
+                recheck(net.graph(), out.solution(net.graph()))?;
+            }
             let matched = net
                 .graph()
                 .nodes()
                 .filter(|&v| *out.labeling.node(v) == MatchingLabel::Matched)
                 .count();
-            (f64::from(out.rounds), vec![("matched_frac".to_string(), matched as f64 / n)])
+            Ok((f64::from(out.rounds), vec![("matched_frac".to_string(), matched as f64 / n)]))
         }
         AlgoSpec::Linial => {
-            let out = lcl_algos::linial::run_with(net, &exec);
+            let out = lcl_algos::linial::try_run_with(net, &exec).map_err(|e| e.to_string())?;
+            if certify {
+                recheck(net.graph(), Ok(out.solution(net.graph())))?;
+            }
             let mut palette = out.colors.clone();
             palette.sort_unstable();
             palette.dedup();
-            (f64::from(out.total_rounds()), vec![("colors".to_string(), palette.len() as f64)])
+            Ok((f64::from(out.total_rounds()), vec![("colors".to_string(), palette.len() as f64)]))
         }
     }
 }
@@ -86,19 +152,26 @@ pub fn expand(spec: &ScenarioSpec, quick: bool) -> Vec<Cell<FamilySpec>> {
     grid(&spec.families, &sizes, &seeds)
 }
 
-/// Runs a whole scenario through the batch engine and returns the report,
-/// with the scenario name and spec hash recorded as manifest meta — the
-/// caller exits through [`Report::finish`] to render and persist.
+/// Runs a whole scenario through the batch engine and returns the report
+/// plus any per-cell failures (in cell order), with the scenario name,
+/// spec hash, and full canonical spec JSON recorded as manifest meta — the
+/// caller exits through [`Report::finish`] to render and persist, and
+/// should exit nonzero if any cell failed. Passing `--certify` re-checks
+/// every algorithm output with the independent `lcl_certify` checkers
+/// before its row is accepted.
 #[must_use]
-pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> Report {
+pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>) {
     let cells = expand(spec, opts.quick);
     let runner = BatchRunner::from_opts(opts);
     let exec = runner.node_executor();
     let algos = spec.algos.clone();
-    let mut report = runner.run(&cells, |cell| measure_cell(cell, &algos, exec));
+    let certify = opts.has("--certify");
+    let (mut report, failures) =
+        runner.try_run(&cells, |cell| try_measure_cell(cell, &algos, exec, certify));
     report.push_meta("scenario", spec.name.clone());
     report.push_meta("spec_hash", spec.hash());
-    report
+    report.push_meta("spec_json", spec.to_json());
+    (report, failures.into_iter().map(|(_, e)| e).collect())
 }
 
 /// The run-store experiment name for a scenario.
@@ -172,5 +245,27 @@ mod tests {
     fn experiment_name_prefixes_scenario() {
         assert_eq!(experiment_name(&tiny_spec()), "scenario-tiny");
         let _: Result<(), SpecError> = tiny_spec().validate();
+    }
+
+    #[test]
+    fn infeasible_cell_is_a_structured_error() {
+        // A G(n,m) density no simple 16-node graph can hold: the generator
+        // refuses, and the refusal comes back attributed to the cell
+        // instead of panicking the worker pool.
+        let cell = Cell { family: FamilySpec::Gnm { avg_deg: 1000.0 }, n: 16, seed: 1 };
+        let err =
+            try_measure_cell(&cell, &[AlgoSpec::Luby], EngineExec::Sequential, false).unwrap_err();
+        assert_eq!((err.family.as_str(), err.n, err.seed), ("gnm-d1000", 16, 1));
+        assert!(format!("{err}").starts_with("gnm-d1000 at n=16 seed=1:"), "{err}");
+    }
+
+    #[test]
+    fn certify_flag_rechecks_every_row() {
+        let spec = tiny_spec();
+        let cells = expand(&spec, false);
+        for cell in &cells {
+            let rows = try_measure_cell(cell, &spec.algos, EngineExec::Sequential, true).unwrap();
+            assert_eq!(rows.len(), spec.algos.len());
+        }
     }
 }

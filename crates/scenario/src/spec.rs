@@ -105,9 +105,11 @@ impl FamilySpec {
                 gen::random_regular(n, *d, seed)
             }
             FamilySpec::Gnm { avg_deg } => {
-                let candidates = n.saturating_mul(n.saturating_sub(1)) / 2;
+                // No silent clamping: an infeasible (avg_deg, n) pair is a
+                // spec error ([`ScenarioSpec::validate`] checks the whole
+                // grid up front), and the generator rejects it here too.
                 #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
-                let m = ((avg_deg * n as f64 / 2.0).round().max(0.0) as usize).min(candidates);
+                let m = (avg_deg * n as f64 / 2.0).round().max(0.0) as usize;
                 gen::gnm(n, m, seed)
             }
             FamilySpec::Torus => {
@@ -171,6 +173,81 @@ impl FamilySpec {
         }
         Ok(())
     }
+
+    /// Per-`(family, n)` feasibility: catches parameter combinations that
+    /// are fine in isolation but infeasible at a particular grid size, so
+    /// [`ScenarioSpec::validate`] can refuse the whole grid up front
+    /// instead of one cell panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the infeasible combination.
+    pub fn validate_cell(&self, n: usize) -> Result<(), String> {
+        match self {
+            FamilySpec::RandomRegular { d } => {
+                // `build` rounds odd n·d up by one node; the rounded size
+                // must still admit a simple d-regular graph.
+                let n = if (n * d) % 2 == 1 { n + 1 } else { n };
+                if *d >= n {
+                    return Err(format!("no simple {d}-regular graph on {n} nodes (d ≥ n)"));
+                }
+            }
+            FamilySpec::Gnm { avg_deg } => {
+                let candidates = n.saturating_mul(n.saturating_sub(1)) / 2;
+                #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                let m = (avg_deg * n as f64 / 2.0).round().max(0.0) as usize;
+                if m > candidates {
+                    return Err(format!(
+                        "avg_deg {avg_deg} needs m = {m} edges but a simple graph on {n} nodes \
+                         holds at most {candidates}"
+                    ));
+                }
+            }
+            FamilySpec::Caterpillar { leaf_frac } => {
+                #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                let leaves =
+                    ((n as f64 * leaf_frac).round().max(0.0) as usize).min(n.saturating_sub(1));
+                if n - leaves == 0 {
+                    return Err(format!("leaf_frac {leaf_frac} leaves an empty spine at n = {n}"));
+                }
+            }
+            FamilySpec::Torus | FamilySpec::Hypercube | FamilySpec::LiftedGadget { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Parses a family back from its [`FamilySpec::slug`] — the fallback
+    /// path `verify` uses for runs persisted before the manifest carried
+    /// the full `spec_json`. Lossy where the slug is lossy: a caterpillar
+    /// slug rounds `leaf_frac` to a whole percent, so only specs whose
+    /// `leaf_frac` is a whole percent round-trip exactly.
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<FamilySpec> {
+        if slug == "torus" {
+            return Some(FamilySpec::Torus);
+        }
+        if slug == "hypercube" {
+            return Some(FamilySpec::Hypercube);
+        }
+        if let Some(d) = slug.strip_suffix("-regular") {
+            return Some(FamilySpec::RandomRegular { d: d.parse().ok()? });
+        }
+        if let Some(avg) = slug.strip_prefix("gnm-d") {
+            return Some(FamilySpec::Gnm { avg_deg: avg.parse().ok()? });
+        }
+        if let Some(pct) = slug.strip_prefix("caterpillar-") {
+            let pct: f64 = pct.parse().ok()?;
+            return Some(FamilySpec::Caterpillar { leaf_frac: pct / 100.0 });
+        }
+        if let Some(rest) = slug.strip_prefix("lift-d") {
+            let (delta, height) = rest.split_once('h')?;
+            return Some(FamilySpec::LiftedGadget {
+                delta: delta.parse().ok()?,
+                height: height.parse().ok()?,
+            });
+        }
+        None
+    }
 }
 
 /// Integer square root (largest `r` with `r² ≤ n`).
@@ -212,6 +289,17 @@ impl AlgoSpec {
             AlgoSpec::Luby => "luby",
             AlgoSpec::Matching => "matching",
             AlgoSpec::Linial => "linial",
+        }
+    }
+
+    /// Parses an algorithm back from its [`AlgoSpec::slug`].
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<AlgoSpec> {
+        match slug {
+            "luby" => Some(AlgoSpec::Luby),
+            "matching" => Some(AlgoSpec::Matching),
+            "linial" => Some(AlgoSpec::Linial),
+            _ => None,
         }
     }
 }
@@ -305,6 +393,18 @@ impl ScenarioSpec {
         }
         for (i, f) in self.families.iter().enumerate() {
             f.validate(i)?;
+            // The *whole* sizes × families grid must be feasible before a
+            // single cell runs: a combination that is fine at one size can
+            // be infeasible at another, and discovering that mid-run used
+            // to kill the whole batch.
+            for &n in &self.sizes {
+                if let Err(what) = f.validate_cell(n) {
+                    return Err(SpecError(format!(
+                        "families[{i}] ({}) at n = {n}: {what}",
+                        f.slug()
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -435,6 +535,42 @@ mod tests {
             );
             assert!(!f.describe().is_empty());
         }
+    }
+
+    #[test]
+    fn validate_sweeps_the_whole_grid() {
+        // avg_deg 16 is a legal knob in isolation, but at n = 16 it asks
+        // for 128 edges when a simple graph holds at most 120 — the grid
+        // sweep must name the offending cell up front.
+        let mut bad = demo_spec();
+        bad.families = vec![FamilySpec::Gnm { avg_deg: 16.0 }];
+        bad.sizes = vec![64, 16];
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("gnm-d16") && msg.contains("n = 16"), "{msg}");
+        // The same family is fine when every grid size is feasible.
+        bad.sizes = vec![64, 128];
+        bad.validate().unwrap();
+    }
+
+    #[test]
+    fn family_slugs_round_trip() {
+        for f in demo_spec().families {
+            assert_eq!(FamilySpec::from_slug(&f.slug()), Some(f.clone()), "slug {}", f.slug());
+        }
+        assert_eq!(FamilySpec::from_slug("no-such-family"), None);
+        assert_eq!(FamilySpec::from_slug("gnm-dx"), None);
+        assert_eq!(
+            FamilySpec::from_slug("caterpillar-40"),
+            Some(FamilySpec::Caterpillar { leaf_frac: 0.4 })
+        );
+    }
+
+    #[test]
+    fn algo_slugs_round_trip() {
+        for a in [AlgoSpec::Luby, AlgoSpec::Matching, AlgoSpec::Linial] {
+            assert_eq!(AlgoSpec::from_slug(a.slug()), Some(a));
+        }
+        assert_eq!(AlgoSpec::from_slug("bogus"), None);
     }
 
     #[test]

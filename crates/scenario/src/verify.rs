@@ -1,0 +1,338 @@
+//! Independent re-verification of persisted scenario runs.
+//!
+//! `results verify <run-id>` lands here: given a [`StoredRun`]
+//! (`manifest.json` + `rows.jsonl`), [`verify_run`] re-derives everything
+//! the run claims instead of trusting the process that wrote it —
+//!
+//! 1. **manifest integrity**: the grid summary (seed set, size set,
+//!    series) is recomputed from the rows and compared against the
+//!    manifest via [`lcl_report::RunManifest::integrity_violations`];
+//! 2. **full replay** (scenario rows): every generator is deterministic
+//!    in `(family, n, seed)`, and every algorithm is deterministic in the
+//!    instance and seed with bit-identical output under any executor — so
+//!    each cell is regenerated from its series slug (preferring the
+//!    manifest's canonical `spec_json` meta, falling back to
+//!    [`FamilySpec::from_slug`] for runs persisted before it existed),
+//!    re-run sequentially with the independent `lcl_certify` checkers
+//!    enabled, and the recomputed rows compared **exactly** to the stored
+//!    ones. Exact `f64` equality is sound here: rows serialize with
+//!    shortest-roundtrip formatting, and CI already byte-compares pooled
+//!    vs sequential `rows.jsonl`.
+//!
+//! Rows of other experiments (no scenario series to re-derive) get check 1
+//! only; [`VerifiedRun::replayed`] says how far the verification reached.
+
+use crate::run::{try_measure_cell, EXPERIMENT_ID};
+use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
+use lcl_bench::{Cell, EngineExec};
+use lcl_report::{RowRecord, StoredRun};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+
+/// One discrepancy between what a persisted run claims and what
+/// re-derivation yields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowViolation {
+    /// 0-based index of the offending row in `rows.jsonl`; `None` for
+    /// manifest-level violations.
+    pub index: Option<usize>,
+    /// Series of the offending row (empty for manifest-level violations).
+    pub series: String,
+    /// Instance size of the offending row (0 for manifest-level).
+    pub n: usize,
+    /// Seed of the offending row (0 for manifest-level).
+    pub seed: u64,
+    /// Violation kind slug: `manifest-integrity`, `series-parse`,
+    /// `regen`, `measured-mismatch`, or `extra-mismatch`.
+    pub kind: String,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl fmt::Display for RowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "[{}] row {i} ({} n={} seed={}): {}",
+                self.kind, self.series, self.n, self.seed, self.detail
+            ),
+            None => write!(f, "[{}] manifest: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// The outcome of verifying one stored run.
+#[derive(Clone, Debug)]
+pub struct VerifiedRun {
+    /// Rows found in `rows.jsonl`.
+    pub row_count: usize,
+    /// Rows independently recomputed and compared (scenario rows only).
+    pub replayed: usize,
+    /// Everything that failed to check out; empty means certified.
+    pub violations: Vec<RowViolation>,
+}
+
+impl VerifiedRun {
+    /// True when nothing failed to check out.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn row_violation(index: usize, r: &RowRecord, kind: &str, detail: String) -> RowViolation {
+    RowViolation {
+        index: Some(index),
+        series: r.series.clone(),
+        n: r.n,
+        seed: r.seed,
+        kind: kind.to_string(),
+        detail,
+    }
+}
+
+/// Verifies a stored run: manifest integrity always, plus full
+/// regenerate-and-replay (with the independent certifier enabled) for
+/// every scenario row. Cost is `O(n + m)` per cell beyond re-running the
+/// algorithms themselves.
+///
+/// # Errors
+///
+/// I/O errors reading or parsing `rows.jsonl` — "cannot verify", as
+/// opposed to "verified with violations".
+pub fn verify_run(run: &StoredRun) -> io::Result<VerifiedRun> {
+    let rows = run.rows()?;
+    let mut violations: Vec<RowViolation> = run
+        .manifest
+        .integrity_violations(&rows)
+        .into_iter()
+        .map(|detail| RowViolation {
+            index: None,
+            series: String::new(),
+            n: 0,
+            seed: 0,
+            kind: "manifest-integrity".to_string(),
+            detail,
+        })
+        .collect();
+
+    // slug → family from the manifest's canonical spec JSON when the run
+    // recorded one; slug re-parsing is the fallback for older runs.
+    let spec_families: HashMap<String, FamilySpec> = run
+        .manifest
+        .meta
+        .iter()
+        .find(|(k, _)| k == "spec_json")
+        .and_then(|(_, v)| ScenarioSpec::from_json(v).ok())
+        .map(|spec| spec.families.iter().map(|f| (f.slug(), f.clone())).collect())
+        .unwrap_or_default();
+
+    let mut replayed = 0usize;
+    let mut i = 0usize;
+    while i < rows.len() {
+        if rows[i].experiment != EXPERIMENT_ID {
+            i += 1;
+            continue;
+        }
+        let Some((fam_slug, _)) = rows[i].series.split_once('/') else {
+            let detail = "series is not `family/algo`".to_string();
+            violations.push(row_violation(i, &rows[i], "series-parse", detail));
+            i += 1;
+            continue;
+        };
+        let fam_slug = fam_slug.to_string();
+        let (n, seed) = (rows[i].n, rows[i].seed);
+        // One cell = the consecutive rows sharing (family, n, seed); the
+        // engine emits them adjacently, so the instance is built once.
+        let start = i;
+        while i < rows.len()
+            && rows[i].experiment == EXPERIMENT_ID
+            && rows[i].n == n
+            && rows[i].seed == seed
+            && rows[i].series.split_once('/').map(|(f, _)| f) == Some(fam_slug.as_str())
+        {
+            i += 1;
+        }
+        let cell_rows = &rows[start..i];
+
+        let family =
+            spec_families.get(&fam_slug).cloned().or_else(|| FamilySpec::from_slug(&fam_slug));
+        let Some(family) = family else {
+            for (j, r) in cell_rows.iter().enumerate() {
+                let detail = format!("unknown family slug `{fam_slug}`");
+                violations.push(row_violation(start + j, r, "series-parse", detail));
+            }
+            continue;
+        };
+
+        let mut algos = Vec::with_capacity(cell_rows.len());
+        for (j, r) in cell_rows.iter().enumerate() {
+            let slug = r.series.split_once('/').map_or("", |(_, a)| a);
+            match AlgoSpec::from_slug(slug) {
+                Some(a) => algos.push(a),
+                None => {
+                    let detail = format!("unknown algorithm slug `{slug}`");
+                    violations.push(row_violation(start + j, r, "series-parse", detail));
+                }
+            }
+        }
+
+        let cell = Cell { family, n, seed };
+        match try_measure_cell(&cell, &algos, EngineExec::Sequential, true) {
+            Err(e) => {
+                let detail = format!("cell failed to replay: {e}");
+                violations.push(row_violation(start, &rows[start], "regen", detail));
+            }
+            Ok(expected) => {
+                for (j, stored) in cell_rows.iter().enumerate() {
+                    let Some(exp) = expected.iter().find(|er| er.series == stored.series) else {
+                        continue; // its series-parse violation is already recorded
+                    };
+                    replayed += 1;
+                    #[allow(clippy::float_cmp)] // deterministic replay: exact or corrupt
+                    if exp.measured != stored.measured {
+                        let detail = format!(
+                            "stored measured {} but independent replay yields {}",
+                            stored.measured, exp.measured
+                        );
+                        violations.push(row_violation(
+                            start + j,
+                            stored,
+                            "measured-mismatch",
+                            detail,
+                        ));
+                    }
+                    if exp.extra != stored.extra {
+                        let detail = format!(
+                            "stored extra {:?} but independent replay yields {:?}",
+                            stored.extra, exp.extra
+                        );
+                        violations.push(row_violation(start + j, stored, "extra-mismatch", detail));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(VerifiedRun { row_count: rows.len(), replayed, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_spec;
+    use crate::spec::ScenarioSpec;
+    use lcl_bench::CliOpts;
+    use lcl_report::{RunManifest, RunStore};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "verify-fixture".into(),
+            description: "unit fixture".into(),
+            families: vec![FamilySpec::Torus, FamilySpec::Caterpillar { leaf_frac: 0.4 }],
+            sizes: vec![16],
+            seeds: vec![1, 2],
+            algos: vec![AlgoSpec::Luby, AlgoSpec::Linial],
+        }
+    }
+
+    fn opts() -> CliOpts {
+        CliOpts::from_args(vec!["--seq".to_string()])
+    }
+
+    /// Runs the fixture spec and persists it into `root`, returning the run.
+    fn persisted(root: &std::path::Path) -> StoredRun {
+        let spec = tiny_spec();
+        let (report, failures) = run_spec(&spec, &opts());
+        assert!(failures.is_empty());
+        let rows: Vec<RowRecord> = report.rows().iter().map(RowRecord::from).collect();
+        let manifest = RunManifest::new("scenario-verify-fixture", "r1", &rows, 1, false, true)
+            .with_meta(report.meta().to_vec());
+        let store = RunStore::new(root);
+        let dir = store.save(&manifest, &rows).unwrap();
+        StoredRun { manifest, dir }
+    }
+
+    #[test]
+    fn faithful_run_verifies_clean() {
+        let tmp = tempdir("verify-clean");
+        let run = persisted(&tmp);
+        let v = verify_run(&run).unwrap();
+        assert!(v.is_clean(), "{:?}", v.violations);
+        assert_eq!(v.row_count, 8);
+        assert_eq!(v.replayed, 8, "every scenario row must be replayed");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn corrupted_measured_is_caught_with_the_right_kind() {
+        let tmp = tempdir("verify-measured");
+        let run = persisted(&tmp);
+        let text = std::fs::read_to_string(run.dir.join("rows.jsonl")).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut r: RowRecord = serde_json::from_str(&lines[3]).unwrap();
+        r.measured += 1.0;
+        lines[3] = serde_json::to_string(&r).unwrap();
+        std::fs::write(run.dir.join("rows.jsonl"), lines.join("\n") + "\n").unwrap();
+        let v = verify_run(&run).unwrap();
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert_eq!(v.violations[0].kind, "measured-mismatch");
+        assert_eq!(v.violations[0].index, Some(3));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn corrupted_extra_and_dropped_row_are_caught() {
+        let tmp = tempdir("verify-extra");
+        let run = persisted(&tmp);
+        let text = std::fs::read_to_string(run.dir.join("rows.jsonl")).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Tamper an extra field on row 0 and drop the final row.
+        let mut r: RowRecord = serde_json::from_str(&lines[0]).unwrap();
+        r.extra[0].1 += 0.25;
+        lines[0] = serde_json::to_string(&r).unwrap();
+        lines.pop();
+        std::fs::write(run.dir.join("rows.jsonl"), lines.join("\n") + "\n").unwrap();
+        let v = verify_run(&run).unwrap();
+        let kinds: Vec<&str> = v.violations.iter().map(|x| x.kind.as_str()).collect();
+        assert!(kinds.contains(&"extra-mismatch"), "{kinds:?}");
+        assert!(kinds.contains(&"manifest-integrity"), "{kinds:?}");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn unknown_series_is_a_parse_violation() {
+        let tmp = tempdir("verify-series");
+        let run = persisted(&tmp);
+        let text = std::fs::read_to_string(run.dir.join("rows.jsonl")).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut r: RowRecord = serde_json::from_str(&lines[1]).unwrap();
+        r.series = "martian/luby".into();
+        lines[1] = serde_json::to_string(&r).unwrap();
+        std::fs::write(run.dir.join("rows.jsonl"), lines.join("\n") + "\n").unwrap();
+        let v = verify_run(&run).unwrap();
+        assert!(v.violations.iter().any(|x| x.kind == "series-parse"), "{:?}", v.violations);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn pre_spec_json_runs_verify_via_slug_parsing() {
+        let tmp = tempdir("verify-legacy");
+        let mut run = persisted(&tmp);
+        // Strip all meta, as a run persisted before spec_json existed.
+        run.manifest.meta.clear();
+        let v = verify_run(&run).unwrap();
+        assert!(v.is_clean(), "{:?}", v.violations);
+        assert_eq!(v.replayed, v.row_count);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lcl-scenario-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

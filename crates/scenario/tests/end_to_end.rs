@@ -40,10 +40,12 @@ fn zoo_quick_pooled_and_sequential_runs_are_byte_identical() {
     assert_eq!(spec.families.len(), 6);
 
     let par_opts = opts((true, false), &root, "par");
-    let par = run_spec(&spec, &par_opts);
+    let (par, par_failures) = run_spec(&spec, &par_opts);
+    assert!(par_failures.is_empty(), "{par_failures:?}");
     par.persist(&experiment_name(&spec), &par_opts).expect("parallel run persists");
     let seq_opts = opts((true, true), &root, "seq");
-    let seq = run_spec(&spec, &seq_opts);
+    let (seq, seq_failures) = run_spec(&spec, &seq_opts);
+    assert!(seq_failures.is_empty(), "{seq_failures:?}");
     seq.persist(&experiment_name(&spec), &seq_opts).expect("sequential run persists");
 
     // Rendered reports agree in both formats.
@@ -76,6 +78,13 @@ fn zoo_quick_pooled_and_sequential_runs_are_byte_identical() {
     }
     // Every family × algo series is present in the persisted run.
     assert_eq!(a.manifest.series.len(), 6 * 3);
+
+    // The independent certifier replays both persisted runs clean.
+    for run in [&a, &b] {
+        let v = lcl_scenario::verify_run(run).unwrap();
+        assert!(v.is_clean(), "{:?}", v.violations);
+        assert_eq!(v.replayed, v.row_count, "every row must be replayed");
+    }
 
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -111,8 +120,9 @@ fn file_spec_runs_deterministically() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
     let spec = lcl_scenario::find("sparse-frontier", &dir).unwrap().expect("shipped spec");
     let root = temp_root("file");
-    let a = run_spec(&spec, &opts((true, false), &root, "a"));
-    let b = run_spec(&spec, &opts((true, true), &root, "b"));
+    let (a, a_failures) = run_spec(&spec, &opts((true, false), &root, "a"));
+    let (b, b_failures) = run_spec(&spec, &opts((true, true), &root, "b"));
+    assert!(a_failures.is_empty() && b_failures.is_empty());
     assert_eq!(a.render(true), b.render(true));
     assert!(!a.rows().is_empty());
     let _ = std::fs::remove_dir_all(&root);

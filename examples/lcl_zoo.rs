@@ -35,7 +35,7 @@ fn main() {
     // --- MIS via Luby: O(log n) -----------------------------------------
     let g = gen::random_regular(1024, 3, seed).expect("generable");
     let net = Network::new(g, IdAssignment::Shuffled { seed });
-    let out = luby::run(&net, seed);
+    let out = luby::run(&net, seed).unwrap();
     check(&MaximalIndependentSet, net.graph(), &Labeling::uniform(net.graph(), ()), &out.labeling)
         .expect_ok();
     println!(
@@ -69,7 +69,7 @@ fn main() {
     // --- Torus and grid sanity -------------------------------------------
     for (name, g) in [("torus 16×16", gen::torus(16, 16)), ("grid 20×10", gen::grid(20, 10))] {
         let net = Network::new(g, IdAssignment::Shuffled { seed });
-        let out = luby::run(&net, seed);
+        let out = luby::run(&net, seed).unwrap();
         check(
             &MaximalIndependentSet,
             net.graph(),

@@ -5,10 +5,19 @@
 //! results [--out DIR] show <run-id>
 //! results [--out DIR] diff <run-a> <run-b> [--tol X]
 //! results [--out DIR] trend <experiment> <series>
+//! results [--out DIR] verify <run-id>
 //! ```
 //!
 //! `diff` exits nonzero when the runs differ, so it doubles as a CI gate
 //! (parallel vs `--seq` runs of the same grid must diff empty).
+//!
+//! `verify` is the independent-certifier gate: it re-derives the
+//! manifest's grid summary from `rows.jsonl`, and for scenario runs
+//! regenerates every instance from its `(family, n, seed)` coordinates
+//! and replays every algorithm — with the `lcl_certify` checkers on —
+//! comparing the recomputed rows exactly. It does NOT trust the process
+//! that wrote the run. Exit codes: 0 certified, 1 violations found,
+//! 2 cannot verify (missing run, unreadable rows).
 
 use lcl_report::{diff_rows, trend, Delta, RunStore, StoredRun};
 use std::process::ExitCode;
@@ -17,7 +26,9 @@ const USAGE: &str = "usage: results [--out DIR] <command>
   list                          all persisted runs
   show <run-id>                 manifest and rows of one run
   diff <run-a> <run-b> [--tol X]   per-row field deltas (exit 1 if any)
-  trend <experiment> <series>   measured-vs-n across an experiment's runs";
+  trend <experiment> <series>   measured-vs-n across an experiment's runs
+  verify <run-id>               independently re-derive and certify a run
+                                (exit 1 on any violation)";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +60,10 @@ fn main() -> ExitCode {
         Some("trend") => match (args.get(1), args.get(2)) {
             (Some(exp), Some(series)) => cmd_trend(&store, exp, series),
             _ => return usage_error("trend: missing <experiment> <series>"),
+        },
+        Some("verify") => match args.get(1) {
+            Some(id) => cmd_verify(&store, id),
+            None => return usage_error("verify: missing <run-id>"),
         },
         _ => return usage_error("missing command"),
     };
@@ -171,6 +186,23 @@ fn cmd_diff(store: &RunStore, a: &str, b: &str, tol: f64) -> std::io::Result<Exi
         }
     }
     println!("{} delta(s)", deltas.len());
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_verify(store: &RunStore, run_id: &str) -> std::io::Result<ExitCode> {
+    let run = load(store, run_id)?;
+    let v = lcl_scenario::verify_run(&run)?;
+    println!("run          {}/{}", run.manifest.experiment, run.manifest.run_id);
+    println!("rows         {}", v.row_count);
+    println!("replayed     {} (scenario rows re-run with independent certification)", v.replayed);
+    if v.is_clean() {
+        println!("verdict      certified");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for x in &v.violations {
+        println!("violation    {x}");
+    }
+    println!("verdict      REJECTED ({} violation(s))", v.violations.len());
     Ok(ExitCode::FAILURE)
 }
 

@@ -45,7 +45,7 @@ fn coloring_everywhere() {
 fn mis_everywhere() {
     for (name, g) in instances(false) {
         let net = Network::new(g, IdAssignment::Shuffled { seed: 4 });
-        let out = luby::run(&net, 4);
+        let out = luby::run(&net, 4).unwrap();
         let input = Labeling::uniform(net.graph(), ());
         let res = check(&MaximalIndependentSet, net.graph(), &input, &out.labeling);
         assert!(res.is_ok(), "{name}: {:?}", res.violations.first());
