@@ -10,6 +10,14 @@
 //!    leave the competition, recording the announcing port as their
 //!    dominator pointer.
 //!
+//! The protocol honors the round engine's sparse-execution contract
+//! (`lcl_local::RoundAlgorithm`): decided nodes fall silent and their
+//! `receive` is a no-op, undecided non-joiners keep themselves scheduled
+//! through a `Resolve`-round keep-alive on port 0, and isolated nodes
+//! (degree 0, hearing nothing ever) join at `init`. Activity therefore
+//! collapses onto the undecided frontier — exactly what the event-driven
+//! engine exploits in late rounds.
+//!
 //! The per-node outputs are merged into a global labeling with
 //! [`lcl_core::assemble`] — the same edge-agreement rule the paper imposes
 //! on ne-LCL outputs — and checked against `MaximalIndependentSet`.
@@ -29,8 +37,10 @@ pub enum Msg {
     Priority(u64, u64),
     /// The sender joined the independent set this phase.
     Joined,
-    /// The sender is decided and silent (keeps inboxes aligned).
-    Idle,
+    /// `Resolve`-round keep-alive from an undecided non-joiner: carries no
+    /// information, but keeps the sender scheduled on the event-driven
+    /// engine (a node that sends nothing and hears nothing is skipped).
+    Active,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -67,7 +77,9 @@ impl RoundAlgorithm for DistributedLuby {
     fn init(&self, ctx: &NodeCtx, rng: &mut ChaCha8Rng) -> State {
         State {
             phase: Phase::Exchange,
-            status: Status::Undecided,
+            // An isolated node hears nothing, ever: it joins at birth
+            // instead of through an empty-inbox exchange round.
+            status: if ctx.degree == 0 { Status::In } else { Status::Undecided },
             priority: (rng.gen(), ctx.id),
             tentative_join: false,
             dominator_port: None,
@@ -79,8 +91,15 @@ impl RoundAlgorithm for DistributedLuby {
             (Phase::Exchange, Status::Undecided) => {
                 Msg::Priority(state.priority.0, state.priority.1)
             }
-            (Phase::Resolve, _) if state.tentative_join => Msg::Joined,
-            _ => Msg::Idle,
+            (Phase::Resolve, Status::Undecided) if state.tentative_join => Msg::Joined,
+            (Phase::Resolve, Status::Undecided) => {
+                // Still competing but with nothing to announce: one
+                // keep-alive keeps this node on the active frontier (its
+                // Resolve step redraws the priority and flips the phase).
+                return vec![(0, Msg::Active)];
+            }
+            // Decided nodes are silent — they leave the frontier.
+            _ => return Vec::new(),
         };
         (0..ctx.degree).map(|p| (p, msg.clone())).collect()
     }
@@ -92,32 +111,31 @@ impl RoundAlgorithm for DistributedLuby {
         inbox: &[(usize, Msg)],
         rng: &mut ChaCha8Rng,
     ) {
+        // Decided nodes are inert (sparse-execution contract): state
+        // frozen, no RNG draw, regardless of what neighbors still send.
+        if state.status != Status::Undecided {
+            return;
+        }
         match state.phase {
             Phase::Exchange => {
-                if state.status == Status::Undecided {
-                    let mut is_min = true;
-                    for (_port, msg) in inbox {
-                        if let Msg::Priority(p, id) = msg {
-                            if (*p, *id) < state.priority {
-                                is_min = false;
-                            }
+                let mut is_min = true;
+                for (_port, msg) in inbox {
+                    if let Msg::Priority(p, id) = msg {
+                        if (*p, *id) < state.priority {
+                            is_min = false;
                         }
                     }
-                    // A node with no undecided neighbors joins outright.
-                    state.tentative_join = is_min;
-                } else {
-                    state.tentative_join = false;
                 }
+                // A node with no undecided neighbors joins outright.
+                state.tentative_join = is_min;
                 state.phase = Phase::Resolve;
             }
             Phase::Resolve => {
-                if state.status == Status::Undecided {
-                    if state.tentative_join {
-                        state.status = Status::In;
-                    } else if let Some((port, _)) = inbox.iter().find(|(_, m)| *m == Msg::Joined) {
-                        state.status = Status::Out;
-                        state.dominator_port = Some(*port);
-                    }
+                if state.tentative_join {
+                    state.status = Status::In;
+                } else if let Some((port, _)) = inbox.iter().find(|(_, m)| *m == Msg::Joined) {
+                    state.status = Status::Out;
+                    state.dominator_port = Some(*port);
                 }
                 state.tentative_join = false;
                 state.priority = (rng.gen(), state.priority.1);

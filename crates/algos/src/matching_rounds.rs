@@ -17,6 +17,15 @@
 //! giving `O(log n)` phases w.h.p. The per-node outputs are merged with
 //! [`lcl_core::assemble`] and checked against the `MaximalMatching`
 //! ne-LCL.
+//!
+//! The protocol honors the round engine's sparse-execution contract
+//! (`lcl_local::RoundAlgorithm`): a node that retires announces `Retired`
+//! exactly once (an acceptor couples it with the `Accept` that seals the
+//! match) and then falls silent with a no-op `receive`; undecided nodes
+//! keep themselves scheduled with an `Active` keep-alive on one port
+//! whenever they have no real message to send. Activity therefore
+//! collapses onto the undecided frontier — what the event-driven engine
+//! exploits in late rounds.
 
 use crate::error::AlgoError;
 use lcl_core::problems::MatchingLabel;
@@ -32,10 +41,13 @@ pub enum Msg {
     Propose(u64),
     /// The sender accepts the match over this edge.
     Accept,
-    /// The sender is matched (its edges are unavailable).
+    /// The sender retired (its edges are unavailable) — sent exactly once,
+    /// the round after the sender's decision.
     Retired,
-    /// Nothing this round.
-    Idle,
+    /// Keep-alive from an undecided node with no real message: carries no
+    /// information, but keeps the sender scheduled on the event-driven
+    /// engine (a node that sends nothing and hears nothing is skipped).
+    Active,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -55,6 +67,9 @@ pub struct State {
     acceptor: bool,
     /// The port accepted this phase (acceptor side), to be announced.
     accepted_port: Option<usize>,
+    /// True from the receive that set `done` until the following receive:
+    /// the window in which the one-shot `Retired` announcement goes out.
+    retire_pending: bool,
     available: Vec<bool>,
     priority: u64,
 }
@@ -79,6 +94,14 @@ fn draw_role(state: &mut State, degree: usize, rng: &mut ChaCha8Rng) {
     }
 }
 
+/// The port an undecided node sends its keep-alive on: the lowest port
+/// whose neighbor is still in the game, falling back to port 0 when every
+/// neighbor retired (the keep-alive then only keeps *this* node scheduled
+/// long enough for its all-gone self-retirement).
+fn keepalive_port(state: &State) -> usize {
+    state.available.iter().position(|&a| a).unwrap_or(0)
+}
+
 impl RoundAlgorithm for DistributedMatching {
     type State = State;
     type Msg = Msg;
@@ -92,6 +115,7 @@ impl RoundAlgorithm for DistributedMatching {
             proposal_port: None,
             acceptor: false,
             accepted_port: None,
+            retire_pending: false,
             available: vec![true; ctx.degree],
             priority: rng.gen(),
         };
@@ -100,33 +124,36 @@ impl RoundAlgorithm for DistributedMatching {
     }
 
     fn send(&self, state: &State, ctx: &NodeCtx) -> Vec<(usize, Msg)> {
+        if state.done {
+            // One-shot retirement announcement, then permanent silence. An
+            // acceptor that just sealed a match couples the `Accept` to its
+            // partner with the `Retired` peeling its other edges.
+            if !state.retire_pending {
+                return Vec::new();
+            }
+            return (0..ctx.degree)
+                .map(|p| {
+                    if state.accepted_port == Some(p) {
+                        (p, Msg::Accept)
+                    } else {
+                        (p, Msg::Retired)
+                    }
+                })
+                .collect();
+        }
         match state.phase {
             Phase::Propose => {
-                if state.done {
-                    return (0..ctx.degree).map(|p| (p, Msg::Retired)).collect();
+                if let Some(port) = state.proposal_port {
+                    vec![(port, Msg::Propose(state.priority))]
+                } else {
+                    // Acceptors listen this round; the keep-alive keeps
+                    // them on the frontier so their phase advances.
+                    vec![(keepalive_port(state), Msg::Active)]
                 }
-                let Some(port) = state.proposal_port else {
-                    return (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
-                };
-                (0..ctx.degree)
-                    .map(
-                        |p| {
-                            if p == port {
-                                (p, Msg::Propose(state.priority))
-                            } else {
-                                (p, Msg::Idle)
-                            }
-                        },
-                    )
-                    .collect()
             }
-            Phase::Accept => {
-                let mut out: Vec<(usize, Msg)> = (0..ctx.degree).map(|p| (p, Msg::Idle)).collect();
-                if let Some(p) = state.accepted_port {
-                    out[p] = (p, Msg::Accept);
-                }
-                out
-            }
+            // Accepting itself retires a node (handled above); every node
+            // still undecided here just keeps itself scheduled.
+            Phase::Accept => vec![(keepalive_port(state), Msg::Active)],
         }
     }
 
@@ -137,6 +164,14 @@ impl RoundAlgorithm for DistributedMatching {
         inbox: &[(usize, Msg)],
         rng: &mut ChaCha8Rng,
     ) {
+        if state.done {
+            // First call after the decision lands in the announcement
+            // round and spends the flag; afterwards this is a no-op, as
+            // the sparse-execution contract requires (state frozen, no
+            // RNG draw), whatever stragglers still send here.
+            state.retire_pending = false;
+            return;
+        }
         match state.phase {
             Phase::Propose => {
                 // Acceptors pick the best incoming proposal; everyone
@@ -146,9 +181,7 @@ impl RoundAlgorithm for DistributedMatching {
                     match msg {
                         Msg::Retired => state.available[*port] = false,
                         Msg::Propose(pr)
-                            if state.acceptor
-                                && !state.done
-                                && best.is_none_or(|(b, _)| (*pr) < b) =>
+                            if state.acceptor && best.is_none_or(|(b, _)| (*pr) < b) =>
                         {
                             best = Some((*pr, *port));
                         }
@@ -159,6 +192,7 @@ impl RoundAlgorithm for DistributedMatching {
                     state.matched_port = Some(port);
                     state.accepted_port = Some(port);
                     state.done = true;
+                    state.retire_pending = true;
                 }
                 state.phase = Phase::Accept;
             }
@@ -171,6 +205,7 @@ impl RoundAlgorithm for DistributedMatching {
                             if state.proposal_port == Some(*port) && state.matched_port.is_none() => {
                                 state.matched_port = Some(*port);
                                 state.done = true;
+                                state.retire_pending = true;
                             }
                         Msg::Retired => state.available[*port] = false,
                         _ => {}
@@ -179,10 +214,12 @@ impl RoundAlgorithm for DistributedMatching {
                 // If every neighbor is gone, retire unmatched.
                 if !state.done && state.available.iter().all(|&a| !a) {
                     state.done = true;
+                    state.retire_pending = true;
                 }
-                state.accepted_port = None;
-                state.priority = rng.gen();
-                draw_role(state, ctx.degree, rng);
+                if !state.done {
+                    state.priority = rng.gen();
+                    draw_role(state, ctx.degree, rng);
+                }
                 state.phase = Phase::Propose;
             }
         }

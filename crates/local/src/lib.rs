@@ -19,7 +19,11 @@
 //!   complexity** is the maximum (this is the number the experiments plot);
 //! * the **round engine** ([`run_rounds`], [`RoundAlgorithm`]): explicit
 //!   synchronous message passing, for algorithms whose natural unit is the
-//!   round (the randomized propose/retry algorithms).
+//!   round (the randomized propose/retry algorithms). The default engine is
+//!   **event-driven**: only nodes whose closed neighborhood was active last
+//!   round are re-executed; the dense oracle ([`run_rounds_dense`]) executes
+//!   every node every round and is bit-identical for algorithms honoring the
+//!   [sparse-execution contract](RoundAlgorithm#sparse-execution-contract).
 //!
 //! Randomness is reproducible: every node draws from its own
 //! counter-mode RNG stream derived from `(run seed, node index)`.
@@ -48,7 +52,10 @@ mod views;
 
 pub use exec::{NodeExecutor, Sequential};
 pub use network::{IdAssignment, Network};
-pub use rounds::{run_rounds, run_rounds_with, NodeCtx, RoundAlgorithm, RoundOutcome};
+pub use rounds::{
+    run_rounds, run_rounds_dense, run_rounds_dense_with, run_rounds_with, NodeCtx, RoundAlgorithm,
+    RoundOutcome,
+};
 pub use trace::{LocalityTrace, RoundTrace};
 pub use views::{
     rand_word, run_views, run_views_capped, run_views_capped_with, run_views_with, Decision, View,

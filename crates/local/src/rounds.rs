@@ -1,4 +1,25 @@
 //! The round engine: explicit synchronous message passing.
+//!
+//! Two semantically identical engines live here:
+//!
+//! * the **event-driven sparse engine** ([`run_rounds`],
+//!   [`run_rounds_with`]) — the default. A node is re-executed in round
+//!   `r` only if it deposited a message in round `r − 1` or a message was
+//!   deposited *to* it in round `r − 1` (the **active frontier**, tracked
+//!   with the same stamp-per-node membership idiom as the routing arena).
+//!   On workloads whose activity collapses to a thin frontier — late Luby
+//!   rounds, sinkless orientation after orientations settle — per-round
+//!   cost drops from `O(n + m)` to `O(frontier)`.
+//! * the **dense oracle** ([`run_rounds_dense`],
+//!   [`run_rounds_dense_with`]) — every node executes every round. It is
+//!   the correctness reference: for any algorithm honoring the
+//!   [sparse-execution contract](RoundAlgorithm#sparse-execution-contract)
+//!   the two engines are **bit-identical** (outputs and
+//!   [`RoundTrace`]), which the equivalence proptests and the CI
+//!   determinism legs enforce. Setting the `LCL_DENSE_ROUNDS` environment
+//!   variable (to anything but `0` or empty) forces the dense engine
+//!   behind the [`run_rounds`]/[`run_rounds_with`] entry points — the
+//!   escape hatch CI uses to byte-compare persisted runs across engines.
 
 use crate::exec::NodeExecutor;
 use crate::network::Network;
@@ -31,8 +52,34 @@ pub struct NodeCtx {
 /// A node that returns an output from [`RoundAlgorithm::output`] is
 /// finished; the engine stops when all nodes are finished or the round cap
 /// is hit. Finished nodes keep participating in message exchange (their
-/// `send` is still called) — in the LOCAL model producing an output does not
-/// silence a node.
+/// `send` is still called while they stay in the frontier) — in the LOCAL
+/// model producing an output does not silence a node, but a node that wants
+/// to leave the frontier simply stops sending.
+///
+/// # Sparse execution contract
+///
+/// The default engine ([`run_rounds`]) is event-driven: a node whose
+/// closed in-neighborhood went silent is not executed at all. For that to
+/// be indistinguishable from the dense oracle ([`run_rounds_dense`]),
+/// implementations must satisfy three properties:
+///
+/// 1. **`send` is a pure function of `(state, ctx)`** — the signature
+///    already enforces this (no RNG, no `&mut`): a node whose state did
+///    not change resends exactly what it sent last round, or stays silent.
+/// 2. **Silent and deaf ⇒ inert.** In any round where a node sent no
+///    messages *and* received none, its `receive` (which the dense engine
+///    still calls, with an empty inbox) must leave the state untouched and
+///    must not draw from the RNG. A node that needs to make progress while
+///    hearing nothing must keep itself scheduled by sending a message
+///    (e.g. a keep-alive on one port); a node that is done must stop
+///    sending.
+/// 3. **`output` is a pure, stable function of state**: after returning
+///    `Some`, later calls return the same value. The engines exploit this
+///    by polling a node's output only when it was re-executed.
+///
+/// Both shipped protocols (`luby_rounds`, `matching_rounds`) follow the
+/// contract; the dense engine remains available as the oracle for
+/// algorithms that cannot.
 pub trait RoundAlgorithm {
     /// Per-node mutable state.
     type State;
@@ -72,6 +119,10 @@ pub struct RoundOutcome<O> {
     pub outputs: Vec<Option<O>>,
     /// Round accounting.
     pub trace: RoundTrace,
+    /// `(index, LOCAL id)` of every node still undecided when the engine
+    /// stopped, in index order. Empty whenever [`RoundTrace::completed`];
+    /// kept so failures can be attributed to a concrete node.
+    pub undecided: Vec<(usize, u64)>,
 }
 
 impl<O> RoundOutcome<O> {
@@ -79,17 +130,83 @@ impl<O> RoundOutcome<O> {
     ///
     /// # Panics
     ///
-    /// Panics if some node never decided (run hit the round cap).
+    /// Panics if some node never decided (run hit the round cap), naming
+    /// the first undecided node (LOCAL id and index) and the number of
+    /// rounds executed.
     #[must_use]
     pub fn into_outputs(self) -> Vec<O> {
+        if let Some(&(index, id)) = self.undecided.first() {
+            panic!(
+                "{k} of {n} nodes undecided when the round engine stopped after {rounds} rounds \
+                 (round cap hit): first undecided node has id {id} at index {index}",
+                k = self.undecided.len(),
+                n = self.outputs.len(),
+                rounds = self.trace.rounds,
+            );
+        }
         self.outputs
             .into_iter()
-            .map(|o| o.expect("node did not decide before the round cap"))
+            .map(|o| o.expect("empty undecided list implies every output is present"))
             .collect()
     }
 }
 
-/// Runs a round algorithm for at most `max_rounds` rounds.
+/// True when `LCL_DENSE_ROUNDS` forces the dense oracle behind the default
+/// entry points (read once per process).
+fn dense_override() -> bool {
+    static DENSE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DENSE.get_or_init(|| {
+        std::env::var_os("LCL_DENSE_ROUNDS").is_some_and(|v| !v.is_empty() && v != *"0")
+    })
+}
+
+/// Per-node contexts for a run (ids, degrees, announced quantities).
+fn node_ctxs(net: &Network) -> Vec<NodeCtx> {
+    let g = net.graph();
+    g.nodes()
+        .map(|v| NodeCtx {
+            id: net.id_of(v),
+            degree: g.degree(v),
+            known_n: net.known_n(),
+            max_degree: net.max_degree(),
+        })
+        .collect()
+}
+
+/// Per-node counter-mode RNG streams seeded from `(seed, id(v))`.
+fn node_rngs(net: &Network, seed: u64) -> Vec<ChaCha8Rng> {
+    net.graph()
+        .nodes()
+        .map(|v| ChaCha8Rng::seed_from_u64(rand_word(seed, net.id_of(v), 0x0C0D_E5EED)))
+        .collect()
+}
+
+/// Packs per-node outputs and round accounting into a [`RoundOutcome`],
+/// recording `(index, id)` for every undecided node.
+fn finish_outcome<O>(
+    outputs: Vec<Option<O>>,
+    ctxs: &[NodeCtx],
+    rounds: u32,
+    completed: bool,
+) -> RoundOutcome<O> {
+    let undecided = outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| if o.is_none() { Some((i, ctxs[i].id)) } else { None })
+        .collect();
+    RoundOutcome { outputs, trace: RoundTrace { rounds, completed }, undecided }
+}
+
+/// Runs a round algorithm for at most `max_rounds` rounds on the
+/// event-driven sparse engine.
+///
+/// A node is executed in a round only if it or a neighbor deposited a
+/// message last round (see the
+/// [sparse-execution contract](RoundAlgorithm#sparse-execution-contract));
+/// when the frontier goes quiescent with undecided nodes left, no state
+/// can ever change again, so the engine fast-forwards straight to the
+/// round cap — with accounting identical to the dense oracle spinning
+/// there.
 ///
 /// Determinism: node `v`'s RNG stream is seeded from `(seed, id(v))`, so a
 /// run is reproducible and independent of node iteration order.
@@ -99,59 +216,80 @@ pub fn run_rounds<A: RoundAlgorithm>(
     seed: u64,
     max_rounds: u32,
 ) -> RoundOutcome<A::Output> {
+    if dense_override() {
+        return run_rounds_dense(net, alg, seed, max_rounds);
+    }
     let g = net.graph();
     let n = g.node_count();
-    let ctxs: Vec<NodeCtx> = g
-        .nodes()
-        .map(|v| NodeCtx {
-            id: net.id_of(v),
-            degree: g.degree(v),
-            known_n: net.known_n(),
-            max_degree: net.max_degree(),
-        })
-        .collect();
-    let mut rngs: Vec<ChaCha8Rng> = g
-        .nodes()
-        .map(|v| ChaCha8Rng::seed_from_u64(rand_word(seed, net.id_of(v), 0x0C0D_E5EED)))
-        .collect();
+    let ctxs = node_ctxs(net);
+    let mut rngs = node_rngs(net, seed);
     let mut states: Vec<A::State> = (0..n).map(|i| alg.init(&ctxs[i], &mut rngs[i])).collect();
-    let decided =
-        |states: &[A::State]| states.iter().zip(&ctxs).all(|(s, c)| alg.output(s, c).is_some());
+    let mut outputs: Vec<Option<A::Output>> =
+        (0..n).map(|i| alg.output(&states[i], &ctxs[i])).collect();
+    let mut undecided = outputs.iter().filter(|o| o.is_none()).count();
 
     let mut arena = RouteArena::new(g);
+    // Round 1 executes everyone (the dense engine calls every node's
+    // `send`); from then on the frontier is senders ∪ receivers.
+    let mut cur = ActiveSet::with_all(n);
+    let mut next = ActiveSet::with_none(n);
     let mut rounds = 0;
-    let mut completed = decided(&states);
+    let mut completed = undecided == 0;
     while !completed && rounds < max_rounds {
-        // Sequential engine: each node's sends are deposited straight into
-        // the routing arena — no per-round outbox materialization at all.
         arena.begin_round();
-        for i in 0..n {
-            for (port, msg) in alg.send(&states[i], &ctxs[i]) {
-                arena.deposit(g, NodeId(i as u32), port, msg);
+        next.begin();
+        // Send phase: deposits go straight into the routing arena — no
+        // outbox materialization. A node that deposited re-schedules
+        // itself; the arena records the receivers.
+        for &vi in cur.nodes() {
+            let i = vi as usize;
+            let msgs = alg.send(&states[i], &ctxs[i]);
+            if !msgs.is_empty() {
+                next.insert(vi);
+            }
+            for (port, msg) in msgs {
+                arena.deposit(g, NodeId(vi), port, msg);
             }
         }
-        arena.compact(g);
-        for v in g.nodes() {
-            alg.receive(
-                &mut states[v.index()],
-                &ctxs[v.index()],
-                arena.inbox(v),
-                &mut rngs[v.index()],
-            );
+        arena.compact_receivers(g);
+        for &w in arena.receivers() {
+            next.insert(w);
+        }
+        // Receive phase: exactly the senders and receivers of this round —
+        // every other node's dense `receive` is inert by contract.
+        for &vi in next.nodes() {
+            let i = vi as usize;
+            alg.receive(&mut states[i], &ctxs[i], arena.inbox(NodeId(vi)), &mut rngs[i]);
+        }
+        // Incremental decided check: only re-executed nodes are re-polled.
+        for &vi in next.nodes() {
+            let i = vi as usize;
+            if outputs[i].is_none() {
+                outputs[i] = alg.output(&states[i], &ctxs[i]);
+                if outputs[i].is_some() {
+                    undecided -= 1;
+                }
+            }
         }
         rounds += 1;
-        completed = decided(&states);
+        completed = undecided == 0;
+        std::mem::swap(&mut cur, &mut next);
+        if !completed && cur.nodes().is_empty() {
+            // Quiescent but undecided: no node will ever run again, so the
+            // dense engine would spin unchanged until the cap.
+            rounds = max_rounds;
+        }
     }
 
-    let outputs = states.iter().zip(&ctxs).map(|(s, c)| alg.output(s, c)).collect();
-    RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
+    finish_outcome(outputs, &ctxs, rounds, completed)
 }
 
 /// [`run_rounds`] with a pluggable [`NodeExecutor`].
 ///
-/// The `send`, `receive`, and decided-check steps of every round fan out
-/// across the executor; message routing stays sequential (it is a cheap
-/// permutation, and keeping it ordered guarantees inboxes identical to the
+/// The `send` and `receive` steps of every round fan out across the
+/// executor **over the active frontier only**; message routing stays
+/// sequential (it is a cheap permutation, and keeping it ordered
+/// guarantees inboxes — and the frontier itself — identical to the
 /// sequential engine). Node RNG streams are per-node, so outcomes are
 /// bit-identical to [`run_rounds`] under **any** executor.
 pub fn run_rounds_with<A, X>(
@@ -168,17 +306,173 @@ where
     A::Output: Clone + Send,
     X: NodeExecutor,
 {
+    if dense_override() {
+        return run_rounds_dense_with(net, alg, seed, max_rounds, exec);
+    }
     let g = net.graph();
     let n = g.node_count();
-    let ctxs: Vec<NodeCtx> = g
-        .nodes()
-        .map(|v| NodeCtx {
-            id: net.id_of(v),
-            degree: g.degree(v),
-            known_n: net.known_n(),
-            max_degree: net.max_degree(),
-        })
-        .collect();
+    let ctxs = node_ctxs(net);
+    // Per-node state and RNG live side by side so one executor pass can
+    // mutate both; the `Option` lets the receive phase move the active
+    // cells into a compact scratch block the executor can chunk.
+    let mut cells: Vec<Option<(A::State, ChaCha8Rng)>> = exec.map_nodes(n, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(rand_word(seed, ctxs[i].id, 0x0C0D_E5EED));
+        let state = alg.init(&ctxs[i], &mut rng);
+        Some((state, rng))
+    });
+    let mut outputs: Vec<Option<A::Output>> = exec
+        .map_nodes(n, |i| alg.output(&cells[i].as_ref().expect("cell is resident").0, &ctxs[i]));
+    let mut undecided = outputs.iter().filter(|o| o.is_none()).count();
+
+    // The outbox container and the scratch block are engine-owned and
+    // reused across rounds; slot `k` of either belongs to the `k`-th
+    // frontier node of the current round.
+    let mut outboxes: Vec<Vec<(usize, A::Msg)>> = Vec::new();
+    outboxes.resize_with(n, Vec::new);
+    let mut scratch: Vec<(A::State, ChaCha8Rng)> = Vec::with_capacity(n);
+    let mut arena = RouteArena::new(g);
+    let mut cur = ActiveSet::with_all(n);
+    let mut next = ActiveSet::with_none(n);
+    let mut rounds = 0;
+    let mut completed = undecided == 0;
+    while !completed && rounds < max_rounds {
+        let active_len = cur.nodes().len();
+        {
+            let active = cur.nodes();
+            let cells_ref = &cells;
+            exec.update_nodes(&mut outboxes[..active_len], |k, outbox| {
+                let i = active[k] as usize;
+                let (state, _) = cells_ref[i].as_ref().expect("cell is resident");
+                *outbox = alg.send(state, &ctxs[i]);
+            });
+        }
+        arena.begin_round();
+        next.begin();
+        for (k, outbox) in outboxes.iter_mut().enumerate().take(active_len) {
+            let vi = cur.nodes()[k];
+            if !outbox.is_empty() {
+                next.insert(vi);
+            }
+            for (port, msg) in outbox.drain(..) {
+                arena.deposit(g, NodeId(vi), port, msg);
+            }
+        }
+        arena.compact_receivers(g);
+        for &w in arena.receivers() {
+            next.insert(w);
+        }
+        scratch.clear();
+        for &vi in next.nodes() {
+            scratch.push(cells[vi as usize].take().expect("cell is resident"));
+        }
+        {
+            let active = next.nodes();
+            let arena_ref = &arena;
+            exec.update_nodes(&mut scratch, |k, (state, rng)| {
+                let vi = active[k];
+                alg.receive(state, &ctxs[vi as usize], arena_ref.inbox(NodeId(vi)), rng);
+            });
+        }
+        for (k, cell) in scratch.drain(..).enumerate() {
+            cells[next.nodes()[k] as usize] = Some(cell);
+        }
+        for &vi in next.nodes() {
+            let i = vi as usize;
+            if outputs[i].is_none() {
+                outputs[i] = alg.output(&cells[i].as_ref().expect("cell is resident").0, &ctxs[i]);
+                if outputs[i].is_some() {
+                    undecided -= 1;
+                }
+            }
+        }
+        rounds += 1;
+        completed = undecided == 0;
+        std::mem::swap(&mut cur, &mut next);
+        if !completed && cur.nodes().is_empty() {
+            rounds = max_rounds;
+        }
+    }
+
+    finish_outcome(outputs, &ctxs, rounds, completed)
+}
+
+/// The dense oracle: every node executes every round, sequentially.
+///
+/// Semantically identical to [`run_rounds`] for contract-honoring
+/// algorithms (enforced by proptests and CI); kept as the correctness
+/// reference and for algorithms that rely on being called while idle.
+pub fn run_rounds_dense<A: RoundAlgorithm>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+) -> RoundOutcome<A::Output> {
+    let g = net.graph();
+    let n = g.node_count();
+    let ctxs = node_ctxs(net);
+    let mut rngs = node_rngs(net, seed);
+    let mut states: Vec<A::State> = (0..n).map(|i| alg.init(&ctxs[i], &mut rngs[i])).collect();
+    // The decided check is incremental: a node is re-polled only while
+    // undecided, the final outputs are exactly the accumulated polls (no
+    // second `output` pass, no per-round scratch allocation).
+    let mut outputs: Vec<Option<A::Output>> =
+        (0..n).map(|i| alg.output(&states[i], &ctxs[i])).collect();
+    let mut undecided = outputs.iter().filter(|o| o.is_none()).count();
+
+    let mut arena = RouteArena::new(g);
+    let mut rounds = 0;
+    let mut completed = undecided == 0;
+    while !completed && rounds < max_rounds {
+        arena.begin_round();
+        for i in 0..n {
+            for (port, msg) in alg.send(&states[i], &ctxs[i]) {
+                arena.deposit(g, NodeId(i as u32), port, msg);
+            }
+        }
+        arena.compact_all(g);
+        for v in g.nodes() {
+            alg.receive(
+                &mut states[v.index()],
+                &ctxs[v.index()],
+                arena.inbox(v),
+                &mut rngs[v.index()],
+            );
+        }
+        for i in 0..n {
+            if outputs[i].is_none() {
+                outputs[i] = alg.output(&states[i], &ctxs[i]);
+                if outputs[i].is_some() {
+                    undecided -= 1;
+                }
+            }
+        }
+        rounds += 1;
+        completed = undecided == 0;
+    }
+
+    finish_outcome(outputs, &ctxs, rounds, completed)
+}
+
+/// [`run_rounds_dense`] with a pluggable [`NodeExecutor`] — the dense
+/// oracle counterpart of [`run_rounds_with`], bit-identical to
+/// [`run_rounds_dense`] under **any** executor.
+pub fn run_rounds_dense_with<A, X>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+    exec: &X,
+) -> RoundOutcome<A::Output>
+where
+    A: RoundAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: Clone + Send,
+    X: NodeExecutor,
+{
+    let g = net.graph();
+    let n = g.node_count();
+    let ctxs = node_ctxs(net);
     // Per-node state and RNG live side by side so one executor pass can
     // mutate both.
     let mut cells: Vec<(A::State, ChaCha8Rng)> = exec.map_nodes(n, |i| {
@@ -186,10 +480,11 @@ where
         let state = alg.init(&ctxs[i], &mut rng);
         (state, rng)
     });
-
-    let decided = |cells: &[(A::State, ChaCha8Rng)]| {
-        exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]).is_some()).into_iter().all(|d| d)
-    };
+    // The decided check reuses one `Option<Output>` buffer for the whole
+    // run (no per-round allocation), polling a node only while undecided;
+    // the buffer doubles as the final outputs.
+    let mut outputs: Vec<Option<A::Output>> =
+        exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]));
 
     // The outbox container and the routing arena are engine-owned and
     // reused across rounds. The per-node inner vectors are still fresh
@@ -199,7 +494,7 @@ where
     outboxes.resize_with(n, Vec::new);
     let mut arena = RouteArena::new(g);
     let mut rounds = 0;
-    let mut completed = decided(&cells);
+    let mut completed = outputs.iter().all(Option::is_some);
     while !completed && rounds < max_rounds {
         exec.update_nodes(&mut outboxes, |i, outbox| {
             *outbox = alg.send(&cells[i].0, &ctxs[i]);
@@ -210,17 +505,67 @@ where
                 arena.deposit(g, NodeId(i as u32), port, msg);
             }
         }
-        arena.compact(g);
+        arena.compact_all(g);
         let arena_ref = &arena;
         exec.update_nodes(&mut cells, |i, (state, rng)| {
             alg.receive(state, &ctxs[i], arena_ref.inbox(NodeId(i as u32)), rng);
         });
+        {
+            let cells_ref = &cells;
+            exec.update_nodes(&mut outputs, |i, slot| {
+                if slot.is_none() {
+                    *slot = alg.output(&cells_ref[i].0, &ctxs[i]);
+                }
+            });
+        }
         rounds += 1;
-        completed = decided(&cells);
+        completed = outputs.iter().all(Option::is_some);
     }
 
-    let outputs = exec.map_nodes(n, |i| alg.output(&cells[i].0, &ctxs[i]));
-    RoundOutcome { outputs, trace: RoundTrace { rounds, completed } }
+    finish_outcome(outputs, &ctxs, rounds, completed)
+}
+
+/// A dense stamped membership set over node indices: `O(1)` insert and
+/// membership, `O(active)` iteration and reset — the [`RouteArena`]
+/// stamping idiom applied to frontier tracking. Insertion order is
+/// preserved, so iteration is deterministic.
+struct ActiveSet {
+    /// Per node: member iff equal to `epoch`.
+    stamps: Vec<u64>,
+    epoch: u64,
+    /// Members, in insertion order.
+    list: Vec<u32>,
+}
+
+impl ActiveSet {
+    /// A set containing every node (the round-1 frontier).
+    fn with_all(n: usize) -> ActiveSet {
+        ActiveSet { stamps: vec![1; n], epoch: 1, list: (0..n as u32).collect() }
+    }
+
+    /// An empty set.
+    fn with_none(n: usize) -> ActiveSet {
+        ActiveSet { stamps: vec![0; n], epoch: 0, list: Vec::new() }
+    }
+
+    /// Clears the set in `O(1)` (stale stamps simply no longer match).
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.list.clear();
+    }
+
+    fn insert(&mut self, v: u32) {
+        let slot = &mut self.stamps[v as usize];
+        if *slot != self.epoch {
+            *slot = self.epoch;
+            self.list.push(v);
+        }
+    }
+
+    /// Members in insertion order.
+    fn nodes(&self) -> &[u32] {
+        &self.list
+    }
 }
 
 /// Reusable `O(n + m)` message-routing scratch for the round engines.
@@ -234,11 +579,17 @@ where
 /// slot indexed by `h.opposite()` ([`lcl_graph::HalfEdge::index`] is
 /// dense), stamped
 /// with the round number so slots invalidate in `O(1)`. A compaction pass
-/// then walks every node's CSR port table once, in order, concatenating
+/// then walks the receiving nodes' CSR port tables in order, concatenating
 /// the occupied slots into one flat inbox array — which both sorts each
 /// inbox by receiving port (matching the old router's contract exactly)
 /// and yields per-node slices without any per-node allocation. All buffers
 /// are allocated once per run and reused across rounds.
+///
+/// For the sparse engine, `deposit` additionally records the set of
+/// receiving nodes (stamped, first-deposit order), so compaction touches
+/// only `O(messages)` ports ([`RouteArena::compact_receivers`]) and the
+/// engine can fold the receivers into the next frontier. The dense engines
+/// compact every node ([`RouteArena::compact_all`]).
 struct RouteArena<M> {
     /// Per receiving half-edge: the message in flight this round.
     slots: Vec<Option<M>>,
@@ -247,10 +598,17 @@ struct RouteArena<M> {
     stamps: Vec<u64>,
     /// Current round stamp (starts at 1 so zeroed stamps read as stale).
     round: u64,
-    /// Flat inbox storage: node `v`'s inbox is
-    /// `inbox[inbox_starts[v] .. inbox_starts[v + 1]]`, sorted by port.
+    /// Flat inbox storage, segmented by `inbox_ranges`.
     inbox: Vec<(usize, M)>,
-    inbox_starts: Vec<usize>,
+    /// Per node: this round's inbox segment, valid iff the node's
+    /// `recv_stamps` entry equals `round`.
+    inbox_ranges: Vec<(usize, usize)>,
+    /// Per node: stamp of the last round it received a message (or was
+    /// compacted by the dense pass).
+    recv_stamps: Vec<u64>,
+    /// Nodes that received at least one message this round, in
+    /// first-deposit order.
+    receivers: Vec<u32>,
 }
 
 impl<M> RouteArena<M> {
@@ -262,17 +620,22 @@ impl<M> RouteArena<M> {
             stamps: vec![0; 2 * g.edge_count()],
             round: 0,
             inbox: Vec::new(),
-            inbox_starts: vec![0; g.node_count() + 1],
+            inbox_ranges: vec![(0, 0); g.node_count()],
+            recv_stamps: vec![0; g.node_count()],
+            receivers: Vec::new(),
         }
     }
 
-    /// Invalidates all slots (`O(1)`) and clears the flat inboxes.
+    /// Invalidates all slots (`O(1)`) and clears the flat inboxes and the
+    /// receiver set.
     fn begin_round(&mut self) {
         self.round += 1;
         self.inbox.clear();
+        self.receivers.clear();
     }
 
-    /// Routes one message sent on `port` of `v` into its receiving slot.
+    /// Routes one message sent on `port` of `v` into its receiving slot,
+    /// recording the receiving node.
     ///
     /// # Panics
     ///
@@ -301,13 +664,27 @@ impl<M> RouteArena<M> {
         );
         self.stamps[slot] = self.round;
         self.slots[slot] = Some(msg);
+        let w = g.half_edge_peer(h);
+        if self.recv_stamps[w.index()] != self.round {
+            self.recv_stamps[w.index()] = self.round;
+            self.receivers.push(w.0);
+        }
+    }
+
+    /// Nodes that received at least one message this round, in
+    /// first-deposit order (valid after [`RouteArena::compact_receivers`]
+    /// or any time after the deposits).
+    fn receivers(&self) -> &[u32] {
+        &self.receivers
     }
 
     /// Gathers this round's live slots into the flat per-node inboxes, in
-    /// port order. One pass over the CSR port tables: `O(n + m)`.
-    fn compact(&mut self, g: &lcl_graph::Graph) {
-        for v in g.nodes() {
-            self.inbox_starts[v.index()] = self.inbox.len();
+    /// port order, touching **only the receiving nodes**: `O(messages +
+    /// Σ deg(receivers))`.
+    fn compact_receivers(&mut self, g: &lcl_graph::Graph) {
+        for k in 0..self.receivers.len() {
+            let v = NodeId(self.receivers[k]);
+            let start = self.inbox.len();
             for (p, &h) in g.ports(v).iter().enumerate() {
                 let slot = h.index();
                 if self.stamps[slot] == self.round {
@@ -315,14 +692,37 @@ impl<M> RouteArena<M> {
                     self.inbox.push((p, msg));
                 }
             }
+            self.inbox_ranges[v.index()] = (start, self.inbox.len());
         }
-        self.inbox_starts[g.node_count()] = self.inbox.len();
+    }
+
+    /// Gathers this round's live slots into the flat per-node inboxes, in
+    /// port order, for **every** node (the dense engines): one pass over
+    /// the CSR port tables, `O(n + m)`.
+    fn compact_all(&mut self, g: &lcl_graph::Graph) {
+        for v in g.nodes() {
+            let start = self.inbox.len();
+            for (p, &h) in g.ports(v).iter().enumerate() {
+                let slot = h.index();
+                if self.stamps[slot] == self.round {
+                    let msg = self.slots[slot].take().expect("stamped slot holds a message");
+                    self.inbox.push((p, msg));
+                }
+            }
+            self.inbox_ranges[v.index()] = (start, self.inbox.len());
+            self.recv_stamps[v.index()] = self.round;
+        }
     }
 
     /// The inbox of `v` for the compacted round: `(receiving port,
-    /// message)` pairs sorted by port.
+    /// message)` pairs sorted by port. Empty for nodes that received
+    /// nothing.
     fn inbox(&self, v: NodeId) -> &[(usize, M)] {
-        &self.inbox[self.inbox_starts[v.index()]..self.inbox_starts[v.index() + 1]]
+        if self.recv_stamps[v.index()] != self.round {
+            return &[];
+        }
+        let (start, end) = self.inbox_ranges[v.index()];
+        &self.inbox[start..end]
     }
 }
 
@@ -335,6 +735,9 @@ mod tests {
     /// Flood the maximum id: each round every node broadcasts the largest id
     /// it has seen; a node decides once its value has been stable for one
     /// round. On a path of n nodes this takes Θ(n) rounds.
+    ///
+    /// Sparse-contract conformant: every degree-≥1 node broadcasts every
+    /// round (so it is never skipped), and degree-0 nodes decide at birth.
     struct FloodMax;
 
     struct FloodState {
@@ -373,8 +776,9 @@ mod tests {
 
         fn output(&self, state: &FloodState, ctx: &NodeCtx) -> Option<u64> {
             // Decide after the value has been stable for known_n rounds —
-            // a crude but correct termination rule for tests.
-            (state.stable_for >= ctx.known_n as u32).then_some(state.best)
+            // a crude but correct termination rule for tests. An isolated
+            // node hears nothing, ever: it decides at birth.
+            (ctx.degree == 0 || state.stable_for >= ctx.known_n as u32).then_some(state.best)
         }
     }
 
@@ -383,6 +787,7 @@ mod tests {
         let net = Network::new(gen::path(6), IdAssignment::Shuffled { seed: 1 });
         let out = run_rounds(&net, &FloodMax, 0, 100);
         assert!(out.trace.completed);
+        assert!(out.undecided.is_empty());
         let vals = out.into_outputs();
         assert!(vals.iter().all(|&v| v == 6));
     }
@@ -394,6 +799,60 @@ mod tests {
         assert!(!out.trace.completed);
         assert_eq!(out.trace.rounds, 2);
         assert!(out.outputs.iter().any(Option::is_none));
+        assert_eq!(out.undecided.len(), out.outputs.iter().filter(|o| o.is_none()).count());
+    }
+
+    #[test]
+    #[should_panic(expected = "6 of 6 nodes undecided when the round engine stopped after 2 \
+                               rounds (round cap hit): first undecided node has id 1 at index 0")]
+    fn into_outputs_names_the_first_undecided_node() {
+        let net = Network::new(gen::path(6), IdAssignment::Sequential);
+        let _ = run_rounds(&net, &FloodMax, 0, 2).into_outputs();
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_flood() {
+        for g in [gen::path(9), gen::cycle(12), gen::random_tree(20, 3)] {
+            let net = Network::new(g, IdAssignment::Shuffled { seed: 5 });
+            let sparse = run_rounds(&net, &FloodMax, 3, 200);
+            let dense = run_rounds_dense(&net, &FloodMax, 3, 200);
+            assert_eq!(sparse.outputs, dense.outputs);
+            assert_eq!(sparse.trace, dense.trace);
+            assert_eq!(sparse.undecided, dense.undecided);
+        }
+    }
+
+    /// A protocol that goes quiescent without deciding: nobody ever sends,
+    /// nobody ever decides. The sparse engine must fast-forward to the
+    /// round cap with accounting identical to the dense oracle spinning
+    /// there.
+    struct Mute;
+
+    impl RoundAlgorithm for Mute {
+        type State = ();
+        type Msg = ();
+        type Output = u64;
+
+        fn init(&self, _ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> Self::State {}
+        fn send(&self, _s: &Self::State, _c: &NodeCtx) -> Vec<(usize, ())> {
+            Vec::new()
+        }
+        fn receive(&self, _s: &mut (), _c: &NodeCtx, _i: &[(usize, ())], _r: &mut ChaCha8Rng) {}
+        fn output(&self, _s: &(), _c: &NodeCtx) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn quiescent_frontier_fast_forwards_to_the_cap() {
+        let net = Network::new(gen::cycle(8), IdAssignment::Sequential);
+        let sparse = run_rounds(&net, &Mute, 0, 5000);
+        let dense = run_rounds_dense(&net, &Mute, 0, 5000);
+        assert_eq!(sparse.trace, dense.trace);
+        assert_eq!(sparse.trace.rounds, 5000);
+        assert!(!sparse.trace.completed);
+        assert_eq!(sparse.outputs, dense.outputs);
+        assert_eq!(sparse.undecided.len(), 8);
     }
 
     /// Message routing sanity: every node sends its id on every port and
@@ -425,7 +884,10 @@ mod tests {
             }
         }
 
-        fn output(&self, state: &Self::State, _ctx: &NodeCtx) -> Option<Vec<u64>> {
+        fn output(&self, state: &Self::State, ctx: &NodeCtx) -> Option<Vec<u64>> {
+            if ctx.degree == 0 {
+                return Some(Vec::new());
+            }
             state.clone()
         }
     }
