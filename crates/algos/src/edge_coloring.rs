@@ -84,7 +84,7 @@ pub fn try_run(net: &Network) -> Result<EdgeColoringOutcome, AlgoError> {
     // below are idempotent over duplicates, so no dedup pass is needed.
     let line_neighbors = |e: usize| {
         let [a, b] = g.endpoints(lcl_graph::EdgeId(e as u32));
-        g.ports(a).iter().chain(g.ports(b)).map(|h| h.edge.index()).filter(move |&x| x != e)
+        g.ports(a).iter().chain(g.ports(b)).map(|h| h.edge().index()).filter(move |&x| x != e)
     };
 
     // Linial reduction steps (same structure as node coloring).

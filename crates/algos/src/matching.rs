@@ -56,8 +56,8 @@ pub fn run(net: &Network, seed: u64) -> MatchingOutcome {
                 .ports(a)
                 .iter()
                 .chain(g.ports(b))
-                .filter(|h| h.edge != e && state[h.edge.index()] == St::Undecided)
-                .all(|h| mine < (priority[h.edge.index()], h.edge.0));
+                .filter(|h| h.edge() != e && state[h.edge().index()] == St::Undecided)
+                .all(|h| mine < (priority[h.edge().index()], h.edge().0));
             if is_min {
                 joins.push(e);
             }
@@ -68,8 +68,8 @@ pub fn run(net: &Network, seed: u64) -> MatchingOutcome {
             matched_node[a.index()] = true;
             matched_node[b.index()] = true;
             for h in g.ports(a).iter().chain(g.ports(b)) {
-                if state[h.edge.index()] == St::Undecided {
-                    state[h.edge.index()] = St::Out;
+                if state[h.edge().index()] == St::Undecided {
+                    state[h.edge().index()] = St::Out;
                 }
             }
         }

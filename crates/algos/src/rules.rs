@@ -115,14 +115,14 @@ pub fn orient_globally(
                 let girth = comp
                     .nodes
                     .iter()
-                    .flat_map(|&v| g.ports(v).iter().map(|h| h.edge))
+                    .flat_map(|&v| g.ports(v).iter().map(|h| h.edge()))
                     .filter_map(|e| search.shortest_len_through_edge(g, e))
                     .min()
                     .expect("cyclic component has a cycle");
                 let k = comp
                     .nodes
                     .iter()
-                    .flat_map(|&v| g.ports(v).iter().map(|h| h.edge))
+                    .flat_map(|&v| g.ports(v).iter().map(|h| h.edge()))
                     .filter(|&e| search.shortest_len_through_edge(g, e) == Some(girth))
                     .filter_map(|e| search.min_cycle_through_edge(g, e, ids, &edge_keys))
                     .min()
@@ -220,8 +220,8 @@ pub fn orient_globally(
         |_| Orient::Blank,
         |_| Orient::Blank,
         |h| {
-            let src = source[h.edge.index()].expect("all edges oriented");
-            if h.side == src {
+            let src = source[h.edge().index()].expect("all edges oriented");
+            if h.side() == src {
                 Orient::Out
             } else {
                 Orient::In

@@ -170,7 +170,7 @@ pub fn run_with<X: NodeExecutor>(
     }
 
     let unoriented_count = |g: &Graph, v: NodeId, st: &[EdgeState]| {
-        g.ports(v).iter().filter(|h| st[h.edge.index()] == EdgeState::Unoriented).count()
+        g.ports(v).iter().filter(|h| st[h.edge().index()] == EdgeState::Unoriented).count()
     };
 
     // --- Phase 1: propose/retry ------------------------------------------
@@ -192,7 +192,7 @@ pub fn run_with<X: NodeExecutor>(
                 .ports(v)
                 .iter()
                 .copied()
-                .filter(|h| edge_state[h.edge.index()] == EdgeState::Unoriented)
+                .filter(|h| edge_state[h.edge().index()] == EdgeState::Unoriented)
                 .collect();
             if open.is_empty() {
                 return None; // cannot happen under the invariant; defensive
@@ -207,8 +207,8 @@ pub fn run_with<X: NodeExecutor>(
             if a == b {
                 continue;
             }
-            let pa = proposals[a.index()].is_some_and(|h| h.edge == e);
-            let pb = proposals[b.index()].is_some_and(|h| h.edge == e);
+            let pa = proposals[a.index()].is_some_and(|h| h.edge() == e);
+            let pb = proposals[b.index()].is_some_and(|h| h.edge() == e);
             if pa && pb {
                 let pair = net.id_of(a).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ net.id_of(b);
                 if rand_word(seed ^ SALT_COIN, pair, round) & 1 == 1 {
@@ -232,7 +232,7 @@ pub fn run_with<X: NodeExecutor>(
         order.sort_unstable();
         for &(_, vi) in &order {
             let Some(h) = proposals[vi] else { continue };
-            if edge_state[h.edge.index()] != EdgeState::Unoriented {
+            if edge_state[h.edge().index()] != EdgeState::Unoriented {
                 continue; // target edge got oriented earlier this round
             }
             let v = NodeId(vi as u32);
@@ -242,7 +242,7 @@ pub fn run_with<X: NodeExecutor>(
             if !satisfied[u.index()] && unoriented_count(g, u, &edge_state) <= 2 {
                 continue;
             }
-            edge_state[h.edge.index()] = EdgeState::Oriented(h.side);
+            edge_state[h.edge().index()] = EdgeState::Oriented(h.side());
             satisfied[v.index()] = true;
         }
     }
@@ -269,7 +269,7 @@ pub fn run_with<X: NodeExecutor>(
         while let Some(x) = queue.pop_front() {
             nodes.push(x);
             for &h in g.ports(x) {
-                if edge_state[h.edge.index()] != EdgeState::Unoriented {
+                if edge_state[h.edge().index()] != EdgeState::Unoriented {
                     continue;
                 }
                 let w = g.half_edge_peer(h);
@@ -306,8 +306,8 @@ pub fn run_with<X: NodeExecutor>(
         g,
         |_| Orient::Blank,
         |_| Orient::Blank,
-        |h| match edge_state[h.edge.index()] {
-            EdgeState::Oriented(src) if src == h.side => Orient::Out,
+        |h| match edge_state[h.edge().index()] {
+            EdgeState::Oriented(src) if src == h.side() => Orient::Out,
             EdgeState::Oriented(_) => Orient::In,
             EdgeState::Unoriented => unreachable!("all edges oriented"),
         },
@@ -400,15 +400,15 @@ fn solve_residual_component(
             continue;
         }
         let exit = g.ports(v).iter().copied().find(|h| {
-            edge_state[h.edge.index()] == EdgeState::Unoriented
+            edge_state[h.edge().index()] == EdgeState::Unoriented
                 && satisfied[g.half_edge_peer(*h).index()]
         });
         if let Some(h) = exit {
-            edge_state[h.edge.index()] = EdgeState::Oriented(h.side);
+            edge_state[h.edge().index()] = EdgeState::Oriented(h.side());
             satisfied[v.index()] = true;
             // Neighbors over unoriented edges may now have a free exit.
             for &h2 in g.ports(v) {
-                if edge_state[h2.edge.index()] == EdgeState::Unoriented {
+                if edge_state[h2.edge().index()] == EdgeState::Unoriented {
                     queue.push_back(g.half_edge_peer(h2));
                 }
             }
@@ -426,7 +426,7 @@ fn solve_residual_component(
                 .iter()
                 .copied()
                 .filter(|h| {
-                    st[h.edge.index()] == EdgeState::Unoriented
+                    st[h.edge().index()] == EdgeState::Unoriented
                         && !satisfied[g.half_edge_peer(*h).index()]
                         && in_comp[g.half_edge_peer(*h).index()]
                 })
@@ -446,7 +446,7 @@ fn solve_residual_component(
             let h = nexts
                 .iter()
                 .copied()
-                .find(|h| Some(h.edge) != came_by.map(|c| c.edge))
+                .find(|h| Some(h.edge()) != came_by.map(|c| c.edge()))
                 .or_else(|| nexts.first().copied())
                 .expect("reserve invariant: unsatisfied node has open edges");
             let w = g.half_edge_peer(h);
@@ -467,7 +467,7 @@ fn solve_residual_component(
         // Orient the cycle cyclically: each half-edge in walk order is an
         // out for its walker.
         for h in &cycle_halves {
-            edge_state[h.edge.index()] = EdgeState::Oriented(h.side);
+            edge_state[h.edge().index()] = EdgeState::Oriented(h.side());
         }
         for v in &cycle_nodes {
             satisfied[v.index()] = true;
@@ -480,14 +480,14 @@ fn solve_residual_component(
                 continue;
             }
             let exit = g.ports(v).iter().copied().find(|h| {
-                edge_state[h.edge.index()] == EdgeState::Unoriented
+                edge_state[h.edge().index()] == EdgeState::Unoriented
                     && satisfied[g.half_edge_peer(*h).index()]
             });
             if let Some(h) = exit {
-                edge_state[h.edge.index()] = EdgeState::Oriented(h.side);
+                edge_state[h.edge().index()] = EdgeState::Oriented(h.side());
                 satisfied[v.index()] = true;
                 for &h2 in g.ports(v) {
-                    if edge_state[h2.edge.index()] == EdgeState::Unoriented {
+                    if edge_state[h2.edge().index()] == EdgeState::Unoriented {
                         queue.push_back(g.half_edge_peer(h2));
                     }
                 }

@@ -1,0 +1,145 @@
+//! Huge-graph acceptance bench: component-sharded execution must beat the
+//! pooled per-node path by ≥ 2× on a disconnected multi-component sweep.
+//!
+//! The workload is the regime huge-graph mode exists for: 256 components
+//! (half caterpillar forests, half random lifts of a cycle base) totaling
+//! `n = 2²⁰` nodes, run through `luby_rounds`. The baseline is the
+//! engine's per-node executor path (`run_rounds_with` over the pool): it
+//! fans every round's frontier across workers, paying a synchronization
+//! barrier per round plus per-round cell staging, and its working set is
+//! the whole 2²⁰-node table. Component sharding
+//! (`run_rounds_sharded_with`) instead hands the pool whole components:
+//! each shard runs the lean sequential frontier engine on shard-local
+//! scratch sized to the shard, so a component's tables stay cache-hot for
+//! all of its rounds and no round-level synchronization exists at all.
+//!
+//! Identity is asserted before timing: sharded outputs, trace, and
+//! undecided list must be bit-identical to the unsharded engine on the
+//! exact instance being timed, or the comparison is meaningless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_algos::luby_rounds::DistributedLuby;
+use lcl_bench::Parallel;
+use lcl_core::problems::MisLabel;
+use lcl_graph::{gen, Components, Graph};
+use lcl_local::{
+    run_rounds, run_rounds_sharded_with, run_rounds_with, IdAssignment, Network, RoundOutcome,
+};
+
+/// Total node budget of the acceptance sweep.
+const N_TOTAL: usize = 1 << 20;
+/// Component count; each component holds `N_TOTAL / PARTS` nodes.
+const PARTS: usize = 256;
+/// The `luby_rounds` round cap for `known_n = 2²⁰`.
+const CAP: u32 = 16 * (20 + 4);
+
+/// The disconnected sweep instance: `parts` components of `part_n` nodes
+/// each — even indices a half-leaves caterpillar, odd indices a random
+/// lift of a cycle base — appended into one graph.
+fn multi_component(parts: usize, part_n: usize, seed: u64) -> Graph {
+    let mut g = Graph::new();
+    for p in 0..parts {
+        let pseed = seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if p % 2 == 0 {
+            g.append(&gen::caterpillar(part_n / 2, part_n / 2, pseed));
+        } else {
+            // A k-lift of C₁₆ has 16k nodes; k = part_n / 16.
+            g.append(&gen::random_lift(&gen::cycle(16), part_n / 16, pseed));
+        }
+    }
+    g
+}
+
+fn network(parts: usize, part_n: usize) -> Network {
+    Network::new(multi_component(parts, part_n, 11), IdAssignment::Shuffled { seed: 11 })
+}
+
+/// Digests an outcome so the work cannot be optimized out.
+fn digest(out: &RoundOutcome<(MisLabel, Option<usize>)>) -> usize {
+    assert!(out.trace.completed, "Luby must complete within the cap");
+    let in_set = out.outputs.iter().filter(|o| matches!(o, Some((MisLabel::InSet, _)))).count();
+    out.trace.rounds as usize + in_set
+}
+
+fn run_unsharded(net: &Network, seed: u64) -> usize {
+    digest(&run_rounds_with(net, &DistributedLuby, seed, CAP, &Parallel))
+}
+
+fn run_sharded(net: &Network, seed: u64) -> usize {
+    digest(&run_rounds_sharded_with(net, &DistributedLuby, seed, CAP, &Parallel))
+}
+
+fn bench_huge_graph(c: &mut Criterion) {
+    // Criterion trend group at a scaled-down sweep (2¹⁶ nodes, 64
+    // components) so the trajectory stays cheap to sample.
+    let small = network(64, 1 << 10);
+    let mut group = c.benchmark_group("huge-graph");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("per-node-pool", "n=2^16"), &small, |b, net| {
+        b.iter(|| run_unsharded(net, 1));
+    });
+    group.bench_with_input(BenchmarkId::new("sharded", "n=2^16"), &small, |b, net| {
+        b.iter(|| run_sharded(net, 1));
+    });
+    group.finish();
+    drop(small);
+
+    // The acceptance instance at full size.
+    let net = network(PARTS, N_TOTAL / PARTS);
+    let comps = Components::new(net.graph());
+    assert!(comps.count() >= PARTS, "sweep must be genuinely multi-component");
+    assert_eq!(net.len(), N_TOTAL);
+
+    // Identity first: sharded must be bit-identical to both engine paths
+    // on the exact instance being timed.
+    let plain = run_rounds(&net, &DistributedLuby, 7, CAP);
+    let sharded = run_rounds_sharded_with(&net, &DistributedLuby, 7, CAP, &Parallel);
+    assert_eq!(sharded.outputs, plain.outputs, "sharded run diverged from unsharded");
+    assert_eq!(sharded.trace, plain.trace, "sharded trace diverged from unsharded");
+    assert_eq!(sharded.undecided, plain.undecided);
+    let pooled = run_rounds_with(&net, &DistributedLuby, 7, CAP, &Parallel);
+    assert_eq!(pooled.outputs, plain.outputs, "pooled run diverged from unsharded");
+    assert_eq!(pooled.trace, plain.trace);
+
+    // The acceptance criterion, asserted so a perf regression fails loudly
+    // when the bench binary runs: component sharding completes the sweep
+    // ≥ 2× faster than the per-node pooled path. Both sides are warmed
+    // and take the minimum of 3 timed sweeps, so one scheduler hiccup
+    // cannot fail the gate spuriously.
+    let timed_min = |f: &mut dyn FnMut() -> usize| {
+        let warm = f();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            assert_eq!(f(), warm);
+            best = best.min(t.elapsed());
+        }
+        (warm, best)
+    };
+    let (a, unsharded) = timed_min(&mut || run_unsharded(&net, 1));
+    let (b, sharded) = timed_min(&mut || run_sharded(&net, 1));
+    assert_eq!(a, b, "paths disagreed on the sweep digest");
+    let ratio = unsharded.as_secs_f64() / sharded.as_secs_f64().max(1e-9);
+    println!("acceptance: per-node pool {unsharded:?} vs sharded {sharded:?} ({ratio:.1}x)");
+    // Publish the machine-readable trajectory point before asserting, so a
+    // failing gate still records what it measured.
+    let gate = lcl_report::BenchGate::new(
+        "huge_graph",
+        2.0,
+        ratio,
+        N_TOTAL,
+        "luby:256x(caterpillar|lift)",
+    );
+    match gate.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: BENCH_huge_graph.json not written: {e}"),
+    }
+    assert!(
+        unsharded.as_secs_f64() >= 2.0 * sharded.as_secs_f64(),
+        "component-sharded execution must be >= 2x faster on the multi-component sweep: \
+         per-node pool {unsharded:?}, sharded {sharded:?}"
+    );
+}
+
+criterion_group!(benches, bench_huge_graph);
+criterion_main!(benches);

@@ -140,7 +140,8 @@ impl CliOpts {
     /// these.
     #[must_use]
     pub fn positional(&self) -> Vec<&str> {
-        const VALUE_FLAGS: [&str; 4] = ["--out", "--run-id", "--spec-dir", "--tol"];
+        const VALUE_FLAGS: [&str; 5] =
+            ["--out", "--run-id", "--spec-dir", "--tol", "--snapshot-dir"];
         let mut out = Vec::new();
         let mut i = 0;
         while let Some(a) = self.args.get(i) {

@@ -114,8 +114,8 @@ fn match_node_twice(g: &Graph, in_matching: &mut [bool], seed: u64) -> Option<&'
         for v in g.endpoints(e) {
             // Any other edge at a matched endpoint is necessarily
             // unmatched (the matching is valid); adding it double-covers v.
-            if let Some(&h) = g.ports(v).iter().find(|h| h.edge != e) {
-                in_matching[h.edge.index()] = true;
+            if let Some(&h) = g.ports(v).iter().find(|h| h.edge() != e) {
+                in_matching[h.edge().index()] = true;
                 return Some("matching-matched-twice");
             }
         }
@@ -148,9 +148,9 @@ fn miscolor_edge(g: &Graph, colors: &mut [u32], seed: u64) -> Option<&'static st
         if let Some((&h0, &h1)) = ports
             .iter()
             .flat_map(|h0| ports.iter().map(move |h1| (h0, h1)))
-            .find(|(h0, h1)| h0.edge != h1.edge)
+            .find(|(h0, h1)| h0.edge() != h1.edge())
         {
-            colors[h1.edge.index()] = colors[h0.edge.index()];
+            colors[h1.edge().index()] = colors[h0.edge().index()];
             return Some("edge-coloring-conflict");
         }
     }
@@ -177,7 +177,7 @@ fn orient_into_sink(
         for &h in g.ports(v) {
             // Orient each incident edge away from the far endpoint,
             // i.e. *into* v.
-            let e = h.edge;
+            let e = h.edge();
             source[e.index()] = if g.endpoints(e)[0] == v { Side::B } else { Side::A };
         }
         return Some("orientation-sink");

@@ -449,7 +449,7 @@ pub fn certify_edge_coloring(
     for v in g.nodes() {
         let stamp = v.index() + 1;
         for &h in g.ports(v) {
-            let e = h.edge;
+            let e = h.edge();
             let c = colors[e.index()];
             match seen.get(&c) {
                 Some(&(s, first)) if s == stamp => {

@@ -92,12 +92,12 @@ pub fn assemble<L: Clone + Eq>(
     for v in g.nodes() {
         let o = &outputs[v.index()];
         for (port, &h) in g.ports(v).iter().enumerate() {
-            half_labels[h.edge.index()][h.side.index()] = Some(o.halves[port].clone());
-            match &edge_labels[h.edge.index()] {
-                None => edge_labels[h.edge.index()] = Some(o.edges[port].clone()),
+            half_labels[h.edge().index()][h.side().index()] = Some(o.halves[port].clone());
+            match &edge_labels[h.edge().index()] {
+                None => edge_labels[h.edge().index()] = Some(o.edges[port].clone()),
                 Some(existing) => {
                     if *existing != o.edges[port] {
-                        return Err(AssembleError::EdgeDisagreement { edge: h.edge });
+                        return Err(AssembleError::EdgeDisagreement { edge: h.edge() });
                     }
                 }
             }
@@ -128,8 +128,12 @@ mod tests {
             .nodes()
             .map(|v| NodeLocalOutput {
                 node: v.0,
-                halves: g.ports(v).iter().map(|h| h.edge.0 * 10 + h.side.index() as u32).collect(),
-                edges: g.ports(v).iter().map(|h| h.edge.0 * 100).collect(),
+                halves: g
+                    .ports(v)
+                    .iter()
+                    .map(|h| h.edge().0 * 10 + h.side().index() as u32)
+                    .collect(),
+                edges: g.ports(v).iter().map(|h| h.edge().0 * 100).collect(),
             })
             .collect();
         let lab = assemble(&g, &outs).expect("agreeing outputs");

@@ -92,7 +92,7 @@ impl<L> Labeling<L> {
     /// Label of a half-edge.
     #[must_use]
     pub fn half(&self, h: HalfEdge) -> &L {
-        &self.half[h.edge.index()][h.side.index()]
+        &self.half[h.edge().index()][h.side().index()]
     }
 
     /// Mutable label of a node.
@@ -107,7 +107,7 @@ impl<L> Labeling<L> {
 
     /// Mutable label of a half-edge.
     pub fn half_mut(&mut self, h: HalfEdge) -> &mut L {
-        &mut self.half[h.edge.index()][h.side.index()]
+        &mut self.half[h.edge().index()][h.side().index()]
     }
 
     /// Number of node labels (= number of nodes of the host graph).
@@ -156,7 +156,7 @@ mod tests {
             &g,
             |v| v.0 * 10,
             |e| e.0 * 100,
-            |h| h.edge.0 * 100 + h.side.index() as u32,
+            |h| h.edge().0 * 100 + h.side().index() as u32,
         );
         assert_eq!(*lab.node(NodeId(2)), 20);
         assert_eq!(*lab.edge(EdgeId(1)), 100);

@@ -151,8 +151,8 @@ pub fn check<P: NeLcl>(
 
     for v in g.nodes() {
         let ports = g.ports(v);
-        let edges_in: Vec<&P::In> = ports.iter().map(|h| input.edge(h.edge)).collect();
-        let edges_out: Vec<&P::Out> = ports.iter().map(|h| output.edge(h.edge)).collect();
+        let edges_in: Vec<&P::In> = ports.iter().map(|h| input.edge(h.edge())).collect();
+        let edges_out: Vec<&P::Out> = ports.iter().map(|h| output.edge(h.edge())).collect();
         let halves_in: Vec<&P::In> = ports.iter().map(|&h| input.half(h)).collect();
         let halves_out: Vec<&P::Out> = ports.iter().map(|&h| output.half(h)).collect();
         let view = NodeView {

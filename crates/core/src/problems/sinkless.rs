@@ -104,7 +104,7 @@ mod tests {
             g,
             |_| Orient::Blank,
             |_| Orient::Blank,
-            |h| if h.side == Side::A { Orient::Out } else { Orient::In },
+            |h| if h.side() == Side::A { Orient::Out } else { Orient::In },
         )
     }
 

@@ -15,7 +15,7 @@ fn split<L: Clone>(g: &Graph, lab: &Labeling<L>) -> Vec<NodeLocalOutput<L>> {
         .map(|v| NodeLocalOutput {
             node: lab.node(v).clone(),
             halves: g.ports(v).iter().map(|&h| lab.half(h).clone()).collect(),
-            edges: g.ports(v).iter().map(|h| lab.edge(h.edge).clone()).collect(),
+            edges: g.ports(v).iter().map(|h| lab.edge(h.edge()).clone()).collect(),
         })
         .collect()
 }
@@ -59,8 +59,8 @@ proptest! {
             .nodes()
             .map(|v| NodeLocalOutput {
                 node: v.0,
-                halves: g.ports(v).iter().map(|h| h.edge.0 * 2 + h.side.index() as u32).collect(),
-                edges: g.ports(v).iter().map(|h| h.edge.0).collect(),
+                halves: g.ports(v).iter().map(|h| h.edge().0 * 2 + h.side().index() as u32).collect(),
+                edges: g.ports(v).iter().map(|h| h.edge().0).collect(),
             })
             .collect();
         let lab = assemble(&g, &outs).expect("agreeing");
@@ -71,7 +71,7 @@ proptest! {
             prop_assert_eq!(*lab.edge(e), e.0);
         }
         for h in g.half_edges() {
-            prop_assert_eq!(*lab.half(h), h.edge.0 * 2 + h.side.index() as u32);
+            prop_assert_eq!(*lab.half(h), h.edge().0 * 2 + h.side().index() as u32);
         }
     }
 
@@ -111,7 +111,7 @@ proptest! {
             &g,
             |_| Orient::Blank,
             |_| Orient::Blank,
-            |h| if h.side == lcl_graph::Side::A { Orient::Out } else { Orient::In },
+            |h| if h.side() == lcl_graph::Side::A { Orient::Out } else { Orient::In },
         );
         let mut chosen = std::collections::BTreeSet::new();
         let mut x = seed;
@@ -147,7 +147,7 @@ proptest! {
             &g,
             |_| Orient::Blank,
             |_| Orient::Blank,
-            |h| if mix(seed, 1, u64::from(h.edge.0) * 2 + h.side.index() as u64) & 1 == 0 {
+            |h| if mix(seed, 1, u64::from(h.edge().0) * 2 + h.side().index() as u64) & 1 == 0 {
                 Orient::Out
             } else {
                 Orient::In
@@ -203,7 +203,7 @@ proptest! {
                 MisLabel::OutSet
             },
             |_| MisLabel::Blank,
-            |h| if mix(seed, 6, u64::from(h.edge.0) * 2 + h.side.index() as u64) & 3 == 0 {
+            |h| if mix(seed, 6, u64::from(h.edge().0) * 2 + h.side().index() as u64) & 3 == 0 {
                 MisLabel::Pointer
             } else {
                 MisLabel::NoPointer

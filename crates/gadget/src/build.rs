@@ -164,7 +164,7 @@ fn finish_labels(g: &Graph, draft: &LabelDraft) -> Labeling<GadgetIn> {
         |v| GadgetIn::Node { kind: draft.kind[v.index()], color: colors[v.index()] },
         |_| GadgetIn::Edge,
         |h| {
-            let dir = draft.dir[h.edge.index()][h.side.index()]
+            let dir = draft.dir[h.edge().index()][h.side().index()]
                 .expect("every built half-edge is labeled");
             let v = g.half_edge_node(h);
             GadgetIn::Half { dir, color: colors[v.index()] }

@@ -42,7 +42,7 @@ fn incidences(g: &Graph, input: &Labeling<GadgetIn>, v: NodeId) -> Result<Vec<In
             }
             other => return Err(format!("half-edge carries a non-half label {other:?}")),
         }
-        if !matches!(input.edge(h.edge), GadgetIn::Edge) {
+        if !matches!(input.edge(h.edge()), GadgetIn::Edge) {
             return Err("edge carries a non-edge label".into());
         }
     }
@@ -398,9 +398,9 @@ mod tests {
             |x| *b.input.node(x),
             |x| if x == e { GadgetIn::Edge } else { *b.input.edge(x) },
             |h| {
-                if h.edge == e {
+                if h.edge() == e {
                     GadgetIn::Half {
-                        dir: if h.side == lcl_graph::Side::A { Dir::Right } else { Dir::Left },
+                        dir: if h.side() == lcl_graph::Side::A { Dir::Right } else { Dir::Left },
                         color,
                     }
                 } else {

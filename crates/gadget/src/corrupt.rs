@@ -99,8 +99,8 @@ pub fn apply(b: &BuiltGadget, c: &Corruption) -> (Graph, Labeling<GadgetIn>) {
                 |v| *b.input.node(v),
                 |x| if x == e { GadgetIn::Edge } else { *b.input.edge(x) },
                 |h| {
-                    if h.edge == e {
-                        if h.side == Side::A {
+                    if h.edge() == e {
+                        if h.side() == Side::A {
                             GadgetIn::Half { dir: *dir_a, color: ca }
                         } else {
                             GadgetIn::Half { dir: *dir_b, color: cb }

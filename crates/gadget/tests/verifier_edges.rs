@@ -32,12 +32,12 @@ fn union(
             }
         },
         |h| {
-            if h.edge.index() < a.0.edge_count() {
+            if h.edge().index() < a.0.edge_count() {
                 *a.1.half(h)
             } else {
                 *b.1.half(lcl_graph::HalfEdge::new(
-                    lcl_graph::EdgeId(h.edge.0 - a.0.edge_count() as u32),
-                    h.side,
+                    lcl_graph::EdgeId(h.edge().0 - a.0.edge_count() as u32),
+                    h.side(),
                 ))
             }
         },

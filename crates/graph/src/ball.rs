@@ -74,14 +74,14 @@ impl Ball {
         let mut edge_added: Vec<bool> = vec![false; g.edge_count()];
         for &hv in &node_map {
             for &h in g.ports(hv) {
-                if edge_added[h.edge.index()] {
+                if edge_added[h.edge().index()] {
                     continue;
                 }
-                let [a, b] = g.endpoints(h.edge);
+                let [a, b] = g.endpoints(h.edge());
                 if let (Some(la), Some(lb)) = (to_local[a.index()], to_local[b.index()]) {
-                    edge_added[h.edge.index()] = true;
+                    edge_added[h.edge().index()] = true;
                     local.add_edge(la, lb);
-                    edge_map.push(h.edge);
+                    edge_map.push(h.edge());
                 }
             }
         }

@@ -278,14 +278,14 @@ impl<'g> BallCache<'g> {
         // edge scan of `Ball::extract`, so edge and port orders coincide.
         for &hv in &entry.nodes[..len] {
             for &h in g.ports(hv) {
-                if edge_stamp[h.edge.index()] == egen {
+                if edge_stamp[h.edge().index()] == egen {
                     continue;
                 }
-                let [a, b] = g.endpoints(h.edge);
+                let [a, b] = g.endpoints(h.edge());
                 if let (Some(la), Some(lb)) = (member(a), member(b)) {
-                    edge_stamp[h.edge.index()] = egen;
+                    edge_stamp[h.edge().index()] = egen;
                     local.add_edge(la, lb);
-                    edge_map.push(h.edge);
+                    edge_map.push(h.edge());
                 }
             }
         }

@@ -205,7 +205,7 @@ impl CycleSearch {
     /// Length of a shortest cycle through node `v`.
     #[must_use]
     pub fn shortest_len_through_node(&self, g: &Graph, v: NodeId) -> Option<u32> {
-        g.ports(v).iter().filter_map(|h| self.shortest_len_through_edge(g, h.edge)).min()
+        g.ports(v).iter().filter_map(|h| self.shortest_len_through_edge(g, h.edge())).min()
     }
 
     /// The canonically smallest cycle among the shortest cycles through `e`
@@ -262,7 +262,7 @@ impl CycleSearch {
                 None => continue,
             };
             for &h in g.ports(x) {
-                if h.edge == e {
+                if h.edge() == e {
                     continue;
                 }
                 let w = g.half_edge_peer(h);
@@ -270,7 +270,7 @@ impl CycleSearch {
                     let mut ns = pnodes.clone();
                     let mut es = pedges.clone();
                     ns.push(w);
-                    es.push(h.edge);
+                    es.push(h.edge());
                     stack.push((w, ns, es));
                 }
             }
@@ -290,7 +290,7 @@ fn bfs_avoiding_edge_capped(g: &Graph, source: NodeId, skip: EdgeId, cap: u32) -
             continue;
         }
         for &h in g.ports(x) {
-            if h.edge == skip {
+            if h.edge() == skip {
                 continue;
             }
             let w = g.half_edge_peer(h);
@@ -372,14 +372,14 @@ mod tests {
             let best = g
                 .ports(v)
                 .iter()
-                .filter_map(|h| search.min_cycle_through_edge(&g, h.edge, &nk, &ek))
+                .filter_map(|h| search.min_cycle_through_edge(&g, h.edge(), &nk, &ek))
                 .min()
                 .unwrap();
             let incident_on_best: Vec<_> =
-                g.ports(v).iter().filter(|h| best.contains_edge(h.edge)).collect();
+                g.ports(v).iter().filter(|h| best.contains_edge(h.edge())).collect();
             assert_eq!(incident_on_best.len(), 2, "node {v:?} has two cycle edges");
             for h in incident_on_best {
-                let fc = search.min_cycle_through_edge(&g, h.edge, &nk, &ek).unwrap();
+                let fc = search.min_cycle_through_edge(&g, h.edge(), &nk, &ek).unwrap();
                 assert_eq!(fc, best, "fixed point violated at {v:?}");
             }
         }

@@ -53,6 +53,11 @@ pub struct Graph {
     peer_node: Vec<NodeId>,
     /// Per half-edge: the opposite half-edge's port at the peer.
     peer_port: Vec<u32>,
+    /// Cached maximum degree. The graph is append-only, so the maximum is
+    /// monotone and one compare per port insertion keeps it exact — callers
+    /// ([`Graph::max_degree`], `lcl_local::Network::new`, snapshot headers)
+    /// stop paying an `O(n)` rescan.
+    max_deg: u32,
 }
 
 impl Graph {
@@ -75,6 +80,7 @@ impl Graph {
             half_port: Vec::with_capacity(2 * edges),
             peer_node: Vec::with_capacity(2 * edges),
             peer_port: Vec::with_capacity(2 * edges),
+            max_deg: 0,
         }
     }
 
@@ -127,6 +133,7 @@ impl Graph {
         }
         self.port_half_edges[self.port_offsets[i] as usize + len as usize] = h;
         self.degrees[i] = len + 1;
+        self.max_deg = self.max_deg.max(len + 1);
         len
     }
 
@@ -187,10 +194,16 @@ impl Graph {
         self.degrees[v.index()] as usize
     }
 
-    /// Maximum degree `Δ` over all nodes (0 for the empty graph).
+    /// Maximum degree `Δ` over all nodes (0 for the empty graph). `O(1)`:
+    /// maintained incrementally on every edge insertion.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.degrees.iter().max().copied().unwrap_or(0) as usize
+        debug_assert_eq!(
+            self.max_deg,
+            self.degrees.iter().max().copied().unwrap_or(0),
+            "cached max degree out of sync"
+        );
+        self.max_deg as usize
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
@@ -208,7 +221,7 @@ impl Graph {
     /// The node a half-edge is attached to.
     #[must_use]
     pub fn half_edge_node(&self, h: HalfEdge) -> NodeId {
-        self.edges[h.edge.index()][h.side.index()]
+        self.edges[h.edge().index()][h.side().index()]
     }
 
     /// The node at the *other* end of the half-edge's edge.
@@ -394,11 +407,12 @@ impl Graph {
             g.port_offsets.push(off);
             g.port_caps.push(len);
             g.degrees.push(len);
+            g.max_deg = g.max_deg.max(len);
             for (p, &h) in table.iter().enumerate() {
-                if h.edge.index() >= m {
+                if h.edge().index() >= m {
                     return Err(DeError::new(format!("half-edge {h:?} references unknown edge")));
                 }
-                if g.edges[h.edge.index()][h.side.index()].index() != vi {
+                if g.edges[h.edge().index()][h.side().index()].index() != vi {
                     return Err(DeError::new(format!(
                         "half-edge {h:?} listed at node n{vi}, but its edge endpoint disagrees"
                     )));
@@ -422,6 +436,33 @@ impl Graph {
             g.peer_port[hb] = g.half_port[ha];
         }
         Ok(g)
+    }
+
+    /// Assembles a graph directly from already-validated packed CSR tables
+    /// — the snapshot loader's path (`crate::snapshot`). The slab must be
+    /// fully packed: `port_offsets` are prefix sums of `degrees` and
+    /// segment capacities equal degrees.
+    pub(crate) fn from_packed_tables(
+        port_half_edges: Vec<HalfEdge>,
+        port_offsets: Vec<u32>,
+        degrees: Vec<u32>,
+        edges: Vec<[NodeId; 2]>,
+        half_port: Vec<u32>,
+        peer_node: Vec<NodeId>,
+        peer_port: Vec<u32>,
+    ) -> Graph {
+        let max_deg = degrees.iter().max().copied().unwrap_or(0);
+        Graph {
+            port_half_edges,
+            port_offsets,
+            port_caps: degrees.clone(),
+            degrees,
+            edges,
+            half_port,
+            peer_node,
+            peer_port,
+            max_deg,
+        }
     }
 }
 
@@ -502,8 +543,8 @@ mod tests {
         assert_eq!(g.degree(b), 2);
         assert_eq!(g.degree(c), 2);
         // Port order follows insertion order.
-        assert_eq!(g.half_edge_at_port(a, 0).unwrap().edge, ab);
-        assert_eq!(g.half_edge_at_port(a, 1).unwrap().edge, ca);
+        assert_eq!(g.half_edge_at_port(a, 0).unwrap().edge(), ab);
+        assert_eq!(g.half_edge_at_port(a, 1).unwrap().edge(), ca);
         assert_eq!(g.neighbor_via_port(b, 0), Some(a));
         assert_eq!(g.neighbor_via_port(b, 1), Some(c));
         assert_eq!(g.endpoints(bc), [b, c]);
@@ -520,9 +561,9 @@ mod tests {
         assert!(g.has_multi_edges_or_loops());
         let h0 = g.half_edge_at_port(v, 0).unwrap();
         let h1 = g.half_edge_at_port(v, 1).unwrap();
-        assert_eq!(h0.edge, e);
-        assert_eq!(h1.edge, e);
-        assert_ne!(h0.side, h1.side);
+        assert_eq!(h0.edge(), e);
+        assert_eq!(h1.edge(), e);
+        assert_ne!(h0.side(), h1.side());
         assert_eq!(g.half_edge_peer(h0), v);
     }
 
@@ -633,8 +674,8 @@ mod tests {
         assert_eq!(g.degree(hub), 33);
         for (p, e) in edges.iter().enumerate() {
             let h = g.half_edge_at_port(hub, p).unwrap();
-            assert_eq!(h.edge, *e);
-            assert_eq!(h.side, Side::B);
+            assert_eq!(h.edge(), *e);
+            assert_eq!(h.side(), Side::B);
             assert_eq!(g.port_of(h), p);
             assert_eq!(g.peer_port(h), 0);
         }

@@ -1,6 +1,6 @@
 //! Strongly-typed identifiers for nodes, edges, and half-edges.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Sink, Value};
 use std::fmt;
 
 /// Index of a node in a [`crate::Graph`].
@@ -54,41 +54,72 @@ impl Side {
 /// is attached to is recoverable through the graph. Half-edges are the
 /// carriers of per-endpoint labels (e.g. the `in`/`out` labels of sinkless
 /// orientation, Figure 3 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct HalfEdge {
-    /// The edge this half-edge belongs to.
-    pub edge: EdgeId,
-    /// Which endpoint slot of the edge.
-    pub side: Side,
-}
+///
+/// # Representation
+///
+/// Stored **packed** as the dense index `2·edge + side` in a single `u32`,
+/// so the CSR port slab (`Vec<HalfEdge>`) is 4 bytes per entry instead of
+/// the 8 an `(EdgeId, Side)` pair with padding costs — half the memory
+/// traffic on every port-table walk. The packing caps edge ids at `2³¹-1`,
+/// plenty for the 10⁷–10⁸-node regime the huge-graph mode targets. The
+/// derived ordering on the packed word coincides with the lexicographic
+/// `(edge, side)` order of the old field pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct HalfEdge(u32);
 
 impl HalfEdge {
     /// Creates the half-edge on `side` of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` exceeds the packed range (`2³¹-1`).
     #[must_use]
     pub fn new(edge: EdgeId, side: Side) -> Self {
-        HalfEdge { edge, side }
+        assert!(edge.0 <= u32::MAX >> 1, "edge id {edge:?} exceeds the packed half-edge range");
+        HalfEdge((edge.0 << 1) | side.index() as u32)
+    }
+
+    /// The edge this half-edge belongs to.
+    #[must_use]
+    pub fn edge(self) -> EdgeId {
+        EdgeId(self.0 >> 1)
+    }
+
+    /// Which endpoint slot of the edge.
+    #[must_use]
+    pub fn side(self) -> Side {
+        if self.0 & 1 == 0 {
+            Side::A
+        } else {
+            Side::B
+        }
     }
 
     /// The half-edge at the opposite endpoint of the same edge.
     #[must_use]
     pub fn opposite(self) -> Self {
-        HalfEdge { edge: self.edge, side: self.side.flip() }
+        HalfEdge(self.0 ^ 1)
     }
 
     /// Dense index of this half-edge: `2·edge + side`. The half-edges of a
     /// graph with `m` edges are exactly the indices `0..2m`, which is what
     /// lets per-half-edge tables (port inverses, message slots) be flat
-    /// arrays.
+    /// arrays. With the packed representation this is the identity — a
+    /// plain widening load.
     #[must_use]
     pub fn index(self) -> usize {
-        2 * self.edge.index() + self.side.index()
+        self.0 as usize
     }
 
     /// Inverse of [`HalfEdge::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the packed range (`u32`).
     #[must_use]
     pub fn from_index(i: usize) -> Self {
-        let side = if i.is_multiple_of(2) { Side::A } else { Side::B };
-        HalfEdge { edge: EdgeId((i / 2) as u32), side }
+        HalfEdge(u32::try_from(i).expect("half-edge index exceeds the packed range"))
     }
 }
 
@@ -118,7 +149,36 @@ impl fmt::Display for EdgeId {
 
 impl fmt::Debug for HalfEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}{}", self.edge, if self.side == Side::A { "a" } else { "b" })
+        write!(f, "{:?}{}", self.edge(), if self.side() == Side::A { "a" } else { "b" })
+    }
+}
+
+/// Serializes as the pre-packing wire format `{"edge": N, "side": "A"|"B"}`
+/// so persisted graphs and goldens are byte-identical across the
+/// representation change.
+impl Serialize for HalfEdge {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("edge".to_string(), self.edge().to_value()),
+            ("side".to_string(), self.side().to_value()),
+        ])
+    }
+
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.map_begin();
+        sink.map_key("edge");
+        self.edge().stream(sink);
+        sink.map_key("side");
+        self.side().stream(sink);
+        sink.map_end();
+    }
+}
+
+impl Deserialize for HalfEdge {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let edge = EdgeId::from_value(v.field("edge")?)?;
+        let side = Side::from_value(v.field("side")?)?;
+        Ok(HalfEdge::new(edge, side))
     }
 }
 
@@ -174,12 +234,57 @@ mod tests {
     }
 
     #[test]
+    fn half_edge_is_packed_to_four_bytes() {
+        assert_eq!(std::mem::size_of::<HalfEdge>(), 4);
+        assert_eq!(std::mem::size_of::<Option<HalfEdge>>(), 8);
+    }
+
+    #[test]
+    fn half_edge_accessors_recover_the_parts() {
+        for e in [0u32, 1, 7, u32::MAX >> 1] {
+            for side in [Side::A, Side::B] {
+                let h = HalfEdge::new(EdgeId(e), side);
+                assert_eq!(h.edge(), EdgeId(e));
+                assert_eq!(h.side(), side);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_order_is_lexicographic_in_edge_then_side() {
+        let mut hs = [
+            HalfEdge::new(EdgeId(1), Side::A),
+            HalfEdge::new(EdgeId(0), Side::B),
+            HalfEdge::new(EdgeId(1), Side::B),
+            HalfEdge::new(EdgeId(0), Side::A),
+        ];
+        hs.sort();
+        let parts: Vec<_> = hs.iter().map(|h| (h.edge().0, h.side().index())).collect();
+        assert_eq!(parts, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed half-edge range")]
+    fn oversized_edge_id_is_rejected() {
+        let _ = HalfEdge::new(EdgeId(u32::MAX), Side::A);
+    }
+
+    #[test]
     fn half_edge_opposite_swaps_side_only() {
         let h = HalfEdge::new(EdgeId(7), Side::A);
         let o = h.opposite();
-        assert_eq!(o.edge, EdgeId(7));
-        assert_eq!(o.side, Side::B);
+        assert_eq!(o.edge(), EdgeId(7));
+        assert_eq!(o.side(), Side::B);
         assert_eq!(o.opposite(), h);
+    }
+
+    #[test]
+    fn half_edge_serde_roundtrips_in_the_field_format() {
+        let h = HalfEdge::new(EdgeId(5), Side::B);
+        let v = h.to_value();
+        assert_eq!(EdgeId::from_value(v.field("edge").unwrap()).unwrap(), EdgeId(5));
+        assert_eq!(Side::from_value(v.field("side").unwrap()).unwrap(), Side::B);
+        assert_eq!(HalfEdge::from_value(&v).unwrap(), h);
     }
 
     #[test]

@@ -38,10 +38,12 @@
 mod ball;
 mod ball_cache;
 mod coloring;
+mod components;
 mod cycles;
 mod graph;
 mod ids;
 mod metrics;
+mod snapshot;
 mod traversal;
 
 pub mod gen;
@@ -51,6 +53,7 @@ pub use ball_cache::{BallCache, CacheStats};
 pub use coloring::{
     distance_k_coloring, has_locally_distinct_neighborhood, is_distance_k_coloring,
 };
+pub use components::Components;
 pub use cycles::{shortest_cycle_through_edge, CanonicalCycle, CycleSearch};
 pub use graph::Graph;
 pub use ids::{EdgeId, HalfEdge, NodeId, Side};

@@ -49,7 +49,7 @@ pub(crate) fn dist_avoiding_edge(
             return Some(d);
         }
         for &h in g.ports(x) {
-            if h.edge == skip {
+            if h.edge() == skip {
                 continue;
             }
             let w = g.half_edge_peer(h);

@@ -52,7 +52,7 @@ impl RefModel {
     }
 
     fn port_of(&self, h: HalfEdge) -> usize {
-        let v = self.edges[h.edge.index()][h.side.index()];
+        let v = self.edges[h.edge().index()][h.side().index()];
         self.ports[v.index()].iter().position(|&x| x == h).expect("half-edge is registered")
     }
 }
@@ -70,7 +70,7 @@ fn assert_equivalent(g: &Graph, model: &RefModel) {
         for (p, &h) in table.iter().enumerate() {
             assert_eq!(g.half_edge_at_port(v, p), Some(h));
             assert_eq!(g.port_of(h), p, "port_of({h:?})");
-            let peer = model.edges[h.edge.index()][h.side.flip().index()];
+            let peer = model.edges[h.edge().index()][h.side().flip().index()];
             assert_eq!(g.half_edge_peer(h), peer, "peer of {h:?}");
             assert_eq!(g.peer_port(h), model.port_of(h.opposite()), "peer_port of {h:?}");
             assert_eq!(g.neighbor_via_port(v, p), Some(peer));
@@ -79,7 +79,7 @@ fn assert_equivalent(g: &Graph, model: &RefModel) {
         let from_iter: Vec<(NodeId, HalfEdge)> = g.neighbors(v).collect();
         let expected: Vec<(NodeId, HalfEdge)> = table
             .iter()
-            .map(|&h| (model.edges[h.edge.index()][h.side.flip().index()], h))
+            .map(|&h| (model.edges[h.edge().index()][h.side().flip().index()], h))
             .collect();
         assert_eq!(from_iter, expected, "neighbors of {v:?}");
     }

@@ -105,6 +105,21 @@ impl Network {
         self
     }
 
+    /// Overrides the `Δ` announced to nodes. Like [`Network::with_known_n`]
+    /// this models global knowledge that exceeds the instance at hand: a
+    /// component shard must announce the *whole* graph's maximum degree,
+    /// or its nodes would behave differently than in the unsharded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is below the graph's actual maximum degree.
+    #[must_use]
+    pub fn with_announced_max_degree(mut self, d: usize) -> Self {
+        assert!(d >= self.graph.max_degree(), "announced Δ must be an upper bound");
+        self.max_deg = d;
+        self
+    }
+
     /// The underlying graph.
     #[must_use]
     pub fn graph(&self) -> &Graph {

@@ -1,0 +1,248 @@
+//! Component-sharded round execution: the huge-graph scheduling mode.
+//!
+//! A connected component is a closed system under the LOCAL model — no
+//! message ever crosses a component boundary, and a node's behavior
+//! depends only on its component, its LOCAL id, and the announced
+//! globals `(n, Δ)`. [`run_rounds_sharded`] exploits this: the flat
+//! [`Components`] pass partitions the graph, the worker pool claims
+//! **whole components** as work units, and each shard runs the
+//! event-driven sparse engine ([`crate::run_rounds`]) on its own induced
+//! subgraph with **shard-local scratch** — its own `RouteArena`,
+//! `ActiveSet`, and (for view-based protocols run per shard) ball
+//! caches — so shards share nothing and need no synchronization. This
+//! subsumes the long-standing "share the ball cache across workers"
+//! item: shard-local caches are contention-free by construction.
+//!
+//! Two facts make sharded output **bit-identical** to an unsharded run:
+//!
+//! * node RNG streams are counter-mode, seeded from `(run seed, LOCAL
+//!   id)` — the shard carries the original ids, so every node draws the
+//!   exact same randomness;
+//! * shard networks announce the *global* `n` and `Δ`
+//!   ([`Network::with_known_n`], [`Network::with_announced_max_degree`]),
+//!   and [`Components::extract`] preserves per-node port order (it builds
+//!   exactly the graph [`lcl_graph::Graph::induced_subgraph`] would, in
+//!   O(shard) time), so every [`crate::NodeCtx`] and inbox is identical.
+//!
+//! Outputs are stitched back in node order; the trace is the exact
+//! trace of the unsharded engine (`rounds` is the max over shards —
+//! the global engine runs until its slowest component settles, and a
+//! shard that hits the cap or goes quiescent-undecided reports the cap,
+//! exactly as the global engine would).
+
+use crate::exec::NodeExecutor;
+use crate::network::Network;
+use crate::rounds::{run_rounds, run_rounds_with, RoundAlgorithm, RoundOutcome};
+use crate::trace::RoundTrace;
+use lcl_graph::Components;
+
+/// [`crate::run_rounds`] over component shards, sequentially. Bit-identical
+/// outputs, trace, and undecided list; see the module docs.
+pub fn run_rounds_sharded<A>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+) -> RoundOutcome<A::Output>
+where
+    A: RoundAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: Clone + Send,
+{
+    run_rounds_sharded_with(net, alg, seed, max_rounds, &crate::exec::Sequential)
+}
+
+/// [`run_rounds_sharded`] with a pluggable [`NodeExecutor`]: the executor's
+/// work items are **components**, not nodes — each shard's interior runs
+/// the sequential sparse engine on shard-local scratch sized to the shard,
+/// which is both the parallelism (shards across the pool) and the locality
+/// win (a shard's frontier walks stay in cache instead of striding a
+/// 2²⁰-node table).
+///
+/// On a connected graph this degrades gracefully to the unsharded
+/// [`run_rounds_with`] (one shard would serialize anyway; per-node
+/// parallelism is the better use of the executor).
+pub fn run_rounds_sharded_with<A, X>(
+    net: &Network,
+    alg: &A,
+    seed: u64,
+    max_rounds: u32,
+    exec: &X,
+) -> RoundOutcome<A::Output>
+where
+    A: RoundAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: Clone + Send,
+    X: NodeExecutor,
+{
+    let g = net.graph();
+    let comps = Components::new(g);
+    if comps.is_connected() {
+        return run_rounds_with(net, alg, seed, max_rounds, exec);
+    }
+    let outcomes: Vec<RoundOutcome<A::Output>> = exec.map_nodes(comps.count(), |c| {
+        let members = comps.members(c);
+        // `extract` is the O(shard) equivalent of `induced_subgraph` —
+        // carving all shards costs one pass over the graph total, so shard
+        // setup cannot swamp the engine work it parallelizes.
+        let sub = comps.extract(g, c);
+        let ids: Vec<u64> = members.iter().map(|&v| net.id_of(v)).collect();
+        let shard_net = Network::with_ids(sub, ids)
+            .with_known_n(net.known_n())
+            .with_announced_max_degree(net.max_degree());
+        run_rounds(&shard_net, alg, seed, max_rounds)
+    });
+
+    // Stitch in node order. The trace is the unsharded engine's exactly:
+    // it executes rounds until its slowest component settles (or spins to
+    // the cap when any component never settles — which that component's
+    // shard reports as `max_rounds` via the same cap/fast-forward paths).
+    let mut outputs: Vec<Option<A::Output>> = vec![None; g.node_count()];
+    let mut rounds = 0;
+    let mut completed = true;
+    for (c, outcome) in outcomes.into_iter().enumerate() {
+        rounds = rounds.max(outcome.trace.rounds);
+        completed &= outcome.trace.completed;
+        for (slot, &v) in outcome.outputs.into_iter().zip(comps.members(c)) {
+            outputs[v.index()] = slot;
+        }
+    }
+    let undecided = outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| {
+            if o.is_none() {
+                Some((i, net.id_of(lcl_graph::NodeId(i as u32))))
+            } else {
+                None
+            }
+        })
+        .collect();
+    RoundOutcome { outputs, trace: RoundTrace { rounds, completed }, undecided }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::IdAssignment;
+    use crate::rounds::NodeCtx;
+    use lcl_graph::gen;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Flood the maximum id (same protocol as the rounds tests): enough
+    /// rounds to exercise multi-round convergence per component.
+    struct FloodMax;
+
+    struct FloodState {
+        best: u64,
+        stable_for: u32,
+    }
+
+    impl RoundAlgorithm for FloodMax {
+        type State = FloodState;
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&self, ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> FloodState {
+            FloodState { best: ctx.id, stable_for: 0 }
+        }
+
+        fn send(&self, state: &FloodState, ctx: &NodeCtx) -> Vec<(usize, u64)> {
+            (0..ctx.degree).map(|p| (p, state.best)).collect()
+        }
+
+        fn receive(
+            &self,
+            state: &mut FloodState,
+            _ctx: &NodeCtx,
+            inbox: &[(usize, u64)],
+            _rng: &mut ChaCha8Rng,
+        ) {
+            let incoming = inbox.iter().map(|&(_, m)| m).max().unwrap_or(0);
+            if incoming > state.best {
+                state.best = incoming;
+                state.stable_for = 0;
+            } else {
+                state.stable_for += 1;
+            }
+        }
+
+        fn output(&self, state: &FloodState, ctx: &NodeCtx) -> Option<u64> {
+            (ctx.degree == 0 || state.stable_for >= ctx.known_n as u32).then_some(state.best)
+        }
+    }
+
+    fn disconnected_zoo() -> Vec<lcl_graph::Graph> {
+        let mut forest = gen::cycle(7);
+        forest.append(&gen::path(5));
+        forest.append(&gen::star(4));
+        forest.add_node();
+        let mut with_loop = gen::disjoint_cycles(3, 4);
+        with_loop.add_edge(lcl_graph::NodeId(0), lcl_graph::NodeId(0));
+        vec![forest, with_loop, gen::disjoint_cycles(5, 3), gen::cycle(9), lcl_graph::Graph::new()]
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_exactly() {
+        for (k, g) in disconnected_zoo().into_iter().enumerate() {
+            let net = Network::new(g, IdAssignment::Shuffled { seed: k as u64 + 1 });
+            let plain = run_rounds(&net, &FloodMax, 7, 500);
+            let sharded = run_rounds_sharded(&net, &FloodMax, 7, 500);
+            assert_eq!(sharded.outputs, plain.outputs, "graph {k}");
+            assert_eq!(sharded.trace, plain.trace, "graph {k}");
+            assert_eq!(sharded.undecided, plain.undecided, "graph {k}");
+        }
+    }
+
+    #[test]
+    fn cap_hit_traces_match_unsharded() {
+        // Cap low enough that the larger component cannot finish.
+        let mut g = gen::path(2);
+        g.append(&gen::path(30));
+        let net = Network::new(g, IdAssignment::Sequential);
+        let plain = run_rounds(&net, &FloodMax, 0, 8);
+        let sharded = run_rounds_sharded(&net, &FloodMax, 0, 8);
+        assert!(!sharded.trace.completed);
+        assert_eq!(sharded.trace, plain.trace);
+        assert_eq!(sharded.outputs, plain.outputs);
+        assert_eq!(sharded.undecided, plain.undecided);
+    }
+
+    #[test]
+    fn announced_globals_reach_every_shard() {
+        /// Outputs the announced `(n, Δ)` — shards must see the global
+        /// values, not their own component's.
+        struct Announce;
+        impl RoundAlgorithm for Announce {
+            type State = (usize, usize);
+            type Msg = ();
+            type Output = (usize, usize);
+            fn init(&self, ctx: &NodeCtx, _rng: &mut ChaCha8Rng) -> (usize, usize) {
+                (ctx.known_n, ctx.max_degree)
+            }
+            fn send(&self, _s: &(usize, usize), _c: &NodeCtx) -> Vec<(usize, ())> {
+                Vec::new()
+            }
+            fn receive(
+                &self,
+                _s: &mut (usize, usize),
+                _c: &NodeCtx,
+                _i: &[(usize, ())],
+                _r: &mut ChaCha8Rng,
+            ) {
+            }
+            fn output(&self, s: &(usize, usize), _c: &NodeCtx) -> Option<(usize, usize)> {
+                Some(*s)
+            }
+        }
+        let mut g = gen::star(5); // Δ = 5 lives in component 0
+        g.append(&gen::path(3));
+        let net = Network::new(g, IdAssignment::Sequential).with_known_n(100);
+        let out = run_rounds_sharded(&net, &Announce, 0, 4);
+        for o in out.into_outputs() {
+            assert_eq!(o, (100, 5));
+        }
+    }
+}

@@ -94,7 +94,7 @@ pub fn corrupt_gadgets<I: Clone + std::fmt::Debug>(
             .nodes()
             .filter(|v| inst.gadget_of[v.index()] == b)
             .flat_map(|v| inst.graph.ports(v).to_vec())
-            .filter(|h| !inst.input.edge(h.edge).port_edge)
+            .filter(|h| !inst.input.edge(h.edge()).port_edge)
             .collect();
         let h = halves[rng.gen_range(0..halves.len())];
         let lab = inst.input.half(h).clone();

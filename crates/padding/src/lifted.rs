@@ -174,7 +174,7 @@ pub(crate) fn gadget_components<I: Clone + std::fmt::Debug>(
         while let Some(v) = queue.pop_front() {
             nodes.push(v);
             for &h in g.ports(v) {
-                if input.edge(h.edge).port_edge {
+                if input.edge(h.edge()).port_edge {
                     continue;
                 }
                 let w = g.half_edge_peer(h);
@@ -213,23 +213,26 @@ pub(crate) fn gadget_components<I: Clone + std::fmt::Debug>(
         let mut seen_edge = std::collections::HashSet::new();
         for &v in &nodes {
             for &h in g.ports(v) {
-                if input.edge(h.edge).port_edge || !seen_edge.insert(h.edge) {
+                if input.edge(h.edge()).port_edge || !seen_edge.insert(h.edge()) {
                     continue;
                 }
-                let [a, b] = g.endpoints(h.edge);
+                let [a, b] = g.endpoints(h.edge());
                 sub.add_edge(to_local[&a], to_local[&b]);
                 edge_labels.push(GadgetIn::Edge);
                 let mut hl = [GadgetIn::Edge; 2];
                 for (slot, side) in [(0usize, Side::A), (1, Side::B)] {
-                    let he = HalfEdge::new(h.edge, side);
+                    let he = HalfEdge::new(h.edge(), side);
                     hl[slot] = match input.half(he).gadget {
                         Some(gi @ GadgetIn::Half { .. }) => gi,
                         other => {
                             violations.push(Violation::Edge(
-                                h.edge,
+                                h.edge(),
                                 format!("input: half carries gadget label {other:?}"),
                             ));
-                            GadgetIn::Half { dir: lcl_gadget::Dir::Up, color: u32::MAX - h.edge.0 }
+                            GadgetIn::Half {
+                                dir: lcl_gadget::Dir::Up,
+                                color: u32::MAX - h.edge().0,
+                            }
                         }
                     };
                 }
@@ -335,7 +338,7 @@ pub fn check_padded<P: InnerProblem>(
     // Constraints 3 and 4: port flags.
     let port_edge_count: Vec<usize> = g
         .nodes()
-        .map(|v| g.ports(v).iter().filter(|h| input.edge(h.edge).port_edge).count())
+        .map(|v| g.ports(v).iter().filter(|h| input.edge(h.edge()).port_edge).count())
         .collect();
     for v in g.nodes() {
         let is_port = input_port(input, v).is_some();
@@ -415,10 +418,10 @@ pub fn check_padded<P: InnerProblem>(
             // 5c: in-S ports copy their PortEdge's Π-inputs.
             if list.s[i] {
                 for &h in g.ports(v) {
-                    if !input.edge(h.edge).port_edge {
+                    if !input.edge(h.edge()).port_edge {
                         continue;
                     }
-                    if list.iota_e[i] != input.edge(h.edge).pi {
+                    if list.iota_e[i] != input.edge(h.edge()).pi {
                         violations.push(Violation::Node(
                             v,
                             format!("5c: ι^E_{i} differs from the PortEdge input"),

@@ -137,7 +137,7 @@ where
         // (2) Port flags.
         let input_port = |v: NodeId| crate::solver::input_port_of(input, v);
         let port_edges_of = |v: NodeId| -> Vec<HalfEdge> {
-            g.ports(v).iter().copied().filter(|h| input.edge(h.edge).port_edge).collect()
+            g.ports(v).iter().copied().filter(|h| input.edge(h.edge()).port_edge).collect()
         };
         let flags: Vec<PortFlag> = exec.map_nodes(g.node_count(), |vi| {
             let v = NodeId(vi as u32);
@@ -260,7 +260,7 @@ where
                 }
                 list.s[i] = true;
                 let pe = port_edges_of(w)[0];
-                list.iota_e[i] = input.edge(pe.edge).pi.clone();
+                list.iota_e[i] = input.edge(pe.edge()).pi.clone();
                 list.iota_b[i] = input.half(pe).pi.clone();
                 // Dangler until proven wired (overwritten below).
                 list.o_e[i] = self.problem.inner.dangler_edge_out();

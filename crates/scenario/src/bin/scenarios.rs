@@ -4,18 +4,26 @@
 //! scenarios [--spec-dir DIR] list
 //! scenarios [--spec-dir DIR] describe <name>
 //! scenarios [--spec-dir DIR] run <name> [--quick --seq --json --certify
+//!                                        --shard --snapshot-dir DIR
 //!                                        --out DIR --run-id ID --no-persist]
 //! ```
 //!
 //! `run` expands the named spec into its `(family, n, seed)` grid,
 //! streams it through the deterministic batch engine, and exits through
 //! `Report::finish` — the run lands in the run store under
-//! `scenario-<name>` with the spec's content hash and canonical JSON in
-//! the manifest meta. `--certify` re-checks every algorithm output with
-//! the independent `lcl_certify` checkers before accepting its row;
-//! failed cells are reported individually and the process exits nonzero.
-//! Specs resolve from `--spec-dir` (default `scenarios/`) first, then the
-//! built-in presets; a file spec shadows a builtin of the same name.
+//! `scenario-<name>` with the spec's content hash, canonical JSON, and
+//! each cell's instance content hash (`graph:<cell>`) in the manifest
+//! meta. `--certify` re-checks every algorithm output with the
+//! independent `lcl_certify` checkers before accepting its row; failed
+//! cells are reported individually and the process exits nonzero.
+//! `--shard` routes the round-engine algorithms through component-sharded
+//! execution (bit-identical rows; the pool claims whole components).
+//! `--snapshot-dir DIR` (or `LCL_SNAPSHOT_DIR`) caches built instances as
+//! frozen snapshots keyed by `(family, knobs, n, seed)` — cache hits map
+//! the graph back in instead of re-generating it, with a hit/miss note on
+//! stderr. Specs resolve from `--spec-dir` (default `scenarios/`) first,
+//! then the built-in presets; a file spec shadows a builtin of the same
+//! name.
 
 use lcl_bench::CliOpts;
 use lcl_scenario::{catalog, expand, experiment_name, run_spec, ScenarioSpec};
@@ -26,7 +34,8 @@ const USAGE: &str = "usage: scenarios [--spec-dir DIR] <command>
   list                 catalog: file specs (scenarios/*.json) + built-in presets
   describe <name>      spec JSON, grid summary, and content hash
   run <name> [flags]   expand + run + persist (common flags: --quick --seq
-                       --json --certify --out DIR --run-id ID --no-persist)";
+                       --json --certify --shard --snapshot-dir DIR
+                       --out DIR --run-id ID --no-persist)";
 
 fn main() -> ExitCode {
     let opts = CliOpts::parse();

@@ -1,0 +1,153 @@
+//! Frozen-snapshot cache for scenario instances.
+//!
+//! Every scenario cell deterministically maps `(family, knobs, n, seed)`
+//! to a graph, so repeated sweeps over the same grid rebuild identical
+//! instances from scratch — wasted work that dominates setup time for
+//! huge graphs. [`SnapshotCache`] keys the frozen on-disk CSR image
+//! (`Graph::freeze`) by the cell coordinates: a hit maps the file back in
+//! (`Graph::load_frozen`, content-hash validated) instead of re-running
+//! the generator; a miss builds the instance and freezes it for the next
+//! run. Writes go through a temp file + atomic rename, so concurrent
+//! runs sharing a cache directory never observe a half-written snapshot.
+//!
+//! A corrupt or truncated snapshot fails `load_frozen` validation and is
+//! treated as a miss (rebuilt and replaced) — the cache can only ever
+//! serve a bit-exact image of what was frozen. Staleness (a generator
+//! whose output changed since the freeze) is outside the loader's reach,
+//! but `results verify` regenerates every cell from the spec and compares
+//! both rows and graph content hashes, so a stale cache cannot survive
+//! verification.
+
+use crate::spec::FamilySpec;
+use lcl_graph::{gen::GenError, Graph};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A directory of frozen scenario instances, keyed by cell coordinates.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    dir: PathBuf,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SnapshotCache {
+    /// Opens (creating if needed) a snapshot cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<SnapshotCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotCache { dir, hits: AtomicUsize::new(0), misses: AtomicUsize::new(0) })
+    }
+
+    /// The snapshot file for a cell: `<family-slug>-n<k>-s<seed>.lclg`.
+    /// The slug encodes the family knobs, so distinct specs never collide.
+    #[must_use]
+    pub fn path_for(&self, family: &FamilySpec, n: usize, seed: u64) -> PathBuf {
+        self.dir.join(format!("{}-n{n}-s{seed}.lclg", family.slug()))
+    }
+
+    /// Loads the cell's frozen instance, or builds and freezes it on a
+    /// miss. The returned graph is bit-identical either way: the frozen
+    /// image is written from the built graph and its loader validates the
+    /// content hash.
+    ///
+    /// # Errors
+    ///
+    /// Generator errors ([`GenError`]) on a miss. Freeze I/O failures are
+    /// non-fatal (the run proceeds on the built graph); load failures of
+    /// an existing file demote to a rebuild.
+    pub fn load_or_build(
+        &self,
+        family: &FamilySpec,
+        n: usize,
+        seed: u64,
+    ) -> Result<Graph, GenError> {
+        let path = self.path_for(family, n, seed);
+        if let Ok(g) = Graph::load_frozen(&path) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(g);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let g = family.build(n, seed)?;
+        // Freeze through a temp file + rename: concurrent runs sharing the
+        // directory either see the complete image or none at all. Distinct
+        // cells use distinct keys, so a per-process temp name suffices.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if g.freeze(&tmp).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        Ok(g)
+    }
+
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lcl-snapcache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit_yields_the_same_graph() {
+        let dir = tempdir("hit");
+        let cache = SnapshotCache::open(&dir).unwrap();
+        let fam = FamilySpec::Torus;
+        let built = cache.load_or_build(&fam, 25, 3).unwrap();
+        assert_eq!(cache.stats(), (0, 1));
+        assert!(cache.path_for(&fam, 25, 3).is_file());
+        let loaded = cache.load_or_build(&fam, 25, 3).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(built, loaded);
+        assert_eq!(built.content_hash(), loaded.content_hash());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_cells_use_distinct_keys() {
+        let dir = tempdir("keys");
+        let cache = SnapshotCache::open(&dir).unwrap();
+        let a = cache.path_for(&FamilySpec::Torus, 25, 3);
+        assert_ne!(a, cache.path_for(&FamilySpec::Torus, 25, 4));
+        assert_ne!(a, cache.path_for(&FamilySpec::Torus, 36, 3));
+        assert_ne!(a, cache.path_for(&FamilySpec::Caterpillar { leaf_frac: 0.4 }, 25, 3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_demotes_to_rebuild() {
+        let dir = tempdir("corrupt");
+        let cache = SnapshotCache::open(&dir).unwrap();
+        let fam = FamilySpec::Hypercube;
+        let fresh = cache.load_or_build(&fam, 16, 1).unwrap();
+        let path = cache.path_for(&fam, 16, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let rebuilt = cache.load_or_build(&fam, 16, 1).unwrap();
+        assert_eq!(cache.stats(), (0, 2), "corrupt file must not count as a hit");
+        assert_eq!(fresh, rebuilt);
+        // The rebuild replaced the corrupt image with a valid one.
+        assert_eq!(Graph::load_frozen(&path).unwrap(), fresh);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

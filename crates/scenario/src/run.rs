@@ -6,11 +6,15 @@
 //! [`lcl_local::NodeExecutor`] — so a pooled run's report and persisted
 //! `rows.jsonl` are byte-identical to a `--seq` run's (gated in CI).
 
+use crate::cache::SnapshotCache;
 use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
 use lcl_bench::{grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
 use lcl_core::problems::{MatchingLabel, MisLabel};
 use lcl_local::{IdAssignment, Network};
+use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Experiment id stamped on every scenario row (the run-store directory
 /// carries the scenario name: `scenario-<name>`).
@@ -38,6 +42,58 @@ impl fmt::Display for CellError {
     }
 }
 
+/// How cells are measured, beyond the executor: the switches `run_spec`
+/// derives from the CLI surface (`--certify`, `--shard`,
+/// `--snapshot-dir` / `LCL_SNAPSHOT_DIR`).
+#[derive(Debug, Default)]
+pub struct MeasureOpts {
+    /// Re-check every algorithm output with the independent `lcl_certify`
+    /// checkers before accepting its row.
+    pub certify: bool,
+    /// Route the round-engine algorithms (Luby, matching) through
+    /// component-sharded execution ([`lcl_local::run_rounds_sharded_with`]):
+    /// the worker pool claims whole components, with bit-identical rows.
+    /// View-engine algorithms (Linial) are unaffected.
+    pub shard: bool,
+    /// Frozen-snapshot cache for built instances, if enabled.
+    pub snapshots: Option<SnapshotCache>,
+}
+
+impl MeasureOpts {
+    /// Derives the measurement switches from parsed CLI options:
+    /// `--certify`, `--shard`, and `--snapshot-dir DIR` (falling back to
+    /// the `LCL_SNAPSHOT_DIR` environment variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested snapshot directory cannot be created — a
+    /// run asked to cache must not silently run uncached.
+    #[must_use]
+    pub fn from_cli(opts: &CliOpts) -> MeasureOpts {
+        let dir = opts
+            .value_of("--snapshot-dir")
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("LCL_SNAPSHOT_DIR").map(PathBuf::from));
+        let snapshots = dir.map(|d| {
+            SnapshotCache::open(&d)
+                .unwrap_or_else(|e| panic!("cannot open snapshot dir {}: {e}", d.display()))
+        });
+        MeasureOpts { certify: opts.has("--certify"), shard: opts.has("--shard"), snapshots }
+    }
+}
+
+/// A measured cell: its rows plus the content hash of the instance they
+/// were measured on (what `run_spec` records into the manifest meta as
+/// `graph:<family>:<n>:<seed>`).
+#[derive(Clone, Debug)]
+pub struct CellMeasurement {
+    /// One row per algorithm, in spec order.
+    pub rows: Vec<Row>,
+    /// `Graph::content_hash()` of the instance (slab-layout independent,
+    /// identical whether the graph was generated or snapshot-loaded).
+    pub graph_hash: u64,
+}
+
 /// Runs one `(family, n, seed)` cell: builds the instance once, wraps it
 /// in a [`Network`] (shuffled ids from the cell seed), and runs every
 /// requested algorithm on it — one row per algorithm. Panicking wrapper
@@ -61,19 +117,40 @@ pub fn try_measure_cell(
     exec: EngineExec,
     certify: bool,
 ) -> Result<Vec<Row>, CellError> {
+    let m = MeasureOpts { certify, ..MeasureOpts::default() };
+    try_measure_cell_full(cell, algos, exec, &m).map(|out| out.rows)
+}
+
+/// [`try_measure_cell`] with the full switch set ([`MeasureOpts`]),
+/// returning the instance's content hash alongside the rows.
+///
+/// # Errors
+///
+/// [`CellError`] naming the `(family, n, seed)` cell and the cause.
+pub fn try_measure_cell_full(
+    cell: &Cell<FamilySpec>,
+    algos: &[AlgoSpec],
+    exec: EngineExec,
+    m: &MeasureOpts,
+) -> Result<CellMeasurement, CellError> {
     let fail = |detail: String| CellError {
         family: cell.family.slug(),
         n: cell.n,
         seed: cell.seed,
         detail,
     };
-    let g = cell.family.build(cell.n, cell.seed).map_err(|e| fail(e.to_string()))?;
+    let g = match &m.snapshots {
+        Some(cache) => cache.load_or_build(&cell.family, cell.n, cell.seed),
+        None => cell.family.build(cell.n, cell.seed),
+    }
+    .map_err(|e| fail(e.to_string()))?;
+    let graph_hash = g.content_hash();
     let net = Network::new(g, IdAssignment::Shuffled { seed: cell.seed });
     let nodes = net.len() as f64;
     let edges = net.graph().edge_count() as f64;
     let mut rows = Vec::with_capacity(algos.len());
     for algo in algos {
-        let (measured, mut extra) = try_run_algo(*algo, &net, cell.seed, exec, certify)
+        let (measured, mut extra) = try_run_algo(*algo, &net, cell.seed, exec, m)
             .map_err(|e| fail(format!("{}: {e}", algo.slug())))?;
         extra.push(("nodes".to_string(), nodes));
         extra.push(("edges".to_string(), edges));
@@ -86,7 +163,7 @@ pub fn try_measure_cell(
             extra,
         });
     }
-    Ok(rows)
+    Ok(CellMeasurement { rows, graph_hash })
 }
 
 /// Runs a [`lcl_certify::Solution`] (or a decode failure) through the
@@ -104,13 +181,18 @@ fn try_run_algo(
     net: &Network,
     seed: u64,
     exec: EngineExec,
-    certify: bool,
+    m: &MeasureOpts,
 ) -> Result<(f64, Vec<(String, f64)>), String> {
+    let certify = m.certify;
     let n = net.len() as f64;
     match algo {
         AlgoSpec::Luby => {
-            let out = lcl_algos::luby_rounds::try_run_with(net, seed, &exec)
-                .map_err(|e| e.to_string())?;
+            let out = if m.shard {
+                lcl_algos::luby_rounds::try_run_sharded_with(net, seed, &exec)
+            } else {
+                lcl_algos::luby_rounds::try_run_with(net, seed, &exec)
+            }
+            .map_err(|e| e.to_string())?;
             if certify {
                 recheck(net.graph(), out.solution(net.graph()))?;
             }
@@ -119,8 +201,12 @@ fn try_run_algo(
             Ok((f64::from(out.rounds), vec![("mis_frac".to_string(), in_set as f64 / n)]))
         }
         AlgoSpec::Matching => {
-            let out = lcl_algos::matching_rounds::try_run_with(net, seed, &exec)
-                .map_err(|e| e.to_string())?;
+            let out = if m.shard {
+                lcl_algos::matching_rounds::try_run_sharded_with(net, seed, &exec)
+            } else {
+                lcl_algos::matching_rounds::try_run_with(net, seed, &exec)
+            }
+            .map_err(|e| e.to_string())?;
             if certify {
                 recheck(net.graph(), out.solution(net.graph()))?;
             }
@@ -165,12 +251,32 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
     let runner = BatchRunner::from_opts(opts);
     let exec = runner.node_executor();
     let algos = spec.algos.clone();
-    let certify = opts.has("--certify");
-    let (mut report, failures) =
-        runner.try_run(&cells, |cell| try_measure_cell(cell, &algos, exec, certify));
+    let m = MeasureOpts::from_cli(opts);
+    // Cells report their instance hash through a side channel (the
+    // measure closure only returns rows); the map is re-read in canonical
+    // cell order below, so pooled and sequential manifests are identical.
+    let hashes: Mutex<HashMap<(String, usize, u64), u64>> = Mutex::new(HashMap::new());
+    let (mut report, failures) = runner.try_run(&cells, |cell| {
+        try_measure_cell_full(cell, &algos, exec, &m).map(|out| {
+            let key = (cell.family.slug(), cell.n, cell.seed);
+            hashes.lock().expect("hash channel poisoned").insert(key, out.graph_hash);
+            out.rows
+        })
+    });
     report.push_meta("scenario", spec.name.clone());
     report.push_meta("spec_hash", spec.hash());
     report.push_meta("spec_json", spec.to_json());
+    let hashes = hashes.into_inner().expect("hash channel poisoned");
+    for cell in &cells {
+        let key = (cell.family.slug(), cell.n, cell.seed);
+        if let Some(h) = hashes.get(&key) {
+            report.push_meta(format!("graph:{}:{}:{}", key.0, key.1, key.2), format!("{h:016x}"));
+        }
+    }
+    if let Some(cache) = &m.snapshots {
+        let (hits, misses) = cache.stats();
+        eprintln!("snapshot cache: {hits} hits, {misses} misses in {}", cache.dir().display());
+    }
     (report, failures.into_iter().map(|(_, e)| e).collect())
 }
 

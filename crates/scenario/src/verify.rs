@@ -15,14 +15,17 @@
 //!    [`FamilySpec::from_slug`] for runs persisted before it existed),
 //!    re-run sequentially with the independent `lcl_certify` checkers
 //!    enabled, and the recomputed rows compared **exactly** to the stored
-//!    ones. Exact `f64` equality is sound here: rows serialize with
+//!    ones; when the manifest records a `graph:<cell>` content hash, the
+//!    regenerated instance's hash must match it too, so a run measured on
+//!    a stale snapshot cannot verify. Exact `f64` equality is sound here:
+//!    rows serialize with
 //!    shortest-roundtrip formatting, and CI already byte-compares pooled
 //!    vs sequential `rows.jsonl`.
 //!
 //! Rows of other experiments (no scenario series to re-derive) get check 1
 //! only; [`VerifiedRun::replayed`] says how far the verification reached.
 
-use crate::run::{try_measure_cell, EXPERIMENT_ID};
+use crate::run::{try_measure_cell_full, MeasureOpts, EXPERIMENT_ID};
 use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
 use lcl_bench::{Cell, EngineExec};
 use lcl_report::{RowRecord, StoredRun};
@@ -44,7 +47,8 @@ pub struct RowViolation {
     /// Seed of the offending row (0 for manifest-level).
     pub seed: u64,
     /// Violation kind slug: `manifest-integrity`, `series-parse`,
-    /// `regen`, `measured-mismatch`, or `extra-mismatch`.
+    /// `regen`, `graph-hash-mismatch`, `measured-mismatch`, or
+    /// `extra-mismatch`.
     pub kind: String,
     /// Human-readable cause.
     pub detail: String,
@@ -129,6 +133,20 @@ pub fn verify_run(run: &StoredRun) -> io::Result<VerifiedRun> {
         .map(|spec| spec.families.iter().map(|f| (f.slug(), f.clone())).collect())
         .unwrap_or_default();
 
+    // `graph:<slug>:<n>:<seed>` meta records the content hash of the exact
+    // instance each cell was measured on (snapshot-loaded or generated);
+    // regeneration must reproduce it, or the run was measured on a graph
+    // the spec no longer describes (e.g. a stale snapshot cache).
+    let graph_hashes: HashMap<String, u64> = run
+        .manifest
+        .meta
+        .iter()
+        .filter_map(|(k, v)| {
+            let cell = k.strip_prefix("graph:")?;
+            Some((cell.to_string(), u64::from_str_radix(v, 16).ok()?))
+        })
+        .collect();
+
     let mut replayed = 0usize;
     let mut i = 0usize;
     while i < rows.len() {
@@ -180,12 +198,29 @@ pub fn verify_run(run: &StoredRun) -> io::Result<VerifiedRun> {
         }
 
         let cell = Cell { family, n, seed };
-        match try_measure_cell(&cell, &algos, EngineExec::Sequential, true) {
+        let m = MeasureOpts { certify: true, ..MeasureOpts::default() };
+        match try_measure_cell_full(&cell, &algos, EngineExec::Sequential, &m) {
             Err(e) => {
                 let detail = format!("cell failed to replay: {e}");
                 violations.push(row_violation(start, &rows[start], "regen", detail));
             }
-            Ok(expected) => {
+            Ok(measured) => {
+                if let Some(&want) = graph_hashes.get(&format!("{fam_slug}:{n}:{seed}")) {
+                    if measured.graph_hash != want {
+                        let detail = format!(
+                            "manifest records instance hash {want:016x} but regeneration \
+                             yields {:016x}",
+                            measured.graph_hash
+                        );
+                        violations.push(row_violation(
+                            start,
+                            &rows[start],
+                            "graph-hash-mismatch",
+                            detail,
+                        ));
+                    }
+                }
+                let expected = measured.rows;
                 for (j, stored) in cell_rows.iter().enumerate() {
                     let Some(exp) = expected.iter().find(|er| er.series == stored.series) else {
                         continue; // its series-parse violation is already recorded
@@ -314,6 +349,23 @@ mod tests {
         std::fs::write(run.dir.join("rows.jsonl"), lines.join("\n") + "\n").unwrap();
         let v = verify_run(&run).unwrap();
         assert!(v.violations.iter().any(|x| x.kind == "series-parse"), "{:?}", v.violations);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn tampered_graph_hash_is_caught() {
+        let tmp = tempdir("verify-ghash");
+        let mut run = persisted(&tmp);
+        let entry = run
+            .manifest
+            .meta
+            .iter_mut()
+            .find(|(k, _)| k.starts_with("graph:"))
+            .expect("run_spec records a graph hash per cell");
+        entry.1 = "deadbeefdeadbeef".into();
+        let v = verify_run(&run).unwrap();
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert_eq!(v.violations[0].kind, "graph-hash-mismatch");
         std::fs::remove_dir_all(&tmp).ok();
     }
 

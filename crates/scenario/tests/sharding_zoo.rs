@@ -1,0 +1,147 @@
+//! Component-sharding correctness across the scenario family zoo.
+//!
+//! Two layers of evidence that huge-graph sharding is safe to turn on for
+//! any workload the scenario layer can express:
+//!
+//! * the flat [`Components`] partition is a true partition (every node in
+//!   exactly one component, components closed under adjacency, `extract`
+//!   interchangeable with `induced_subgraph`) on instances drawn from all
+//!   six generator families;
+//! * property tests: on random disconnected instances, the sharded entry
+//!   points of both round-engine algorithms (`luby_rounds`,
+//!   `matching_rounds`) produce **bit-identical** labelings and round
+//!   counts to their unsharded counterparts.
+
+use lcl_graph::{gen, Components, Graph};
+use lcl_local::{IdAssignment, Network, Sequential};
+use lcl_scenario::FamilySpec;
+use proptest::prelude::*;
+
+fn zoo() -> Vec<FamilySpec> {
+    vec![
+        FamilySpec::RandomRegular { d: 3 },
+        FamilySpec::Gnm { avg_deg: 2.0 },
+        FamilySpec::Torus,
+        FamilySpec::Hypercube,
+        FamilySpec::Caterpillar { leaf_frac: 0.4 },
+        FamilySpec::LiftedGadget { delta: 3, height: 2 },
+    ]
+}
+
+/// Asserts that `c` is a true partition of `g`'s nodes into
+/// adjacency-closed classes, consistent with `component_of`.
+fn assert_partition(g: &Graph, c: &Components) {
+    let mut seen = vec![false; g.node_count()];
+    for (idx, members) in c.iter().enumerate() {
+        assert!(!members.is_empty(), "component {idx} is empty");
+        for &v in members {
+            assert!(!seen[v.index()], "{v:?} listed twice");
+            seen[v.index()] = true;
+            assert_eq!(c.component_of(v), idx);
+            for (w, _) in g.neighbors(v) {
+                assert_eq!(c.component_of(w), idx, "edge leaves component {idx}");
+            }
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "some node is in no component");
+}
+
+#[test]
+fn partition_invariants_hold_across_the_family_zoo() {
+    for family in zoo() {
+        let g = family.build(64, 5).unwrap_or_else(|e| panic!("{}: {e}", family.slug()));
+        let c = Components::new(&g);
+        assert_partition(&g, &c);
+        for comp in 0..c.count() {
+            let (slow, back) = g.induced_subgraph(c.members(comp));
+            assert_eq!(c.extract(&g, comp), slow, "{}: extract diverged", family.slug());
+            assert_eq!(back, c.members(comp));
+        }
+    }
+}
+
+#[test]
+fn torus_and_hypercube_instances_are_connected() {
+    for family in [FamilySpec::Torus, FamilySpec::Hypercube] {
+        let g = family.build(100, 0).unwrap();
+        assert!(Components::new(&g).is_connected(), "{} split", family.slug());
+    }
+}
+
+#[test]
+fn appended_caterpillars_shard_one_component_each() {
+    // Caterpillars are trees, so a disjoint union of five builds is
+    // exactly five shards — the shape the snapshot sweeps exercise.
+    let family = FamilySpec::Caterpillar { leaf_frac: 0.5 };
+    let mut g = Graph::new();
+    for seed in 0..5 {
+        g.append(&family.build(40, seed).unwrap());
+    }
+    let c = Components::new(&g);
+    assert_eq!(c.count(), 5);
+    assert_eq!(c.largest(), 40);
+}
+
+#[test]
+fn lift_component_sizes_are_multiples_of_the_base_order() {
+    // Every component of a k-lift of a connected base G is itself a lift
+    // of G, so its size is a multiple of |V(G)| — the structural fact the
+    // multi-component bench sweep leans on.
+    let base = gen::cycle(16);
+    let g = gen::random_lift(&base, 8, 3);
+    assert_eq!(g.node_count(), 16 * 8);
+    let c = Components::new(&g);
+    for comp in 0..c.count() {
+        assert_eq!(c.size(comp) % 16, 0, "component {comp} has size {}", c.size(comp));
+    }
+}
+
+/// A disjoint union of small pieces, one per `(kind, size)` pair.
+fn disconnected_instance(pieces: &[(u8, usize)], seed: u64) -> Graph {
+    let mut g = Graph::new();
+    for (i, &(kind, sz)) in pieces.iter().enumerate() {
+        let pseed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let piece = match kind % 4 {
+            0 => gen::cycle(sz),
+            1 => gen::path(sz),
+            2 => gen::star(sz),
+            _ => gen::random_tree(sz, pseed),
+        };
+        g.append(&piece);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn luby_sharded_is_bit_identical(
+        pieces in proptest::collection::vec((0u8..4, 3usize..12), 1..5),
+        seed in 0u64..500,
+        idseed in 0u64..100,
+    ) {
+        let g = disconnected_instance(&pieces, seed);
+        let net = Network::new(g, IdAssignment::Shuffled { seed: idseed });
+        let plain = lcl_algos::luby_rounds::try_run_with(&net, seed, &Sequential).unwrap();
+        let sharded =
+            lcl_algos::luby_rounds::try_run_sharded_with(&net, seed, &Sequential).unwrap();
+        prop_assert_eq!(plain.labeling, sharded.labeling);
+        prop_assert_eq!(plain.rounds, sharded.rounds);
+    }
+
+    #[test]
+    fn matching_sharded_is_bit_identical(
+        pieces in proptest::collection::vec((0u8..4, 3usize..12), 1..5),
+        seed in 0u64..500,
+        idseed in 0u64..100,
+    ) {
+        let g = disconnected_instance(&pieces, seed);
+        let net = Network::new(g, IdAssignment::Shuffled { seed: idseed });
+        let plain = lcl_algos::matching_rounds::try_run_with(&net, seed, &Sequential).unwrap();
+        let sharded =
+            lcl_algos::matching_rounds::try_run_sharded_with(&net, seed, &Sequential).unwrap();
+        prop_assert_eq!(plain.labeling, sharded.labeling);
+        prop_assert_eq!(plain.rounds, sharded.rounds);
+    }
+}

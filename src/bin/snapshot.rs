@@ -1,0 +1,141 @@
+//! `snapshot` — the frozen-graph image CLI (CI's snapshot roundtrip gate).
+//!
+//! ```text
+//! snapshot freeze <family-slug> <n> <seed> <path>   build + freeze an instance
+//! snapshot check <path>                             load + validate (hash, bounds)
+//! snapshot roundtrip <family-slug> <n> <seed>       freeze → load → byte-compare
+//! ```
+//!
+//! `check` exercises the full `Graph::load_frozen` validation surface —
+//! magic, version, payload length, FNV content hash, CSR bounds — so a
+//! corrupted image exits nonzero with the loader's message. `roundtrip`
+//! is self-contained: it builds the instance, freezes it to a temp file,
+//! loads it back, and byte-compares both the structural graph and a
+//! re-frozen image (the frozen format is canonical: freeze ∘ load ∘
+//! freeze is the identity on bytes). Family slugs are the scenario
+//! layer's (`torus`, `hypercube`, `3-regular`, `caterpillar-40`, …).
+//!
+//! Exit codes: 0 ok, 1 validation/roundtrip failure, 2 usage error.
+
+use lcl_graph::Graph;
+use lcl_scenario::FamilySpec;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snapshot <command>
+  freeze <family-slug> <n> <seed> <path>   build the instance and freeze it
+  check <path>                             load + validate a frozen image
+  roundtrip <family-slug> <n> <seed>       freeze -> load -> byte-compare";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["freeze", slug, n, seed, path] => cmd_freeze(slug, n, seed, Path::new(path)),
+        ["check", path] => cmd_check(Path::new(path)),
+        ["roundtrip", slug, n, seed] => cmd_roundtrip(slug, n, seed),
+        _ => {
+            eprintln!("snapshot: missing or unknown command\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn build(slug: &str, n: &str, seed: &str) -> Result<Graph, String> {
+    let family =
+        FamilySpec::from_slug(slug).ok_or_else(|| format!("unknown family slug `{slug}`"))?;
+    let n: usize = n.parse().map_err(|_| format!("bad n `{n}`"))?;
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+    family.build(n, seed).map_err(|e| e.to_string())
+}
+
+fn cmd_freeze(slug: &str, n: &str, seed: &str, path: &Path) -> ExitCode {
+    let g = match build(slug, n, seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match g.freeze(path) {
+        Ok(hash) => {
+            println!(
+                "froze {slug} n={} m={} to {} (hash {hash:016x})",
+                g.node_count(),
+                g.edge_count(),
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: freeze failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(path: &Path) -> ExitCode {
+    match Graph::load_frozen(path) {
+        Ok(g) => {
+            println!(
+                "ok: {} nodes, {} edges, hash {:016x}",
+                g.node_count(),
+                g.edge_count(),
+                g.content_hash()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: invalid image {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_roundtrip(slug: &str, n: &str, seed: &str) -> ExitCode {
+    let g = match build(slug, n, seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("snapshot-rt-{}-a.lclg", std::process::id()));
+    let b = dir.join(format!("snapshot-rt-{}-b.lclg", std::process::id()));
+    let result = roundtrip(&g, &a, &b);
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    match result {
+        Ok(hash) => {
+            println!(
+                "roundtrip ok: {slug} n={} m={} hash {hash:016x}",
+                g.node_count(),
+                g.edge_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: roundtrip failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn roundtrip(g: &Graph, a: &Path, b: &Path) -> Result<u64, String> {
+    let hash = g.freeze(a).map_err(|e| format!("freeze: {e}"))?;
+    let loaded = Graph::load_frozen(a).map_err(|e| format!("load: {e}"))?;
+    if &loaded != g {
+        return Err("loaded graph differs structurally from the original".into());
+    }
+    if loaded.content_hash() != hash {
+        return Err("loaded content hash differs from the frozen header".into());
+    }
+    loaded.freeze(b).map_err(|e| format!("re-freeze: {e}"))?;
+    let bytes_a = std::fs::read(a).map_err(|e| e.to_string())?;
+    let bytes_b = std::fs::read(b).map_err(|e| e.to_string())?;
+    if bytes_a != bytes_b {
+        return Err("re-frozen image is not byte-identical".into());
+    }
+    Ok(hash)
+}

@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for the `memmap2` crate: **read-only** file
+//! mappings, just enough for the frozen graph snapshot loader.
+//!
+//! This build environment has no crates-io access, so the real crate (and
+//! `libc`) are unavailable; on unix we call `mmap`/`munmap` directly through
+//! `extern "C"`. Everywhere else — and whenever the `LCL_NO_MMAP`
+//! environment variable is set or the mapping fails (e.g. zero-length
+//! files) — the file is read into an owned buffer instead, so callers see
+//! the same `&[u8]` either way and tests run without mmap support.
+//!
+//! The first-party crates `#![forbid(unsafe_code)]`; the unsafe FFI lives
+//! here, outside the workspace, like the other vendored shims.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::os::raw::c_void,
+        len: usize,
+    },
+    Buffered(Vec<u8>),
+}
+
+/// An immutable view of a file's bytes: a private read-only mapping when
+/// the platform provides one, an owned buffer otherwise.
+pub struct Mmap {
+    inner: Inner,
+}
+
+// SAFETY: the mapping is private and read-only; the kernel never mutates
+// it under us and we expose only `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only, falling back to a buffered read when mapping
+    /// is unavailable (non-unix, `LCL_NO_MMAP` set, empty file, or a failed
+    /// `mmap` call).
+    pub fn map_path(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        if std::env::var_os("LCL_NO_MMAP").is_none() && len > 0 {
+            #[cfg(unix)]
+            {
+                use std::os::unix::io::AsRawFd;
+                // SAFETY: fd is valid for the duration of the call; a
+                // PROT_READ + MAP_PRIVATE mapping of `len` bytes at offset
+                // 0 is within the file we just measured. The pointer is
+                // owned by the returned Mmap and unmapped exactly once.
+                let ptr = unsafe {
+                    sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_PRIVATE, file.as_raw_fd(), 0)
+                };
+                if ptr as isize != -1 && !ptr.is_null() {
+                    return Ok(Mmap { inner: Inner::Mapped { ptr, len } });
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap { inner: Inner::Buffered(buf) })
+    }
+
+    /// True if this view is backed by a real memory mapping (diagnostics).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Buffered(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful read-only mmap that
+            // lives as long as self.
+            Inner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr.cast::<u8>(), *len)
+            },
+            Inner::Buffered(buf) => buf,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: exactly the pointer/length pair returned by mmap.
+                unsafe {
+                    sys::munmap(*ptr, *len);
+                }
+            }
+            Inner::Buffered(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapped_bytes_match_file_contents() {
+        let p = tmp("basic", b"hello mapping");
+        let m = Mmap::map_path(&p).unwrap();
+        assert_eq!(&*m, b"hello mapping");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_buffer() {
+        let p = tmp("empty", b"");
+        let m = Mmap::map_path(&p).unwrap();
+        assert!(!m.is_mapped());
+        assert!(m.is_empty());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::map_path(Path::new("/definitely/not/here")).is_err());
+    }
+}
