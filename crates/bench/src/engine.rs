@@ -18,6 +18,8 @@
 use crate::{Report, Row};
 use lcl_local::NodeExecutor;
 use rayon::prelude::*;
+use std::fmt;
+use std::time::Instant;
 
 /// Rayon-backed [`NodeExecutor`]: per-node work fans across cores, results
 /// land in node order.
@@ -113,6 +115,69 @@ pub struct Cell<F> {
     pub seed: u64,
 }
 
+/// A family descriptor that can name itself: the engine uses the slug to
+/// build stable [`CellKey`]s, so cell attribution (errors, timings)
+/// survives any execution order.
+pub trait FamilySlug {
+    /// Short, stable label for this family (e.g. `torus`, `gnm-d3`).
+    fn family_slug(&self) -> String;
+}
+
+impl FamilySlug for &str {
+    fn family_slug(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl FamilySlug for String {
+    fn family_slug(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Stable identity of a grid cell: the `(family slug, n, seed)` triple.
+/// Unlike an enumeration index, the key still names the right cell after
+/// the scheduler has reordered execution.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Family slug of the cell.
+    pub family: String,
+    /// Instance size of the cell.
+    pub n: usize,
+    /// Run seed of the cell.
+    pub seed: u64,
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.family, self.n, self.seed)
+    }
+}
+
+impl<F: FamilySlug> Cell<F> {
+    /// This cell's stable [`CellKey`].
+    #[must_use]
+    pub fn key(&self) -> CellKey {
+        CellKey { family: self.family.family_slug(), n: self.n, seed: self.seed }
+    }
+}
+
+/// The result of a fallible grid execution: rows stitched in canonical
+/// cell order, failures keyed by stable [`CellKey`] (also in cell order),
+/// and each cell's wall-clock milliseconds — the training data for the
+/// grid scheduler's cost model.
+#[derive(Debug)]
+pub struct GridRun<E> {
+    /// The combined report; rows appear grouped by cell, in cell order,
+    /// regardless of which worker ran which cell.
+    pub report: Report,
+    /// Failed cells as `(key, error)` pairs, in cell order.
+    pub failures: Vec<(CellKey, E)>,
+    /// Wall-clock milliseconds per cell, indexed like the input cells
+    /// (failed cells report the time spent failing).
+    pub cell_ms: Vec<f64>,
+}
+
 /// The full cartesian grid `families × sizes × seeds`, in row-major order
 /// (family outermost, seed innermost) — the order the old sequential bins
 /// iterated in, so ported reports stay byte-identical.
@@ -204,34 +269,135 @@ impl BatchRunner {
     }
 
     /// Like [`BatchRunner::run`], but a cell may fail: failed cells
-    /// contribute no rows and come back as `(cell index, error)` pairs in
-    /// cell order, so one pathological instance fails one cell instead of
-    /// panicking the shared worker pool.
-    pub fn try_run<C, M, E>(&self, cells: &[C], measure: M) -> (Report, Vec<(usize, E)>)
+    /// contribute no rows and come back as stable `(`[`CellKey`]`, error)`
+    /// pairs in cell order, so one pathological instance fails one cell
+    /// instead of panicking the shared worker pool — and the attribution
+    /// survives reordered (scheduled) execution.
+    pub fn try_run<F, M, E>(&self, cells: &[Cell<F>], measure: M) -> (Report, Vec<(CellKey, E)>)
     where
-        C: Sync,
+        F: FamilySlug + Sync,
         E: Send,
-        M: Fn(&C) -> Result<Vec<Row>, E> + Sync,
+        M: Fn(&Cell<F>) -> Result<Vec<Row>, E> + Sync,
     {
-        let per_cell: Vec<Result<Vec<Row>, E>> = if self.parallel {
-            cells.par_iter().map(&measure).collect()
-        } else {
-            cells.iter().map(&measure).collect()
+        let run = self.try_run_timed(cells, measure);
+        (run.report, run.failures)
+    }
+
+    /// [`BatchRunner::try_run`] with per-cell wall-clock measurement: the
+    /// returned [`GridRun`] carries each cell's milliseconds alongside the
+    /// stitched report, so every run leaves cost-model training data.
+    /// Dispatch is the default chunked claiming (contiguous chunks of
+    /// `ceil(cells / workers)`); see [`BatchRunner::try_run_groups`] for
+    /// scheduled placement.
+    pub fn try_run_timed<F, M, E>(&self, cells: &[Cell<F>], measure: M) -> GridRun<E>
+    where
+        F: FamilySlug + Sync,
+        E: Send,
+        M: Fn(&Cell<F>) -> Result<Vec<Row>, E> + Sync,
+    {
+        let timed = |cell: &Cell<F>| {
+            let start = Instant::now();
+            let result = measure(cell);
+            (result, start.elapsed().as_secs_f64() * 1e3)
         };
-        let mut report = Report::new();
-        let mut failures = Vec::new();
-        for (i, result) in per_cell.into_iter().enumerate() {
-            match result {
-                Ok(rows) => {
-                    for row in rows {
-                        report.push(row);
-                    }
-                }
-                Err(e) => failures.push((i, e)),
+        let per_cell: Vec<CellOutcome<E>> = if self.parallel {
+            cells.par_iter().map(timed).collect()
+        } else {
+            cells.iter().map(timed).collect()
+        };
+        stitch(cells, per_cell)
+    }
+
+    /// Executes cells under an explicit worker assignment: `groups[w]`
+    /// lists the cell indices worker `w` runs, in order, as **one** pool
+    /// job — the dispatch half of the grid scheduler (`crate::sched`).
+    /// Rows, failures, and timings are stitched back in canonical cell
+    /// order, so a scheduled run's report is byte-identical to a `--seq`
+    /// run's no matter how cells were placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` is a partition of `0..cells.len()` — a
+    /// schedule that drops or duplicates a cell is a planner bug and must
+    /// fail loudly, not silently corrupt the report.
+    pub fn try_run_groups<F, M, E>(
+        &self,
+        cells: &[Cell<F>],
+        groups: &[Vec<usize>],
+        measure: M,
+    ) -> GridRun<E>
+    where
+        F: FamilySlug + Sync,
+        E: Send,
+        M: Fn(&Cell<F>) -> Result<Vec<Row>, E> + Sync,
+    {
+        let mut seen = vec![false; cells.len()];
+        for g in groups {
+            for &i in g {
+                assert!(
+                    i < cells.len(),
+                    "schedule names cell {i} outside the {}-cell grid",
+                    cells.len()
+                );
+                assert!(!seen[i], "schedule assigns cell {i} twice");
+                seen[i] = true;
             }
         }
-        (report, failures)
+        let missing = seen.iter().filter(|&&s| !s).count();
+        assert_eq!(missing, 0, "schedule leaves {missing} cell(s) unassigned");
+
+        let run_group = |group: &Vec<usize>| -> Vec<(usize, CellOutcome<E>)> {
+            group
+                .iter()
+                .map(|&i| {
+                    let start = Instant::now();
+                    let result = measure(&cells[i]);
+                    (i, (result, start.elapsed().as_secs_f64() * 1e3))
+                })
+                .collect()
+        };
+        // One pool job per group: with `groups.len()` jobs over
+        // `groups.len()` workers, the chunk-claiming pool hands each
+        // worker exactly one group.
+        let per_group: Vec<Vec<(usize, CellOutcome<E>)>> = if self.parallel {
+            groups.par_iter().map(run_group).collect()
+        } else {
+            groups.iter().map(run_group).collect()
+        };
+        // Scatter back into canonical cell order.
+        let mut slots: Vec<Option<CellOutcome<E>>> = (0..cells.len()).map(|_| None).collect();
+        for (i, outcome) in per_group.into_iter().flatten() {
+            slots[i] = Some(outcome);
+        }
+        let per_cell: Vec<CellOutcome<E>> =
+            slots.into_iter().map(|s| s.expect("partition checked above")).collect();
+        stitch(cells, per_cell)
     }
+}
+
+/// One executed cell's measurement outcome paired with its wall time in
+/// milliseconds.
+type CellOutcome<E> = (Result<Vec<Row>, E>, f64);
+
+/// Stitches per-cell outcomes (already in canonical cell order) into a
+/// [`GridRun`]: rows concatenate in cell order, failures carry stable
+/// keys, timings stay cell-indexed.
+fn stitch<F: FamilySlug, E>(cells: &[Cell<F>], per_cell: Vec<CellOutcome<E>>) -> GridRun<E> {
+    let mut report = Report::new();
+    let mut failures = Vec::new();
+    let mut cell_ms = Vec::with_capacity(per_cell.len());
+    for (cell, (result, ms)) in cells.iter().zip(per_cell) {
+        cell_ms.push(ms);
+        match result {
+            Ok(rows) => {
+                for row in rows {
+                    report.push(row);
+                }
+            }
+            Err(e) => failures.push((cell.key(), e)),
+        }
+    }
+    GridRun { report, failures, cell_ms }
 }
 
 #[cfg(test)]
@@ -290,7 +456,82 @@ mod tests {
         assert_eq!(seq.render(true), par.render(true));
         assert_eq!(seq_fail, par_fail);
         assert_eq!(seq.rows().len(), 2);
-        assert_eq!(seq_fail, vec![(0, "n=2 refused".to_string()), (2, "n=4 refused".to_string())]);
+        // Failures carry the stable (family, n, seed) key, in cell order.
+        assert_eq!(
+            seq_fail,
+            vec![
+                (CellKey { family: "fam".into(), n: 2, seed: 1 }, "n=2 refused".to_string()),
+                (CellKey { family: "fam".into(), n: 4, seed: 1 }, "n=4 refused".to_string()),
+            ]
+        );
+        assert_eq!(seq_fail[0].0.to_string(), "fam:2:1");
+    }
+
+    #[test]
+    fn timed_runs_record_per_cell_wall_clock() {
+        let cells = grid(&["fam"], &[3, 5], &[1, 2]);
+        let measure = |c: &Cell<&str>| -> Result<Vec<Row>, String> {
+            Ok(vec![Row {
+                experiment: "T",
+                series: c.family.to_string(),
+                n: c.n,
+                seed: c.seed,
+                measured: c.n as f64,
+                extra: Vec::new(),
+            }])
+        };
+        let run = BatchRunner::sequential().try_run_timed(&cells, measure);
+        assert!(run.failures.is_empty());
+        assert_eq!(run.cell_ms.len(), cells.len());
+        assert!(run.cell_ms.iter().all(|&ms| ms >= 0.0));
+        assert_eq!(run.report.rows().len(), cells.len());
+    }
+
+    #[test]
+    fn grouped_dispatch_is_byte_identical_and_keys_survive_reordering() {
+        let cells = grid(&["fam"], &[2, 3, 4, 5], &[1, 2]);
+        let measure = |c: &Cell<&str>| {
+            if c.n.is_multiple_of(2) {
+                Err(format!("n={} refused", c.n))
+            } else {
+                Ok(vec![Row {
+                    experiment: "T",
+                    series: c.family.to_string(),
+                    n: c.n,
+                    seed: c.seed,
+                    measured: c.n as f64 * c.seed as f64,
+                    extra: Vec::new(),
+                }])
+            }
+        };
+        let (plain, plain_fail) = BatchRunner::sequential().try_run(&cells, measure);
+        // A deliberately scrambled partition: reversed and interleaved.
+        let groups = vec![vec![7, 3], vec![6, 1, 0], vec![5, 2, 4]];
+        for runner in [BatchRunner::sequential(), BatchRunner::parallel()] {
+            let run = runner.try_run_groups(&cells, &groups, measure);
+            assert_eq!(run.report.render(true), plain.render(true));
+            assert_eq!(run.failures, plain_fail, "keys must survive reordered execution");
+            assert_eq!(run.cell_ms.len(), cells.len());
+        }
+        // The failure keys name the even-n cells in canonical order.
+        let keys: Vec<String> = plain_fail.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["fam:2:1", "fam:2:2", "fam:4:1", "fam:4:2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn grouped_dispatch_rejects_incomplete_partitions() {
+        let cells = grid(&["fam"], &[2, 3], &[1]);
+        let _ = BatchRunner::sequential()
+            .try_run_groups(&cells, &[vec![0]], |_c| Ok::<_, String>(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn grouped_dispatch_rejects_duplicate_assignments() {
+        let cells = grid(&["fam"], &[2, 3], &[1]);
+        let _ = BatchRunner::sequential()
+            .try_run_groups(&cells, &[vec![0, 1], vec![0]], |_c| Ok::<_, String>(Vec::new()));
     }
 
     #[test]

@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod sched;
 
-pub use engine::{grid, BatchRunner, Cell, EngineExec, Parallel};
+pub use engine::{grid, BatchRunner, Cell, CellKey, EngineExec, FamilySlug, GridRun, Parallel};
 pub use lcl_report::RowRecord;
+pub use sched::{build_schedule, predict_costs, CostModel, PowerLaw, Schedule};
 
 use lcl_report::{RunManifest, RunStore};
 use serde::Serialize;
@@ -293,6 +295,15 @@ impl Report {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
     }
+}
+
+/// Width of the persistent worker pool this process dispatches to (the
+/// number a schedule should target). Lazily sized once per process from
+/// `LCL_POOL_THREADS` / available parallelism, exactly like dispatch
+/// itself.
+#[must_use]
+pub fn pool_width() -> usize {
+    rayon::current_num_threads()
 }
 
 /// The default run id: compact UTC stamp plus pid, unique enough for

@@ -205,3 +205,40 @@ fn trend_reports_mean_and_percentile_bands_across_seeds() {
     // Unknown series yields no points rather than an error.
     assert!(lcl_report::trend(&runs, "absent").expect("ok").is_empty());
 }
+
+#[test]
+fn trend_pads_over_pre_scheduler_manifests() {
+    // A manifest written before the scheduler PR: no `meta` key at all
+    // (and hence no timing or prediction pairs). Written raw to disk so
+    // the whole list → trend → prediction-error pipeline is exercised on
+    // exactly the bytes an old store holds — it must pad, not error.
+    let scratch = Scratch::new("legacy");
+    let rows = vec![RowRecord {
+        experiment: "SCN".into(),
+        series: "torus/luby".into(),
+        n: 64,
+        seed: 1,
+        measured: 7.0,
+        extra: vec![],
+    }];
+    let dir = scratch.root.join("scenario-old/legacy-run");
+    fs::create_dir_all(&dir).unwrap();
+    let manifest = RunManifest::new("scenario-old", "legacy-run", &rows, 1, false, true);
+    let json = serde_json::to_string(&manifest).unwrap().replace(",\"meta\":[]", "");
+    assert!(!json.contains("\"meta\""), "fixture must predate the meta field");
+    fs::write(dir.join("manifest.json"), json).unwrap();
+    fs::write(dir.join("rows.jsonl"), format!("{}\n", serde_json::to_string(&rows[0]).unwrap()))
+        .unwrap();
+
+    let store = scratch.store();
+    let runs = store.list().expect("legacy manifest parses");
+    assert_eq!(runs.len(), 1);
+    assert!(runs[0].manifest.meta.is_empty());
+    let points = lcl_report::trend(&runs, "torus/luby").expect("trend over legacy run");
+    assert_eq!(points.len(), 1);
+    assert_eq!(points[0].mean_measured, 7.0);
+    // The padding contract `results trend`/`show` rely on: no pairs → None.
+    assert_eq!(lcl_report::prediction_error(&runs[0].manifest.meta), None);
+    // And the timing history reader treats the run as empty history.
+    assert!(lcl_report::cost_history(&store).expect("ok").is_empty());
+}

@@ -4,7 +4,8 @@
 //! scenarios [--spec-dir DIR] list
 //! scenarios [--spec-dir DIR] describe <name>
 //! scenarios [--spec-dir DIR] run <name> [--quick --seq --json --certify
-//!                                        --shard --snapshot-dir DIR
+//!                                        --shard --sched --no-sched
+//!                                        --snapshot-dir DIR
 //!                                        --out DIR --run-id ID --no-persist]
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! cells are reported individually and the process exits nonzero.
 //! `--shard` routes the round-engine algorithms through component-sharded
 //! execution (bit-identical rows; the pool claims whole components).
+//! Pooled runs are placed by the cost-model grid scheduler by default:
+//! per-cell costs predicted from persisted timing history (static
+//! degree-weighted estimates until history exists) drive a
+//! makespan-balanced worker assignment, and the manifest records
+//! `predicted_ms:`/`actual_ms:` per cell so `results show` can report the
+//! prediction error. Rows stay byte-identical to `--seq` regardless.
+//! `--no-sched` restores contiguous chunk claiming; `--sched` forces
+//! planning even under `--seq`.
 //! `--snapshot-dir DIR` (or `LCL_SNAPSHOT_DIR`) caches built instances as
 //! frozen snapshots keyed by `(family, knobs, n, seed)` — cache hits map
 //! the graph back in instead of re-generating it, with a hit/miss note on
@@ -34,8 +43,10 @@ const USAGE: &str = "usage: scenarios [--spec-dir DIR] <command>
   list                 catalog: file specs (scenarios/*.json) + built-in presets
   describe <name>      spec JSON, grid summary, and content hash
   run <name> [flags]   expand + run + persist (common flags: --quick --seq
-                       --json --certify --shard --snapshot-dir DIR
-                       --out DIR --run-id ID --no-persist)";
+                       --json --certify --shard --sched --no-sched
+                       --snapshot-dir DIR --out DIR --run-id ID --no-persist;
+                       pooled runs use the cost-model grid scheduler unless
+                       --no-sched, --sched forces planning even with --seq)";
 
 fn main() -> ExitCode {
     let opts = CliOpts::parse();

@@ -5,15 +5,33 @@
 //! worker pool, per-node work threaded through the cell's
 //! [`lcl_local::NodeExecutor`] — so a pooled run's report and persisted
 //! `rows.jsonl` are byte-identical to a `--seq` run's (gated in CI).
+//!
+//! Pooled runs are placed by the cost-model grid scheduler by default
+//! (`lcl_bench::sched`): per-cell costs predicted from persisted timing
+//! history (static degree-weighted estimates when there is none) drive a
+//! makespan-balanced worker assignment, dispatched through
+//! `BatchRunner::try_run_groups` — output bytes are unaffected because
+//! rows are stitched back in canonical cell order. Every run, scheduled
+//! or not, records per-cell wall clock into the manifest meta
+//! (`cell_ms:<family>:<n>:<seed>`), which is exactly the history the next
+//! run's model trains on; scheduled runs additionally record
+//! `predicted_ms:`/`actual_ms:` pairs so `results show` can report how
+//! wrong the model was. `--no-sched` restores chunked claiming,
+//! `--sched` forces planning even under `--seq` (the plan is still
+//! executed on one thread, but predictions land in the manifest).
 
 use crate::cache::SnapshotCache;
 use crate::spec::{AlgoSpec, FamilySpec, ScenarioSpec};
-use lcl_bench::{grid, BatchRunner, Cell, CliOpts, EngineExec, Report, Row};
+use lcl_bench::{
+    build_schedule, grid, predict_costs, BatchRunner, Cell, CliOpts, CostModel, EngineExec, Report,
+    Row, Schedule,
+};
 use lcl_core::problems::{MatchingLabel, MisLabel};
 use lcl_local::{IdAssignment, Network};
+use lcl_report::{bench_history, cost_history, RunStore};
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Experiment id stamped on every scenario row (the run-store directory
@@ -238,13 +256,54 @@ pub fn expand(spec: &ScenarioSpec, quick: bool) -> Vec<Cell<FamilySpec>> {
     grid(&spec.families, &sizes, &seeds)
 }
 
+/// Plans the makespan-balanced schedule for a cell grid, or `None` when
+/// scheduling is off. Pooled runs schedule by default (safe: output bytes
+/// are stitched in cell order either way); `--no-sched` always wins, and
+/// `--sched` forces planning even for a `--seq` run so predictions land
+/// in the manifest.
+///
+/// The cost model trains on every run persisted under `opts.out` (their
+/// `cell_ms:`/`actual_ms:` manifest meta via [`cost_history`]) plus any
+/// `BENCH_*.json` wall times under `LCL_BENCH_JSON_DIR` ([`bench_history`]);
+/// cells whose `(family, algo-set)` class has no history fall back to the
+/// static degree-weighted estimate [`FamilySpec::cost_weight`] ×
+/// Σ [`AlgoSpec::cost_factor`], calibrated onto the model's scale.
+#[must_use]
+pub fn schedule_for(
+    cells: &[Cell<FamilySpec>],
+    algos: &[AlgoSpec],
+    opts: &CliOpts,
+    runner: &BatchRunner,
+) -> Option<Schedule> {
+    if opts.has("--no-sched") || !(opts.has("--sched") || runner.is_parallel()) {
+        return None;
+    }
+    let mut samples = cost_history(&RunStore::new(&opts.out)).unwrap_or_default();
+    if let Some(dir) = std::env::var_os("LCL_BENCH_JSON_DIR") {
+        samples.extend(bench_history(Path::new(&dir)));
+    }
+    let model = CostModel::fit(&samples);
+    let algo_set = algos.iter().map(|a| a.slug()).collect::<Vec<_>>().join("+");
+    let classes: Vec<(String, String, usize)> =
+        cells.iter().map(|c| (c.family.slug(), algo_set.clone(), c.n)).collect();
+    let statics: Vec<f64> = cells
+        .iter()
+        .map(|c| c.family.cost_weight(c.n) * algos.iter().map(|a| a.cost_factor(c.n)).sum::<f64>())
+        .collect();
+    let costs = predict_costs(&model, &classes, &statics);
+    Some(build_schedule(&costs, lcl_bench::pool_width()))
+}
+
 /// Runs a whole scenario through the batch engine and returns the report
 /// plus any per-cell failures (in cell order), with the scenario name,
-/// spec hash, and full canonical spec JSON recorded as manifest meta — the
-/// caller exits through [`Report::finish`] to render and persist, and
-/// should exit nonzero if any cell failed. Passing `--certify` re-checks
-/// every algorithm output with the independent `lcl_certify` checkers
-/// before its row is accepted.
+/// spec hash, full canonical spec JSON, and per-cell wall clock
+/// (`cell_ms:<cell>`) recorded as manifest meta — the caller exits
+/// through [`Report::finish`] to render and persist, and should exit
+/// nonzero if any cell failed. Passing `--certify` re-checks every
+/// algorithm output with the independent `lcl_certify` checkers before
+/// its row is accepted. Pooled runs go through the grid scheduler
+/// ([`schedule_for`]) and additionally record `predicted_ms:`/
+/// `actual_ms:` meta per cell plus a `sched` provenance line.
 #[must_use]
 pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>) {
     let cells = expand(spec, opts.quick);
@@ -256,13 +315,19 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
     // measure closure only returns rows); the map is re-read in canonical
     // cell order below, so pooled and sequential manifests are identical.
     let hashes: Mutex<HashMap<(String, usize, u64), u64>> = Mutex::new(HashMap::new());
-    let (mut report, failures) = runner.try_run(&cells, |cell| {
+    let measure = |cell: &Cell<FamilySpec>| {
         try_measure_cell_full(cell, &algos, exec, &m).map(|out| {
             let key = (cell.family.slug(), cell.n, cell.seed);
             hashes.lock().expect("hash channel poisoned").insert(key, out.graph_hash);
             out.rows
         })
-    });
+    };
+    let sched = schedule_for(&cells, &algos, opts, &runner);
+    let run = match &sched {
+        Some(s) => runner.try_run_groups(&cells, &s.groups, measure),
+        None => runner.try_run_timed(&cells, measure),
+    };
+    let (mut report, failures, cell_ms) = (run.report, run.failures, run.cell_ms);
     report.push_meta("scenario", spec.name.clone());
     report.push_meta("spec_hash", spec.hash());
     report.push_meta("spec_json", spec.to_json());
@@ -271,6 +336,25 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
         let key = (cell.family.slug(), cell.n, cell.seed);
         if let Some(h) = hashes.get(&key) {
             report.push_meta(format!("graph:{}:{}:{}", key.0, key.1, key.2), format!("{h:016x}"));
+        }
+    }
+    // Per-cell wall clock, in every run: the next run's training data.
+    for (cell, ms) in cells.iter().zip(&cell_ms) {
+        report.push_meta(format!("cell_ms:{}", cell.key()), format!("{ms:.3}"));
+    }
+    if let Some(s) = &sched {
+        report.push_meta(
+            "sched",
+            format!("workers={} predicted_makespan_ms={:.3}", s.workers, s.predicted_makespan_ms),
+        );
+        // Predicted vs. actual per cell — the self-improvement record
+        // `results show` aggregates into a prediction error.
+        for (i, cell) in cells.iter().enumerate() {
+            report.push_meta(
+                format!("predicted_ms:{}", cell.key()),
+                format!("{:.3}", s.predicted_ms[i]),
+            );
+            report.push_meta(format!("actual_ms:{}", cell.key()), format!("{:.3}", cell_ms[i]));
         }
     }
     if let Some(cache) = &m.snapshots {

@@ -216,6 +216,37 @@ impl FamilySpec {
         Ok(())
     }
 
+    /// Degree-weighted instance-size estimate `n + m(n)` — the static
+    /// fallback of the grid scheduler's cost model
+    /// (`lcl_bench::predict_costs`) for families with no timing history.
+    /// The unit is "work items" (nodes plus edges), not milliseconds;
+    /// the scheduler calibrates it onto the model's scale, so only
+    /// *relative* magnitudes across cells matter.
+    #[must_use]
+    pub fn cost_weight(&self, n: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let nf = n.max(1) as f64;
+        match self {
+            FamilySpec::RandomRegular { d } => {
+                #[allow(clippy::cast_precision_loss)]
+                let d = *d as f64;
+                nf * (1.0 + d / 2.0)
+            }
+            FamilySpec::Gnm { avg_deg } => nf * (1.0 + avg_deg.max(0.0) / 2.0),
+            // 4-regular lattice: m = 2n.
+            FamilySpec::Torus => 3.0 * nf,
+            // deg = log₂ n, so m = n·log₂(n)/2.
+            FamilySpec::Hypercube => nf * (1.0 + nf.log2().max(1.0) / 2.0),
+            // A tree: m = n − 1.
+            FamilySpec::Caterpillar { .. } => 2.0 * nf,
+            FamilySpec::LiftedGadget { delta, .. } => {
+                #[allow(clippy::cast_precision_loss)]
+                let delta = *delta as f64;
+                nf * (1.0 + delta / 2.0)
+            }
+        }
+    }
+
     /// Parses a family back from its [`FamilySpec::slug`] — the fallback
     /// path `verify` uses for runs persisted before the manifest carried
     /// the full `spec_json`. Lossy where the slug is lossy: a caterpillar
@@ -301,6 +332,27 @@ impl AlgoSpec {
             "linial" => Some(AlgoSpec::Linial),
             _ => None,
         }
+    }
+
+    /// Round-complexity factor multiplying [`FamilySpec::cost_weight`] in
+    /// the scheduler's static cost fallback: the round engines sweep the
+    /// instance O(log n) times (Luby/matching terminate in O(log n)
+    /// rounds w.h.p.), while Linial's color reduction takes O(log* n)
+    /// rounds — a small constant over every size this grid supports.
+    #[must_use]
+    pub fn cost_factor(&self, n: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let lg = (n.max(2) as f64).log2();
+        match self {
+            AlgoSpec::Luby | AlgoSpec::Matching => lg,
+            AlgoSpec::Linial => 2.0 + lg.log2().max(0.0),
+        }
+    }
+}
+
+impl lcl_bench::FamilySlug for FamilySpec {
+    fn family_slug(&self) -> String {
+        self.slug()
     }
 }
 

@@ -11,6 +11,12 @@
 //! `diff` exits nonzero when the runs differ, so it doubles as a CI gate
 //! (parallel vs `--seq` runs of the same grid must diff empty).
 //!
+//! `show` surfaces the grid scheduler's aggregate prediction error
+//! (`sched-pred`) when the manifest carries `predicted_ms:`/`actual_ms:`
+//! meta pairs; `trend` appends a `pred-err` column, padded with `-` for
+//! runs without them — including pre-scheduler manifests, whose missing
+//! `meta` field deserializes as empty.
+//!
 //! `verify` is the independent-certifier gate: it re-derives the
 //! manifest's grid summary from `rows.jsonl`, and for scenario runs
 //! regenerates every instance from its `(family, n, seed)` coordinates
@@ -151,6 +157,14 @@ fn cmd_show(store: &RunStore, run_id: &str) -> std::io::Result<ExitCode> {
     for (k, v) in &m.meta {
         println!("meta         {k} = {v}");
     }
+    if let Some(pe) = lcl_report::prediction_error(&m.meta) {
+        println!(
+            "sched-pred   {} cell(s), mean |rel err| {:.1}%, max {:.1}%",
+            pe.cells,
+            pe.mean_abs_rel * 100.0,
+            pe.max_abs_rel * 100.0
+        );
+    }
     println!();
     println!("{:<4} {:<28} {:>9} {:>6} {:>12}  extra", "exp", "series", "n", "seed", "measured");
     for r in run.rows()? {
@@ -218,20 +232,31 @@ fn cmd_trend(store: &RunStore, experiment: &str, series: &str) -> std::io::Resul
         println!("no rows for series `{series}` in {} run(s)", runs.len());
         return Ok(ExitCode::SUCCESS);
     }
+    // Scheduler prediction error per run; "-" for runs without the
+    // predicted/actual meta pairs (unscheduled or pre-scheduler runs).
+    let pred_err: std::collections::HashMap<&str, String> = runs
+        .iter()
+        .map(|r| {
+            let label = lcl_report::prediction_error(&r.manifest.meta)
+                .map_or_else(|| "-".to_string(), |e| format!("{:.1}%", e.mean_abs_rel * 100.0));
+            (r.manifest.run_id.as_str(), label)
+        })
+        .collect();
     println!(
-        "{:<28} {:<20} {:>9} {:>12} {:>12} {:>12} {:>8}",
-        "run-id", "timestamp", "n", "mean", "p50", "p95", "samples"
+        "{:<28} {:<20} {:>9} {:>12} {:>12} {:>12} {:>8} {:>9}",
+        "run-id", "timestamp", "n", "mean", "p50", "p95", "samples", "pred-err"
     );
     for p in points {
         println!(
-            "{:<28} {:<20} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+            "{:<28} {:<20} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>8} {:>9}",
             p.run_id,
             p.timestamp_utc,
             p.n,
             p.mean_measured,
             p.p50_measured,
             p.p95_measured,
-            p.samples
+            p.samples,
+            pred_err.get(p.run_id.as_str()).map_or("-", String::as_str)
         );
     }
     Ok(ExitCode::SUCCESS)
