@@ -373,6 +373,120 @@ impl BatchRunner {
             slots.into_iter().map(|s| s.expect("partition checked above")).collect();
         stitch(cells, per_cell)
     }
+
+    /// Scheduled dispatch where a cell may consist of several independent
+    /// **parts** (the component shards of a store-backed huge cell; small
+    /// cells are single-part). Parts are the schedulable unit: item `j` of
+    /// the flattened cell-major list — parts `0..parts_per_cell[0]` of cell
+    /// 0 first, then cell 1's, and so on — may land on any worker, so one
+    /// huge cell's shards spread across the pool alongside whole small
+    /// cells. `measure_part(cell, part)` runs one part; once all of a
+    /// cell's parts are back, `assemble(cell, parts)` folds them (in part
+    /// order) into the cell's rows on the stitching thread.
+    ///
+    /// A cell's wall-clock charge is the **sum** of its parts' times plus
+    /// assembly — comparable to what the cell would cost unsplit, which is
+    /// what the scheduler's cost model wants to learn. If any part fails,
+    /// the lowest-indexed error becomes the cell's error (remaining parts
+    /// still run; they may share a worker with other cells' work) and
+    /// `assemble` is skipped. Rows, failures, and timings come back in
+    /// canonical cell order, byte-identical to a sequential in-cell run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts_per_cell` has the wrong length or a zero entry, or
+    /// unless `groups` is a partition of the flattened item indices.
+    pub fn try_run_parts<F, P, MP, A, E>(
+        &self,
+        cells: &[Cell<F>],
+        parts_per_cell: &[usize],
+        groups: &[Vec<usize>],
+        measure_part: MP,
+        assemble: A,
+    ) -> GridRun<E>
+    where
+        F: FamilySlug + Sync,
+        P: Send,
+        E: Send,
+        MP: Fn(usize, usize) -> Result<P, E> + Sync,
+        A: Fn(usize, Vec<P>) -> Result<Vec<Row>, E>,
+    {
+        assert_eq!(parts_per_cell.len(), cells.len(), "one part count per cell required");
+        assert!(parts_per_cell.iter().all(|&p| p >= 1), "every cell needs at least one part");
+        // Flatten cell-major: items[j] = (cell, part).
+        let mut items: Vec<(usize, usize)> = Vec::with_capacity(parts_per_cell.iter().sum());
+        for (cell, &parts) in parts_per_cell.iter().enumerate() {
+            for part in 0..parts {
+                items.push((cell, part));
+            }
+        }
+        let mut seen = vec![false; items.len()];
+        for g in groups {
+            for &j in g {
+                assert!(
+                    j < items.len(),
+                    "schedule names item {j} outside the {}-item grid",
+                    items.len()
+                );
+                assert!(!seen[j], "schedule assigns item {j} twice");
+                seen[j] = true;
+            }
+        }
+        let missing = seen.iter().filter(|&&s| !s).count();
+        assert_eq!(missing, 0, "schedule leaves {missing} item(s) unassigned");
+
+        type PartOutcome<P, E> = (Result<P, E>, f64);
+        let run_group = |group: &Vec<usize>| -> Vec<(usize, PartOutcome<P, E>)> {
+            group
+                .iter()
+                .map(|&j| {
+                    let (cell, part) = items[j];
+                    let start = Instant::now();
+                    let result = measure_part(cell, part);
+                    (j, (result, start.elapsed().as_secs_f64() * 1e3))
+                })
+                .collect()
+        };
+        let per_group: Vec<Vec<(usize, PartOutcome<P, E>)>> = if self.parallel {
+            groups.par_iter().map(run_group).collect()
+        } else {
+            groups.iter().map(run_group).collect()
+        };
+        let mut slots: Vec<Option<PartOutcome<P, E>>> = (0..items.len()).map(|_| None).collect();
+        for (j, outcome) in per_group.into_iter().flatten() {
+            slots[j] = Some(outcome);
+        }
+
+        // Fold each cell's parts, in part order, then assemble.
+        let mut per_cell: Vec<CellOutcome<E>> = Vec::with_capacity(cells.len());
+        let mut slot_iter = slots.into_iter();
+        for (cell, &parts) in parts_per_cell.iter().enumerate() {
+            let mut ms = 0.0;
+            let mut ok: Vec<P> = Vec::with_capacity(parts);
+            let mut err: Option<E> = None;
+            for _ in 0..parts {
+                let (result, part_ms) =
+                    slot_iter.next().flatten().expect("partition checked above");
+                ms += part_ms;
+                match result {
+                    Ok(p) if err.is_none() => ok.push(p),
+                    Ok(_) => {}
+                    Err(e) => err = err.or(Some(e)),
+                }
+            }
+            let outcome = match err {
+                Some(e) => Err(e),
+                None => {
+                    let start = Instant::now();
+                    let rows = assemble(cell, ok);
+                    ms += start.elapsed().as_secs_f64() * 1e3;
+                    rows
+                }
+            };
+            per_cell.push((outcome, ms));
+        }
+        stitch(cells, per_cell)
+    }
 }
 
 /// One executed cell's measurement outcome paired with its wall time in
@@ -532,6 +646,112 @@ mod tests {
         let cells = grid(&["fam"], &[2, 3], &[1]);
         let _ = BatchRunner::sequential()
             .try_run_groups(&cells, &[vec![0, 1], vec![0]], |_c| Ok::<_, String>(Vec::new()));
+    }
+
+    /// The shared fixture for the parts tests: cell rows are the sum of
+    /// per-part contributions, so any dropped / duplicated / reordered
+    /// part shows up as a wrong `measured` value.
+    fn parts_fixture() -> (Vec<Cell<&'static str>>, Vec<usize>) {
+        (grid(&["fam"], &[2, 3, 4, 5], &[1]), vec![1, 3, 1, 2])
+    }
+
+    fn assemble_sum<'a>(
+        cells: &'a [Cell<&'a str>],
+    ) -> impl Fn(usize, Vec<f64>) -> Result<Vec<Row>, String> + 'a {
+        move |cell, parts| {
+            Ok(vec![Row {
+                experiment: "T",
+                series: cells[cell].family.to_string(),
+                n: cells[cell].n,
+                seed: cells[cell].seed,
+                measured: parts.iter().sum(),
+                extra: vec![("parts".into(), parts.len() as f64)],
+            }])
+        }
+    }
+
+    #[test]
+    fn parts_dispatch_is_byte_identical_across_placements() {
+        let (cells, parts) = parts_fixture();
+        let measure_part =
+            |cell: usize, part: usize| Ok::<f64, String>((cell * 10 + part) as f64 + 1.0);
+        // Reference: every cell's parts on one worker, in order.
+        let reference = BatchRunner::sequential().try_run_parts(
+            &cells,
+            &parts,
+            &[vec![0], vec![1, 2, 3], vec![4], vec![5, 6]],
+            measure_part,
+            assemble_sum(&cells),
+        );
+        assert!(reference.failures.is_empty());
+        assert_eq!(reference.report.rows().len(), cells.len());
+        // A scrambled placement splitting cell 1's parts across workers.
+        let scrambled = vec![vec![6, 1], vec![4, 3, 0], vec![5, 2]];
+        for runner in [BatchRunner::sequential(), BatchRunner::parallel()] {
+            let run = runner.try_run_parts(
+                &cells,
+                &parts,
+                &scrambled,
+                measure_part,
+                assemble_sum(&cells),
+            );
+            assert_eq!(run.report.render(true), reference.report.render(true));
+            assert!(run.failures.is_empty());
+            assert_eq!(run.cell_ms.len(), cells.len());
+        }
+    }
+
+    #[test]
+    fn a_failed_part_fails_its_cell_with_the_lowest_part_error() {
+        let (cells, parts) = parts_fixture();
+        let measure_part = |cell: usize, part: usize| {
+            if cell == 1 && part >= 1 {
+                Err(format!("part {part} refused"))
+            } else {
+                Ok(part as f64)
+            }
+        };
+        let groups = vec![vec![0, 1, 2, 3, 4, 5, 6]];
+        let run = BatchRunner::sequential().try_run_parts(
+            &cells,
+            &parts,
+            &groups,
+            measure_part,
+            assemble_sum(&cells),
+        );
+        // Cell 1 fails with its first failing part; the other cells survive.
+        assert_eq!(run.report.rows().len(), 3);
+        assert_eq!(
+            run.failures,
+            vec![(CellKey { family: "fam".into(), n: 3, seed: 1 }, "part 1 refused".to_string())]
+        );
+        assert_eq!(run.cell_ms.len(), cells.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn parts_dispatch_rejects_incomplete_partitions() {
+        let (cells, parts) = parts_fixture();
+        let _ = BatchRunner::sequential().try_run_parts(
+            &cells,
+            &parts,
+            &[vec![0, 1, 2]],
+            |_c, _p| Ok::<f64, String>(0.0),
+            |_c, _p| Ok(Vec::new()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn parts_dispatch_rejects_empty_cells() {
+        let (cells, _) = parts_fixture();
+        let _ = BatchRunner::sequential().try_run_parts(
+            &cells,
+            &[1, 0, 1, 1],
+            &[vec![0, 1, 2]],
+            |_c, _p| Ok::<f64, String>(0.0),
+            |_c, _p| Ok(Vec::new()),
+        );
     }
 
     #[test]

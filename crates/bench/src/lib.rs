@@ -142,8 +142,8 @@ impl CliOpts {
     /// these.
     #[must_use]
     pub fn positional(&self) -> Vec<&str> {
-        const VALUE_FLAGS: [&str; 5] =
-            ["--out", "--run-id", "--spec-dir", "--tol", "--snapshot-dir"];
+        const VALUE_FLAGS: [&str; 6] =
+            ["--out", "--run-id", "--spec-dir", "--tol", "--snapshot-dir", "--huge-threshold"];
         let mut out = Vec::new();
         let mut i = 0;
         while let Some(a) = self.args.get(i) {
@@ -405,6 +405,12 @@ mod tests {
         assert_eq!(opts.value_of("--spec-dir"), Some("specs"));
         assert_eq!(opts.value_of("--out"), Some("dir"));
         assert_eq!(opts.value_of("--run-id"), None);
+        // --huge-threshold is a value flag: its value is not a positional.
+        let opts = CliOpts::from_args(
+            ["run", "zoo", "--shard", "--huge-threshold", "32"].map(String::from),
+        );
+        assert_eq!(opts.positional(), vec!["run", "zoo"]);
+        assert_eq!(opts.value_of("--huge-threshold"), Some("32"));
         // A value flag missing its value never swallows the next flag.
         let opts = CliOpts::from_args(["list", "--spec-dir", "--json"].map(String::from));
         assert_eq!(opts.positional(), vec!["list"]);

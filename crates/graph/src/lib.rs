@@ -43,6 +43,8 @@ mod cycles;
 mod graph;
 mod ids;
 mod metrics;
+mod shard_store;
+mod sink;
 mod snapshot;
 mod traversal;
 
@@ -58,4 +60,9 @@ pub use cycles::{shortest_cycle_through_edge, CanonicalCycle, CycleSearch};
 pub use graph::Graph;
 pub use ids::{EdgeId, HalfEdge, NodeId, Side};
 pub use metrics::{diameter, diameter_estimate, girth};
+pub use shard_store::{
+    ShardMeta, ShardStoreSummary, ShardedSnapshot, ShardedSnapshotWriter, DEFAULT_MAX_SHARDS,
+};
+pub use sink::{GraphSink, SnapshotWriter, StreamSummary};
+pub use snapshot::{snapshot_header, SnapshotHeader};
 pub use traversal::{bfs_distances, bfs_distances_capped, connected_components, Component};

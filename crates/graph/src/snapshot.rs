@@ -35,10 +35,63 @@ use std::fs::File;
 use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"LCLG";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"LCLG";
+pub(crate) const VERSION: u32 = 1;
 /// magic + version + n + m + max_degree + reserved + hash.
-const HEADER_LEN: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8;
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8;
+
+/// The fixed-size header of a frozen snapshot, read without touching the
+/// payload tables — what `snapshot info` prints for multi-gigabyte images
+/// in constant time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// FNV-1a 64 content hash of the payload, as stored in the header.
+    /// **Not** re-verified against the payload here; use
+    /// [`Graph::load_frozen`] for full validation.
+    pub hash: u64,
+}
+
+/// Reads and validates only the 32-byte header of a frozen snapshot.
+///
+/// # Errors
+///
+/// I/O errors opening the file, and `InvalidData` on a short file, wrong
+/// magic, or unsupported version.
+pub fn snapshot_header(path: &Path) -> io::Result<SnapshotHeader> {
+    use std::io::Read;
+    let mut file = File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match file.read(&mut header[filled..])? {
+            0 => return Err(invalid(format!("snapshot too short: {filled} bytes"))),
+            k => filled += k,
+        }
+    }
+    if &header[0..4] != MAGIC {
+        return Err(invalid("bad snapshot magic".to_string()));
+    }
+    let word = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
+    let version = word(4);
+    if version != VERSION {
+        return Err(invalid(format!("unsupported snapshot version {version}")));
+    }
+    Ok(SnapshotHeader {
+        version,
+        n: word(8) as usize,
+        m: word(12) as usize,
+        max_degree: word(16) as usize,
+        hash: u64::from_le_bytes(header[24..32].try_into().expect("8 bytes")),
+    })
+}
 
 /// Incremental FNV-1a 64 — the same hash the scenario subsystem uses for
 /// spec fingerprints, here over raw payload bytes.
@@ -371,6 +424,39 @@ mod tests {
         assert!(Graph::load_frozen(&p).is_err());
         fs::remove_file(&p).ok();
         assert!(Graph::load_frozen(Path::new("/definitely/not/here.lclg")).is_err());
+    }
+
+    #[test]
+    fn header_probe_reads_fields_without_the_payload() {
+        let g = gen::grid(6, 4);
+        let p = tmp("header-probe");
+        let hash = g.freeze(&p).unwrap();
+        let h = snapshot_header(&p).unwrap();
+        assert_eq!(h.version, VERSION);
+        assert_eq!(h.n, g.node_count());
+        assert_eq!(h.m, g.edge_count());
+        assert_eq!(h.max_degree, g.max_degree());
+        assert_eq!(h.hash, hash);
+        // The probe validates magic/version/length but not the payload:
+        // a payload flip passes the probe and fails the full loader.
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&p, &bytes).unwrap();
+        assert_eq!(snapshot_header(&p).unwrap(), h);
+        assert!(Graph::load_frozen(&p).is_err());
+        // Corrupt headers are typed errors, not panics.
+        fs::write(&p, b"NOPE").unwrap();
+        assert!(snapshot_header(&p).is_err());
+        fs::write(&p, &{
+            let mut b = bytes.clone();
+            b[5] = 9; // version → garbage
+            b
+        })
+        .unwrap();
+        let err = snapshot_header(&p).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        fs::remove_file(&p).ok();
     }
 
     #[test]

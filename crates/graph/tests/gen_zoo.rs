@@ -120,6 +120,46 @@ proptest! {
         prop_assert_eq!(&g, &gen::random_regular(n, d, seed).unwrap());
     }
 
+    // --- pods, the sparse cross-linked clique family ---------------------
+
+    #[test]
+    fn pods_invariants(
+        pods in 1usize..14,
+        pod_size in 2usize..9,
+        links_pm in 0usize..1000,
+        seed in 0u64..1000,
+    ) {
+        // Valid regime: 2·cross_links < pods (any cross_links when pods == 1).
+        let max_links = if pods > 1 { (pods - 1) / 2 } else { 3 };
+        let cross_links = links_pm * (max_links + 1) / 1000;
+        let g = gen::pods(pods, pod_size, cross_links, seed)
+            .expect("parameters are inside the documented regime");
+        prop_assert_eq!(g.node_count(), pods * pod_size);
+        let cross = if pods > 1 { pods * cross_links } else { 0 };
+        prop_assert_eq!(g.edge_count(), pods * (pod_size * (pod_size - 1) / 2) + cross);
+        prop_assert!(!g.has_multi_edges_or_loops());
+        // Degree bounds: every node sees its whole pod; cross links add at
+        // most 2·cross_links more (one outgoing + one incoming per offset).
+        prop_assert!(g.min_degree() >= pod_size - 1);
+        let extra = if pods > 1 { 2 * cross_links } else { 0 };
+        prop_assert!(g.max_degree() <= pod_size - 1 + extra);
+        // Connectivity: the cross ring joins everything; without it every
+        // pod is its own component.
+        let comps = connected_components(&g).len();
+        if pods == 1 || cross_links >= 1 {
+            prop_assert_eq!(comps, 1);
+        } else {
+            prop_assert_eq!(comps, pods);
+        }
+        assert_handshake(&g);
+        // Bit-identical second construction, and the streaming entry point
+        // emits the very same instance edge for edge.
+        prop_assert_eq!(&g, &gen::pods(pods, pod_size, cross_links, seed).unwrap());
+        let mut streamed = Graph::new();
+        gen::pods_into(pods, pod_size, cross_links, seed, &mut streamed).unwrap();
+        prop_assert_eq!(&g, &streamed);
+    }
+
     // --- torus, the sixth scenario family --------------------------------
 
     #[test]
@@ -145,4 +185,17 @@ fn randomized_generators_vary_with_the_seed() {
     assert!(differs(&|s| gen::caterpillar(10, 14, s)));
     assert!(differs(&|s| gen::random_lift(&gen::complete(5), 4, s)));
     assert!(differs(&|s| gen::random_regular(24, 3, s).unwrap()));
+    assert!(differs(&|s| gen::pods(9, 4, 2, s).unwrap()));
+}
+
+/// The pods family rejects degenerate shapes with a readable reason
+/// instead of emitting a malformed instance.
+#[test]
+fn pods_rejects_out_of_regime_parameters() {
+    assert!(gen::pods(0, 4, 1, 0).is_err()); // no pods at all
+    assert!(gen::pods(3, 1, 0, 0).is_err()); // pod too small for a clique
+    assert!(gen::pods(4, 3, 2, 0).is_err()); // 2·cross_links >= pods
+    assert!(gen::pods(2, 3, 1, 0).is_err()); // ditto at the boundary
+    assert!(gen::pods(1, 3, 5, 0).is_ok()); // single pod ignores links
+    assert!(gen::pods(5, 3, 2, 0).is_ok()); // largest legal link count
 }

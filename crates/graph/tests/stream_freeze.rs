@@ -1,0 +1,84 @@
+//! The streaming freeze path must be indistinguishable from the in-memory
+//! one: for every generator in the zoo, piping the instance through a
+//! [`SnapshotWriter`] produces a `.lclg` image byte-identical to building
+//! the [`Graph`] and calling [`Graph::freeze`]. This is the contract that
+//! lets huge instances skip materialization entirely.
+
+use std::fs;
+
+use lcl_graph::gen;
+use lcl_graph::{Graph, SnapshotWriter};
+use proptest::prelude::*;
+
+/// Build one zoo member, deterministically in `(pick, size, seed)`. The
+/// match arms deliberately cover every structural corner the snapshot
+/// format has to handle: self-loop-free simple graphs, multigraphs,
+/// disconnected graphs, isolated nodes, and the empty graph.
+fn zoo_member(pick: usize, size: usize, seed: u64) -> Graph {
+    let n = size.max(2);
+    match pick % 12 {
+        0 => gen::path(n),
+        1 => gen::cycle(n.max(3)),
+        2 => gen::complete(n.min(12)),
+        3 => gen::star(n),
+        4 => gen::regular_tree(3, n),
+        5 => gen::torus(3 + n % 5, 3 + seed as usize % 5),
+        6 => gen::random_regular_multigraph(2 * n, 3, seed) // loops + parallels
+            .expect("n·d is even"),
+        7 => gen::disjoint_cycles(1 + n % 4, 3 + seed as usize % 4),
+        8 => gen::random_tree(n, seed),
+        9 => gen::gnm(n, (n * (n - 1) / 2) * (seed as usize % 101) / 100, seed)
+            .expect("m is clamped under n(n-1)/2"),
+        10 => gen::caterpillar(1 + n / 2, n, seed),
+        _ => gen::pods(1 + n % 7, 2 + seed as usize % 5, (n % 7) / 2, seed)
+            .expect("cross_links < pods/2 by construction"),
+    }
+}
+
+/// Stream `g` through a `SnapshotWriter` and return the published bytes
+/// next to the reference image produced by `Graph::freeze`.
+fn bytes_both_ways(g: &Graph, tag: &str) -> (Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!("lcl-stream-freeze-{}-{tag}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let frozen = dir.join("frozen.lclg");
+    let streamed = dir.join("streamed.lclg");
+    g.freeze(&frozen).unwrap();
+    let mut w = SnapshotWriter::create(&streamed).unwrap();
+    g.stream_into(&mut w);
+    let summary = w.finish().unwrap();
+    assert_eq!(summary.n, g.node_count());
+    assert_eq!(summary.m, g.edge_count());
+    assert_eq!(summary.max_degree, g.max_degree());
+    let pair = (fs::read(&frozen).unwrap(), fs::read(&streamed).unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+    pair
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streamed_image_matches_freeze_across_the_zoo(
+        pick in 0usize..12,
+        size in 2usize..40,
+        seed in 0u64..1000,
+    ) {
+        let g = zoo_member(pick, size, seed);
+        let (frozen, streamed) = bytes_both_ways(&g, &format!("{pick}-{size}-{seed}"));
+        prop_assert_eq!(frozen, streamed);
+    }
+}
+
+/// The empty graph and a nodes-only graph are valid (if degenerate)
+/// snapshots, and the two freeze paths must agree there too.
+#[test]
+fn degenerate_graphs_stream_identically() {
+    let empty = Graph::new();
+    let (a, b) = bytes_both_ways(&empty, "empty");
+    assert_eq!(a, b);
+
+    let mut isolated = Graph::new();
+    isolated.add_nodes(17);
+    let (a, b) = bytes_both_ways(&isolated, "isolated");
+    assert_eq!(a, b);
+}

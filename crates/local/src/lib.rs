@@ -52,7 +52,7 @@ mod trace;
 mod views;
 
 pub use exec::{NodeExecutor, Sequential};
-pub use network::{IdAssignment, Network};
+pub use network::{assigned_ids, IdAssignment, Network};
 pub use rounds::{
     run_rounds, run_rounds_dense, run_rounds_dense_with, run_rounds_with, NodeCtx, RoundAlgorithm,
     RoundOutcome,

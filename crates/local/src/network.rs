@@ -28,6 +28,38 @@ pub enum IdAssignment {
     },
 }
 
+/// The identifier vector `assignment` would hand an `n`-node graph:
+/// `ids[k]` is the LOCAL identifier of node `k`.
+///
+/// [`Network::new`] is exactly `with_ids(graph, assigned_ids(n, a))`; the
+/// standalone form lets callers that never materialize the full graph
+/// (e.g. the sharded snapshot path) reproduce the same identifiers and
+/// slice out the entries for the nodes they do hold.
+#[must_use]
+pub fn assigned_ids(n: usize, assignment: IdAssignment) -> Vec<u64> {
+    match assignment {
+        IdAssignment::Sequential => (1..=n as u64).collect(),
+        IdAssignment::Shuffled { seed } => {
+            let mut ids: Vec<u64> = (1..=n as u64).collect();
+            ids.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0xB5C0_FBCF));
+            ids
+        }
+        IdAssignment::SparseShuffled { seed } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x05EE_D1D5);
+            let bound = (n as u64).saturating_mul(n as u64).max(1);
+            let mut chosen = std::collections::HashSet::with_capacity(n);
+            let mut ids = Vec::with_capacity(n);
+            while ids.len() < n {
+                let x = rand::Rng::gen_range(&mut rng, 1..=bound);
+                if chosen.insert(x) {
+                    ids.push(x);
+                }
+            }
+            ids
+        }
+    }
+}
+
 /// A network instance: a graph plus unique identifiers, plus the global
 /// knowledge (`n`, `Δ`) every node is given.
 #[derive(Clone, Debug)]
@@ -51,27 +83,7 @@ impl Network {
         // simulators' port walks).
         graph.compact();
         let n = graph.node_count();
-        let ids = match assignment {
-            IdAssignment::Sequential => (1..=n as u64).collect(),
-            IdAssignment::Shuffled { seed } => {
-                let mut ids: Vec<u64> = (1..=n as u64).collect();
-                ids.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0xB5C0_FBCF));
-                ids
-            }
-            IdAssignment::SparseShuffled { seed } => {
-                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x05EE_D1D5);
-                let bound = (n as u64).saturating_mul(n as u64).max(1);
-                let mut chosen = std::collections::HashSet::with_capacity(n);
-                let mut ids = Vec::with_capacity(n);
-                while ids.len() < n {
-                    let x = rand::Rng::gen_range(&mut rng, 1..=bound);
-                    if chosen.insert(x) {
-                        ids.push(x);
-                    }
-                }
-                ids
-            }
-        };
+        let ids = assigned_ids(n, assignment);
         let max_deg = graph.max_degree();
         Network { graph, ids, n_known: n, max_deg }
     }
@@ -191,6 +203,21 @@ mod tests {
         assert_eq!(a.ids(), b.ids());
         let c = Network::new(gen::cycle(10), IdAssignment::Shuffled { seed: 6 });
         assert_ne!(a.ids(), c.ids());
+    }
+
+    #[test]
+    fn assigned_ids_match_the_network_constructor() {
+        // The standalone helper is the contract the sharded run path leans
+        // on: slicing its output per shard must reproduce the ids the full
+        // Network would have assigned.
+        for assignment in [
+            IdAssignment::Sequential,
+            IdAssignment::Shuffled { seed: 9 },
+            IdAssignment::SparseShuffled { seed: 9 },
+        ] {
+            let net = Network::new(gen::cycle(15), assignment);
+            assert_eq!(net.ids(), assigned_ids(15, assignment).as_slice());
+        }
     }
 
     #[test]

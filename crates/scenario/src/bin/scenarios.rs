@@ -5,7 +5,7 @@
 //! scenarios [--spec-dir DIR] describe <name>
 //! scenarios [--spec-dir DIR] run <name> [--quick --seq --json --certify
 //!                                        --shard --sched --no-sched
-//!                                        --snapshot-dir DIR
+//!                                        --snapshot-dir DIR --huge-threshold N
 //!                                        --out DIR --run-id ID --no-persist]
 //! ```
 //!
@@ -30,7 +30,12 @@
 //! `--snapshot-dir DIR` (or `LCL_SNAPSHOT_DIR`) caches built instances as
 //! frozen snapshots keyed by `(family, knobs, n, seed)` — cache hits map
 //! the graph back in instead of re-generating it, with a hit/miss note on
-//! stderr. Specs resolve from `--spec-dir` (default `scenarios/`) first,
+//! stderr. With both `--shard` and a snapshot dir, cells above
+//! `--huge-threshold N` nodes (or `LCL_HUGE_THRESHOLD`; default `2^20`)
+//! are streamed into per-component sharded stores and measured shard by
+//! shard — the instance is never materialized whole, and the shards enter
+//! the scheduler pool as individual work items next to the small cells.
+//! Specs resolve from `--spec-dir` (default `scenarios/`) first,
 //! then the built-in presets; a file spec shadows a builtin of the same
 //! name.
 
@@ -44,9 +49,13 @@ const USAGE: &str = "usage: scenarios [--spec-dir DIR] <command>
   describe <name>      spec JSON, grid summary, and content hash
   run <name> [flags]   expand + run + persist (common flags: --quick --seq
                        --json --certify --shard --sched --no-sched
-                       --snapshot-dir DIR --out DIR --run-id ID --no-persist;
+                       --snapshot-dir DIR --huge-threshold N
+                       --out DIR --run-id ID --no-persist;
                        pooled runs use the cost-model grid scheduler unless
-                       --no-sched, --sched forces planning even with --seq)";
+                       --no-sched, --sched forces planning even with --seq;
+                       --shard + --snapshot-dir streams cells above the huge
+                       threshold into per-component stores measured shard
+                       by shard)";
 
 fn main() -> ExitCode {
     let opts = CliOpts::parse();

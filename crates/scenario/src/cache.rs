@@ -19,7 +19,7 @@
 //! verification.
 
 use crate::spec::FamilySpec;
-use lcl_graph::{gen::GenError, Graph};
+use lcl_graph::{gen::GenError, Graph, ShardedSnapshot, ShardedSnapshotWriter, DEFAULT_MAX_SHARDS};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -83,6 +83,51 @@ impl SnapshotCache {
         Ok(g)
     }
 
+    /// The sharded-snapshot directory for a cell:
+    /// `<family-slug>-n<k>-s<seed>.shards/` (a `shards.json` manifest plus
+    /// per-component `.lclg` images), next to the monolithic `.lclg` keys.
+    #[must_use]
+    pub fn sharded_dir_for(&self, family: &FamilySpec, n: usize, seed: u64) -> PathBuf {
+        self.dir.join(format!("{}-n{n}-s{seed}.shards", family.slug()))
+    }
+
+    /// Opens the cell's published sharded snapshot, or streams the
+    /// generator into a fresh one on a miss — the instance is never
+    /// materialized in memory on either path, which is the whole point for
+    /// huge cells. A directory that fails manifest validation is treated
+    /// as a miss: removed and rebuilt. Hits and misses fold into the same
+    /// counters as the monolithic cache, so `run_spec`'s single summary
+    /// line covers both.
+    ///
+    /// # Errors
+    ///
+    /// Generator refusals and I/O failures, flattened to strings (the
+    /// caller attributes them to the cell).
+    pub fn load_or_build_sharded(
+        &self,
+        family: &FamilySpec,
+        n: usize,
+        seed: u64,
+    ) -> Result<ShardedSnapshot, String> {
+        let dir = self.sharded_dir_for(family, n, seed);
+        if dir.is_dir() {
+            if let Ok(s) = ShardedSnapshot::open(&dir) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(s);
+            }
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| format!("cannot clear corrupt shard dir {}: {e}", dir.display()))?;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut w = ShardedSnapshotWriter::create(&dir, DEFAULT_MAX_SHARDS)
+            .map_err(|e| format!("cannot start sharded snapshot {}: {e}", dir.display()))?;
+        family.build_into(n, seed, &mut w).map_err(|e| e.to_string())?;
+        w.finish()
+            .map_err(|e| format!("cannot publish sharded snapshot {}: {e}", dir.display()))?;
+        ShardedSnapshot::open(&dir)
+            .map_err(|e| format!("freshly published {} fails to open: {e}", dir.display()))
+    }
+
     /// `(hits, misses)` so far.
     #[must_use]
     pub fn stats(&self) -> (usize, usize) {
@@ -129,6 +174,30 @@ mod tests {
         assert_ne!(a, cache.path_for(&FamilySpec::Torus, 25, 4));
         assert_ne!(a, cache.path_for(&FamilySpec::Torus, 36, 3));
         assert_ne!(a, cache.path_for(&FamilySpec::Caterpillar { leaf_frac: 0.4 }, 25, 3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_miss_then_hit_shares_the_counters() {
+        let dir = tempdir("sharded");
+        let cache = SnapshotCache::open(&dir).unwrap();
+        // Disconnected pods: 4 pods of 4, no cross links → 4 shards.
+        let fam = FamilySpec::Pods { pod_size: 4, cross_links: 0 };
+        let built = cache.load_or_build_sharded(&fam, 16, 3).unwrap();
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(built.shard_count(), 4);
+        assert_eq!(built.node_count(), 16);
+        let reopened = cache.load_or_build_sharded(&fam, 16, 3).unwrap();
+        assert_eq!(cache.stats(), (1, 1), "second open must be a hit");
+        assert_eq!(reopened.graph_hash(), built.graph_hash());
+        // The store holds exactly the instance build() would produce.
+        assert_eq!(built.graph_hash(), fam.build(16, 3).unwrap().content_hash());
+        // A trashed manifest demotes to a rebuild, not a hit.
+        let manifest = cache.sharded_dir_for(&fam, 16, 3).join("shards.json");
+        std::fs::write(&manifest, b"{}").unwrap();
+        let rebuilt = cache.load_or_build_sharded(&fam, 16, 3).unwrap();
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(rebuilt.graph_hash(), built.graph_hash());
         std::fs::remove_dir_all(&dir).ok();
     }
 

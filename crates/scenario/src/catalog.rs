@@ -9,20 +9,22 @@ pub const DEFAULT_SPEC_DIR: &str = "scenarios";
 
 /// The built-in presets, in catalog order.
 ///
-/// `zoo` is the acceptance preset: it covers all six generator-zoo
+/// `zoo` is the acceptance preset: it covers all seven generator-zoo
 /// families with every wired algorithm.
 #[must_use]
 pub fn builtins() -> Vec<ScenarioSpec> {
     vec![zoo(), mis_scaling(), lift_ladder()]
 }
 
-/// All six zoo families × all three algorithms — the everything preset
-/// and the CI determinism workload (`scenarios run zoo --quick`).
+/// All seven zoo families × all three algorithms — the everything preset
+/// and the CI determinism workload (`scenarios run zoo --quick`). The
+/// pods family is the deliberately disconnected member, so sharded and
+/// store-backed dispatch always sees multi-component cells here.
 #[must_use]
 pub fn zoo() -> ScenarioSpec {
     ScenarioSpec {
         name: "zoo".into(),
-        description: "all six generator-zoo families under Luby MIS, matching, and Linial".into(),
+        description: "all seven generator-zoo families under Luby MIS, matching, and Linial".into(),
         families: vec![
             FamilySpec::RandomRegular { d: 3 },
             FamilySpec::Gnm { avg_deg: 3.0 },
@@ -30,6 +32,7 @@ pub fn zoo() -> ScenarioSpec {
             FamilySpec::Hypercube,
             FamilySpec::Caterpillar { leaf_frac: 0.5 },
             FamilySpec::LiftedGadget { delta: 3, height: 2 },
+            FamilySpec::Pods { pod_size: 8, cross_links: 2 },
         ],
         sizes: vec![64, 128, 256],
         seeds: vec![1, 2, 3],
@@ -157,11 +160,19 @@ mod tests {
     }
 
     #[test]
-    fn zoo_covers_all_six_families() {
+    fn zoo_covers_all_seven_families() {
         let spec = zoo();
-        assert_eq!(spec.families.len(), 6);
+        assert_eq!(spec.families.len(), 7);
         let slugs: Vec<String> = spec.families.iter().map(FamilySpec::slug).collect();
-        for expect in ["3-regular", "gnm-d3", "torus", "hypercube", "caterpillar-50", "lift-d3h2"] {
+        for expect in [
+            "3-regular",
+            "gnm-d3",
+            "torus",
+            "hypercube",
+            "caterpillar-50",
+            "lift-d3h2",
+            "pods-p8x2",
+        ] {
             assert!(slugs.contains(&expect.to_string()), "zoo missing {expect}");
         }
         assert_eq!(spec.algos.len(), 3);

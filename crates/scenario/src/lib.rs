@@ -20,6 +20,7 @@
 //! | `Hypercube` | `gen::hypercube` |
 //! | `Caterpillar { leaf_frac }` | `gen::caterpillar` |
 //! | `LiftedGadget { delta, height }` | `gen::random_lift` of a `(log, Δ)`-gadget base |
+//! | `Pods { pod_size, cross_links }` | `gen::pods` (sparse cross-linked cliques; streams natively via `gen::pods_into`) |
 //!
 //! The `scenarios` binary (`list` / `describe` / `run`) is the CLI
 //! surface; see the repository README's "Scenario catalog" section for
@@ -38,7 +39,8 @@ pub use cache::SnapshotCache;
 pub use catalog::{builtins, catalog, find, load_dir, DEFAULT_SPEC_DIR};
 pub use run::{
     expand, experiment_name, measure_cell, run_spec, schedule_for, try_measure_cell,
-    try_measure_cell_full, CellError, CellMeasurement, MeasureOpts, EXPERIMENT_ID,
+    try_measure_cell_full, try_measure_cell_store, CellError, CellMeasurement, MeasureOpts,
+    EXPERIMENT_ID,
 };
 pub use spec::{AlgoSpec, FamilySpec, ScenarioSpec, SpecError};
 pub use verify::{verify_run, RowViolation, VerifiedRun};

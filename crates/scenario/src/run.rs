@@ -27,12 +27,13 @@ use lcl_bench::{
     Row, Schedule,
 };
 use lcl_core::problems::{MatchingLabel, MisLabel};
-use lcl_local::{IdAssignment, Network};
+use lcl_graph::ShardedSnapshot;
+use lcl_local::{assigned_ids, IdAssignment, Network};
 use lcl_report::{bench_history, cost_history, RunStore};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Experiment id stamped on every scenario row (the run-store directory
 /// carries the scenario name: `scenario-<name>`).
@@ -62,8 +63,8 @@ impl fmt::Display for CellError {
 
 /// How cells are measured, beyond the executor: the switches `run_spec`
 /// derives from the CLI surface (`--certify`, `--shard`,
-/// `--snapshot-dir` / `LCL_SNAPSHOT_DIR`).
-#[derive(Debug, Default)]
+/// `--snapshot-dir` / `LCL_SNAPSHOT_DIR`, `LCL_HUGE_THRESHOLD`).
+#[derive(Debug)]
 pub struct MeasureOpts {
     /// Re-check every algorithm output with the independent `lcl_certify`
     /// checkers before accepting its row.
@@ -75,17 +76,34 @@ pub struct MeasureOpts {
     pub shard: bool,
     /// Frozen-snapshot cache for built instances, if enabled.
     pub snapshots: Option<SnapshotCache>,
+    /// Cells with `n` above this run **store-backed** when `shard` and
+    /// `snapshots` are both on: the instance streams into (or loads from)
+    /// a per-component sharded snapshot, each shard runs as its own
+    /// schedulable work item, and only one shard's bytes are mapped per
+    /// worker at a time. Rows stay byte-identical to the in-memory path.
+    pub huge_threshold: usize,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        // 2^20 nodes: comfortably in-memory below, streaming territory
+        // above (a derived 0 would silently route *every* cell through
+        // the store).
+        MeasureOpts { certify: false, shard: false, snapshots: None, huge_threshold: 1 << 20 }
+    }
 }
 
 impl MeasureOpts {
     /// Derives the measurement switches from parsed CLI options:
     /// `--certify`, `--shard`, and `--snapshot-dir DIR` (falling back to
-    /// the `LCL_SNAPSHOT_DIR` environment variable).
+    /// the `LCL_SNAPSHOT_DIR` environment variable); the store cut-over
+    /// size comes from `LCL_HUGE_THRESHOLD` (default `2^20`).
     ///
     /// # Panics
     ///
     /// Panics if a requested snapshot directory cannot be created — a
-    /// run asked to cache must not silently run uncached.
+    /// run asked to cache must not silently run uncached — or if
+    /// `LCL_HUGE_THRESHOLD` is set but not a number.
     #[must_use]
     pub fn from_cli(opts: &CliOpts) -> MeasureOpts {
         let dir = opts
@@ -96,7 +114,18 @@ impl MeasureOpts {
             SnapshotCache::open(&d)
                 .unwrap_or_else(|e| panic!("cannot open snapshot dir {}: {e}", d.display()))
         });
-        MeasureOpts { certify: opts.has("--certify"), shard: opts.has("--shard"), snapshots }
+        let huge_threshold = opts
+            .value_of("--huge-threshold")
+            .map(ToString::to_string)
+            .or_else(|| std::env::var("LCL_HUGE_THRESHOLD").ok())
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("huge threshold `{v}` not a size")))
+            .unwrap_or(1 << 20);
+        MeasureOpts {
+            certify: opts.has("--certify"),
+            shard: opts.has("--shard"),
+            snapshots,
+            huge_threshold,
+        }
     }
 }
 
@@ -248,6 +277,186 @@ fn try_run_algo(
     }
 }
 
+/// Measures a store-backed cell **sequentially in-cell**: every shard of
+/// the published sharded snapshot in order, reassembled into the exact
+/// rows [`try_measure_cell_full`] emits on the unsharded instance (the
+/// byte-identity this is pinned to in `tests/store_equiv.rs`). `run_spec`
+/// instead spreads the shards across the scheduler pool as individual
+/// work items; this entry point is the reference path and what external
+/// callers (verify, tests) use.
+///
+/// # Errors
+///
+/// [`CellError`] naming the cell, with the failing shard in the detail.
+pub fn try_measure_cell_store(
+    cell: &Cell<FamilySpec>,
+    snap: &ShardedSnapshot,
+    algos: &[AlgoSpec],
+    exec: EngineExec,
+    m: &MeasureOpts,
+) -> Result<CellMeasurement, CellError> {
+    let mut shards = Vec::with_capacity(snap.shard_count());
+    for part in 0..snap.shard_count() {
+        shards.push(measure_shard(cell, snap, part, algos, exec, m)?);
+    }
+    Ok(CellMeasurement {
+        rows: assemble_store_cell(cell, snap, algos, &shards),
+        graph_hash: snap.graph_hash(),
+    })
+}
+
+/// How one grid cell will execute: in memory as one unit, or backed by a
+/// per-component sharded snapshot with every shard its own work item.
+#[derive(Clone, Debug)]
+enum CellPlan {
+    /// Build (or snapshot-load) the whole instance and measure in one go
+    /// — every cell below the huge threshold.
+    Whole,
+    /// Run from the published sharded store: shards are the schedulable
+    /// unit, and only a shard's own bytes are mapped while it runs.
+    Store(Arc<ShardedSnapshot>),
+    /// The store could not be built/opened; the cell fails with this
+    /// detail (it is too big to fall back to the in-memory path).
+    StoreFailed(String),
+}
+
+/// One algorithm's contribution from one shard, sufficient to reassemble
+/// the cell row exactly: components are independent, so the global run's
+/// rounds are the max over shards and its fractions sum over shards.
+#[derive(Clone, Debug)]
+struct AlgoPart {
+    rounds: u32,
+    /// Nodes labeled `InSet` (Luby) / `Matched` (matching) in the shard.
+    count: u64,
+    /// Distinct colors used in the shard (Linial); the cell's palette is
+    /// the union.
+    palette: Vec<u32>,
+}
+
+/// What one work item returns: a whole cell's measurement, or one shard's
+/// per-algorithm contributions.
+#[derive(Clone, Debug)]
+enum PartResult {
+    Whole(CellMeasurement),
+    Shard(Vec<AlgoPart>),
+}
+
+/// Measures one shard of a store-backed cell: maps the shard image, wraps
+/// it in a [`Network`] carrying the **global** identifiers (sliced from
+/// the full permutation via [`lcl_local::assigned_ids`] and the member
+/// table) and the global `(n, Δ)` announcements, and runs every algorithm
+/// on it. Per-node behavior depends only on the local id, the port order,
+/// and the announced globals — all preserved — so reassembled rows are
+/// byte-identical to the unsharded run's.
+fn measure_shard(
+    cell: &Cell<FamilySpec>,
+    snap: &ShardedSnapshot,
+    part: usize,
+    algos: &[AlgoSpec],
+    exec: EngineExec,
+    m: &MeasureOpts,
+) -> Result<Vec<AlgoPart>, CellError> {
+    let fail = |detail: String| CellError {
+        family: cell.family.slug(),
+        n: cell.n,
+        seed: cell.seed,
+        detail: format!("shard {part}: {detail}"),
+    };
+    let g = snap.load_shard(part).map_err(|e| fail(e.to_string()))?;
+    let ids = assigned_ids(snap.node_count(), IdAssignment::Shuffled { seed: cell.seed });
+    let shard_ids: Vec<u64> = snap.members(part).iter().map(|&v| ids[v as usize]).collect();
+    let net = Network::with_ids(g, shard_ids)
+        .with_known_n(snap.node_count())
+        .with_announced_max_degree(snap.max_degree());
+    let mut parts = Vec::with_capacity(algos.len());
+    for algo in algos {
+        let with_algo = |e: String| fail(format!("{}: {e}", algo.slug()));
+        let part = match algo {
+            AlgoSpec::Luby => {
+                let out = lcl_algos::luby_rounds::try_run_with(&net, cell.seed, &exec)
+                    .map_err(|e| with_algo(e.to_string()))?;
+                if m.certify {
+                    recheck(net.graph(), out.solution(net.graph())).map_err(with_algo)?;
+                }
+                let count = net
+                    .graph()
+                    .nodes()
+                    .filter(|&v| *out.labeling.node(v) == MisLabel::InSet)
+                    .count() as u64;
+                AlgoPart { rounds: out.rounds, count, palette: Vec::new() }
+            }
+            AlgoSpec::Matching => {
+                let out = lcl_algos::matching_rounds::try_run_with(&net, cell.seed, &exec)
+                    .map_err(|e| with_algo(e.to_string()))?;
+                if m.certify {
+                    recheck(net.graph(), out.solution(net.graph())).map_err(with_algo)?;
+                }
+                let count = net
+                    .graph()
+                    .nodes()
+                    .filter(|&v| *out.labeling.node(v) == MatchingLabel::Matched)
+                    .count() as u64;
+                AlgoPart { rounds: out.rounds, count, palette: Vec::new() }
+            }
+            AlgoSpec::Linial => {
+                let out = lcl_algos::linial::try_run_with(&net, &exec)
+                    .map_err(|e| with_algo(e.to_string()))?;
+                if m.certify {
+                    recheck(net.graph(), Ok(out.solution(net.graph()))).map_err(with_algo)?;
+                }
+                let mut palette = out.colors.clone();
+                palette.sort_unstable();
+                palette.dedup();
+                AlgoPart { rounds: out.total_rounds(), count: 0, palette }
+            }
+        };
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+/// Reassembles a store-backed cell's rows from its shard contributions —
+/// the exact rows [`try_measure_cell_full`] would emit on the unsharded
+/// instance: rounds are the max over shards (components are independent;
+/// the global engine runs until its slowest component settles), fractions
+/// sum, and Linial's palette is the union.
+#[allow(clippy::cast_precision_loss)]
+fn assemble_store_cell(
+    cell: &Cell<FamilySpec>,
+    snap: &ShardedSnapshot,
+    algos: &[AlgoSpec],
+    shards: &[Vec<AlgoPart>],
+) -> Vec<Row> {
+    let n = snap.node_count() as f64;
+    let nodes = n;
+    let edges = snap.edge_count() as f64;
+    let mut rows = Vec::with_capacity(algos.len());
+    for (k, algo) in algos.iter().enumerate() {
+        let rounds = shards.iter().map(|s| s[k].rounds).max().unwrap_or(0);
+        let total: u64 = shards.iter().map(|s| s[k].count).sum();
+        let metric = match algo {
+            AlgoSpec::Luby => ("mis_frac".to_string(), total as f64 / n),
+            AlgoSpec::Matching => ("matched_frac".to_string(), total as f64 / n),
+            AlgoSpec::Linial => {
+                let mut palette: Vec<u32> =
+                    shards.iter().flat_map(|s| s[k].palette.iter().copied()).collect();
+                palette.sort_unstable();
+                palette.dedup();
+                ("colors".to_string(), palette.len() as f64)
+            }
+        };
+        rows.push(Row {
+            experiment: EXPERIMENT_ID,
+            series: format!("{}/{}", cell.family.slug(), algo.slug()),
+            n: cell.n,
+            seed: cell.seed,
+            measured: f64::from(rounds),
+            extra: vec![metric, ("nodes".to_string(), nodes), ("edges".to_string(), edges)],
+        });
+    }
+    rows
+}
+
 /// Expands the spec into its cell grid (family outermost, seed innermost
 /// — the canonical row-major order every bin uses).
 #[must_use]
@@ -275,15 +484,11 @@ pub fn schedule_for(
     opts: &CliOpts,
     runner: &BatchRunner,
 ) -> Option<Schedule> {
-    if opts.has("--no-sched") || !(opts.has("--sched") || runner.is_parallel()) {
+    if !sched_requested(opts, runner) {
         return None;
     }
-    let mut samples = cost_history(&RunStore::new(&opts.out)).unwrap_or_default();
-    if let Some(dir) = std::env::var_os("LCL_BENCH_JSON_DIR") {
-        samples.extend(bench_history(Path::new(&dir)));
-    }
-    let model = CostModel::fit(&samples);
-    let algo_set = algos.iter().map(|a| a.slug()).collect::<Vec<_>>().join("+");
+    let model = fit_cost_model(opts);
+    let algo_set = algo_set_slug(algos);
     let classes: Vec<(String, String, usize)> =
         cells.iter().map(|c| (c.family.slug(), algo_set.clone(), c.n)).collect();
     let statics: Vec<f64> = cells
@@ -292,6 +497,27 @@ pub fn schedule_for(
         .collect();
     let costs = predict_costs(&model, &classes, &statics);
     Some(build_schedule(&costs, lcl_bench::pool_width()))
+}
+
+/// Whether this run plans a schedule at all (shared gating of
+/// [`schedule_for`] and the store-backed per-shard planner).
+fn sched_requested(opts: &CliOpts, runner: &BatchRunner) -> bool {
+    !opts.has("--no-sched") && (opts.has("--sched") || runner.is_parallel())
+}
+
+/// Fits the cost model on every persisted run under `opts.out` plus any
+/// `BENCH_*.json` under `LCL_BENCH_JSON_DIR`.
+fn fit_cost_model(opts: &CliOpts) -> CostModel {
+    let mut samples = cost_history(&RunStore::new(&opts.out)).unwrap_or_default();
+    if let Some(dir) = std::env::var_os("LCL_BENCH_JSON_DIR") {
+        samples.extend(bench_history(Path::new(&dir)));
+    }
+    CostModel::fit(&samples)
+}
+
+/// The `algos` class label used in cost-model sample keys.
+fn algo_set_slug(algos: &[AlgoSpec]) -> String {
+    algos.iter().map(AlgoSpec::slug).collect::<Vec<_>>().join("+")
 }
 
 /// Runs a whole scenario through the batch engine and returns the report
@@ -311,21 +537,49 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
     let exec = runner.node_executor();
     let algos = spec.algos.clone();
     let m = MeasureOpts::from_cli(opts);
+    // Plan every cell up front: huge cells (above the threshold, with
+    // sharding and a snapshot dir on) run store-backed, everything else
+    // in memory. Opening/streaming the stores here also hands the
+    // scheduler the per-shard sizes it needs.
+    let plans: Vec<CellPlan> = cells
+        .iter()
+        .map(|c| {
+            if !m.shard || c.n <= m.huge_threshold {
+                return CellPlan::Whole;
+            }
+            let Some(cache) = &m.snapshots else { return CellPlan::Whole };
+            match cache.load_or_build_sharded(&c.family, c.n, c.seed) {
+                Ok(s) => CellPlan::Store(Arc::new(s)),
+                Err(e) => CellPlan::StoreFailed(e),
+            }
+        })
+        .collect();
     // Cells report their instance hash through a side channel (the
     // measure closure only returns rows); the map is re-read in canonical
     // cell order below, so pooled and sequential manifests are identical.
     let hashes: Mutex<HashMap<(String, usize, u64), u64>> = Mutex::new(HashMap::new());
-    let measure = |cell: &Cell<FamilySpec>| {
-        try_measure_cell_full(cell, &algos, exec, &m).map(|out| {
-            let key = (cell.family.slug(), cell.n, cell.seed);
-            hashes.lock().expect("hash channel poisoned").insert(key, out.graph_hash);
-            out.rows
-        })
-    };
-    let sched = schedule_for(&cells, &algos, opts, &runner);
-    let run = match &sched {
-        Some(s) => runner.try_run_groups(&cells, &s.groups, measure),
-        None => runner.try_run_timed(&cells, measure),
+    let any_store = plans.iter().any(|p| !matches!(p, CellPlan::Whole));
+    let (run, sched_meta) = if any_store {
+        run_with_store_cells(&cells, &plans, &algos, exec, &m, opts, &runner, &hashes)
+    } else {
+        let measure = |cell: &Cell<FamilySpec>| {
+            try_measure_cell_full(cell, &algos, exec, &m).map(|out| {
+                let key = (cell.family.slug(), cell.n, cell.seed);
+                hashes.lock().expect("hash channel poisoned").insert(key, out.graph_hash);
+                out.rows
+            })
+        };
+        let sched = schedule_for(&cells, &algos, opts, &runner);
+        let run = match &sched {
+            Some(s) => runner.try_run_groups(&cells, &s.groups, measure),
+            None => runner.try_run_timed(&cells, measure),
+        };
+        let meta = sched.map(|s| SchedMeta {
+            workers: s.workers,
+            predicted_makespan_ms: s.predicted_makespan_ms,
+            predicted_cell_ms: s.predicted_ms,
+        });
+        (run, meta)
     };
     let (mut report, failures, cell_ms) = (run.report, run.failures, run.cell_ms);
     report.push_meta("scenario", spec.name.clone());
@@ -338,11 +592,18 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
             report.push_meta(format!("graph:{}:{}:{}", key.0, key.1, key.2), format!("{h:016x}"));
         }
     }
+    // Store-backed cells leave a shard-count marker, so `results show`
+    // and verify know which rows came through the snapshot store.
+    for (cell, plan) in cells.iter().zip(&plans) {
+        if let CellPlan::Store(s) = plan {
+            report.push_meta(format!("shards:{}", cell.key()), s.shard_count().to_string());
+        }
+    }
     // Per-cell wall clock, in every run: the next run's training data.
     for (cell, ms) in cells.iter().zip(&cell_ms) {
         report.push_meta(format!("cell_ms:{}", cell.key()), format!("{ms:.3}"));
     }
-    if let Some(s) = &sched {
+    if let Some(s) = &sched_meta {
         report.push_meta(
             "sched",
             format!("workers={} predicted_makespan_ms={:.3}", s.workers, s.predicted_makespan_ms),
@@ -352,7 +613,7 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
         for (i, cell) in cells.iter().enumerate() {
             report.push_meta(
                 format!("predicted_ms:{}", cell.key()),
-                format!("{:.3}", s.predicted_ms[i]),
+                format!("{:.3}", s.predicted_cell_ms[i]),
             );
             report.push_meta(format!("actual_ms:{}", cell.key()), format!("{:.3}", cell_ms[i]));
         }
@@ -362,6 +623,134 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &CliOpts) -> (Report, Vec<CellError>)
         eprintln!("snapshot cache: {hits} hits, {misses} misses in {}", cache.dir().display());
     }
     (report, failures.into_iter().map(|(_, e)| e).collect())
+}
+
+/// Schedule provenance shared by the cell-level and part-level dispatch
+/// paths: predictions are reported per **cell** either way (a store cell's
+/// prediction is the sum over its shard items).
+struct SchedMeta {
+    workers: usize,
+    predicted_makespan_ms: f64,
+    predicted_cell_ms: Vec<f64>,
+}
+
+/// The mixed huge+small dispatch: every store-backed cell contributes one
+/// work item per shard, every in-memory cell one item, and all items share
+/// the single scheduler pool ([`lcl_bench::BatchRunner::try_run_parts`]).
+/// Without a schedule (`--seq` / `--no-sched`) items run as individual
+/// pool jobs in canonical order.
+#[allow(clippy::too_many_arguments)]
+fn run_with_store_cells(
+    cells: &[Cell<FamilySpec>],
+    plans: &[CellPlan],
+    algos: &[AlgoSpec],
+    exec: EngineExec,
+    m: &MeasureOpts,
+    opts: &CliOpts,
+    runner: &BatchRunner,
+    hashes: &Mutex<HashMap<(String, usize, u64), u64>>,
+) -> (lcl_bench::GridRun<CellError>, Option<SchedMeta>) {
+    let parts_per_cell: Vec<usize> = plans
+        .iter()
+        .map(|p| match p {
+            CellPlan::Store(s) => s.shard_count().max(1),
+            CellPlan::Whole | CellPlan::StoreFailed(_) => 1,
+        })
+        .collect();
+    // Item-level cost classes: a shard item is costed like a small cell
+    // of the shard's size (the per-component sizes come straight from the
+    // shard manifest).
+    let item_sizes: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, p)| -> Vec<(usize, usize)> {
+            match p {
+                CellPlan::Store(s) => {
+                    (0..s.shard_count().max(1)).map(|k| (ci, s.shard_meta(k).n)).collect()
+                }
+                CellPlan::Whole | CellPlan::StoreFailed(_) => vec![(ci, cells[ci].n)],
+            }
+        })
+        .collect();
+    let sched = if sched_requested(opts, runner) {
+        let model = fit_cost_model(opts);
+        let algo_set = algo_set_slug(algos);
+        let classes: Vec<(String, String, usize)> = item_sizes
+            .iter()
+            .map(|&(ci, n)| (cells[ci].family.slug(), algo_set.clone(), n))
+            .collect();
+        let statics: Vec<f64> = item_sizes
+            .iter()
+            .map(|&(ci, n)| {
+                cells[ci].family.cost_weight(n)
+                    * algos.iter().map(|a| a.cost_factor(n)).sum::<f64>()
+            })
+            .collect();
+        let costs = predict_costs(&model, &classes, &statics);
+        Some(build_schedule(&costs, lcl_bench::pool_width()))
+    } else {
+        None
+    };
+    let groups: Vec<Vec<usize>> = match &sched {
+        Some(s) => s.groups.clone(),
+        // No plan: one pool job per item (chunk-claimed when parallel,
+        // canonical order when sequential).
+        None => (0..item_sizes.len()).map(|j| vec![j]).collect(),
+    };
+    let measure_part = |ci: usize, part: usize| -> Result<PartResult, CellError> {
+        match &plans[ci] {
+            CellPlan::Whole => {
+                try_measure_cell_full(&cells[ci], algos, exec, m).map(PartResult::Whole)
+            }
+            CellPlan::Store(s) => {
+                measure_shard(&cells[ci], s, part, algos, exec, m).map(PartResult::Shard)
+            }
+            CellPlan::StoreFailed(e) => Err(CellError {
+                family: cells[ci].family.slug(),
+                n: cells[ci].n,
+                seed: cells[ci].seed,
+                detail: e.clone(),
+            }),
+        }
+    };
+    let assemble = |ci: usize, mut parts: Vec<PartResult>| -> Result<Vec<Row>, CellError> {
+        let cell = &cells[ci];
+        let key = (cell.family.slug(), cell.n, cell.seed);
+        match &plans[ci] {
+            CellPlan::Whole => {
+                let Some(PartResult::Whole(out)) = parts.pop() else {
+                    unreachable!("whole cells are single-part")
+                };
+                hashes.lock().expect("hash channel poisoned").insert(key, out.graph_hash);
+                Ok(out.rows)
+            }
+            CellPlan::Store(s) => {
+                let shards: Vec<Vec<AlgoPart>> = parts
+                    .into_iter()
+                    .map(|p| match p {
+                        PartResult::Shard(v) => v,
+                        PartResult::Whole(_) => unreachable!("store cells yield shard parts"),
+                    })
+                    .collect();
+                hashes.lock().expect("hash channel poisoned").insert(key, s.graph_hash());
+                Ok(assemble_store_cell(cell, s, algos, &shards))
+            }
+            CellPlan::StoreFailed(_) => unreachable!("failed stores never reach assembly"),
+        }
+    };
+    let run = runner.try_run_parts(cells, &parts_per_cell, &groups, measure_part, assemble);
+    let meta = sched.map(|s| {
+        let mut predicted_cell_ms = vec![0.0; cells.len()];
+        for (j, &(ci, _)) in item_sizes.iter().enumerate() {
+            predicted_cell_ms[ci] += s.predicted_ms[j];
+        }
+        SchedMeta {
+            workers: s.workers,
+            predicted_makespan_ms: s.predicted_makespan_ms,
+            predicted_cell_ms,
+        }
+    });
+    (run, meta)
 }
 
 /// The run-store experiment name for a scenario.

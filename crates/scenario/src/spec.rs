@@ -49,6 +49,19 @@ pub enum FamilySpec {
         /// Sub-gadget tree height of the base gadget.
         height: u32,
     },
+    /// Seeded sparse-pod family (Octopus-style): `n / pod_size` cliques of
+    /// `pod_size` nodes, each cross-linked to its `cross_links` ring
+    /// successors by single random edges. Low degree
+    /// (`Δ ≤ pod_size − 1 + 2·cross_links`) at any scale, which is what
+    /// makes it the huge-instance workhorse: it streams straight into a
+    /// snapshot sink without ever materializing ([`FamilySpec::build_into`]).
+    Pods {
+        /// Nodes per clique pod (`≥ 2`).
+        pod_size: usize,
+        /// Ring successors each pod links to (`0` leaves the pods
+        /// disconnected — one component per pod).
+        cross_links: usize,
+    },
 }
 
 impl FamilySpec {
@@ -65,6 +78,9 @@ impl FamilySpec {
                 format!("caterpillar-{}", (leaf_frac * 100.0).round())
             }
             FamilySpec::LiftedGadget { delta, height } => format!("lift-d{delta}h{height}"),
+            FamilySpec::Pods { pod_size, cross_links } => {
+                format!("pods-p{pod_size}x{cross_links}")
+            }
         }
     }
 
@@ -85,6 +101,12 @@ impl FamilySpec {
             }
             FamilySpec::LiftedGadget { delta, height } => {
                 format!("random k-lift of the (log, Δ={delta}) gadget at height {height}")
+            }
+            FamilySpec::Pods { pod_size, cross_links } => {
+                format!(
+                    "sparse pods: n/{pod_size} cliques of {pod_size}, {cross_links} ring \
+                     cross-link(s) each"
+                )
             }
         }
     }
@@ -132,6 +154,36 @@ impl FamilySpec {
                 let k = (n / base.graph.node_count()).max(1);
                 Ok(gen::random_lift(&base.graph, k, seed))
             }
+            FamilySpec::Pods { pod_size, cross_links } => {
+                gen::pods((n / pod_size).max(1), *pod_size, *cross_links, seed)
+            }
+        }
+    }
+
+    /// Streams the family member straight into a [`lcl_graph::GraphSink`]
+    /// — the same instance [`FamilySpec::build`] returns, edge for edge in
+    /// the same order, which is what lets huge cells freeze to a sharded
+    /// snapshot without ever holding the graph. The pods family generates
+    /// natively in streaming order; every other family builds in memory
+    /// and replays (they are only used at sizes where that is fine).
+    ///
+    /// # Errors
+    ///
+    /// As [`FamilySpec::build`].
+    pub fn build_into<S: lcl_graph::GraphSink>(
+        &self,
+        n: usize,
+        seed: u64,
+        sink: &mut S,
+    ) -> Result<(), GenError> {
+        match self {
+            FamilySpec::Pods { pod_size, cross_links } => {
+                gen::pods_into((n / pod_size).max(1), *pod_size, *cross_links, seed, sink)
+            }
+            _ => {
+                self.build(n, seed)?.stream_into(sink);
+                Ok(())
+            }
         }
     }
 
@@ -166,6 +218,14 @@ impl FamilySpec {
                 if !(1..=8).contains(delta) || !(1..=6).contains(height) {
                     return fail(format!(
                         "gadget base delta {delta} / height {height} outside 1..=8 / 1..=6"
+                    ));
+                }
+            }
+            FamilySpec::Pods { pod_size, cross_links } => {
+                if !(2..=32).contains(pod_size) || *cross_links > 8 {
+                    return fail(format!(
+                        "pods pod_size {pod_size} / cross_links {cross_links} outside \
+                         2..=32 / 0..=8"
                     ));
                 }
             }
@@ -211,6 +271,16 @@ impl FamilySpec {
                     return Err(format!("leaf_frac {leaf_frac} leaves an empty spine at n = {n}"));
                 }
             }
+            FamilySpec::Pods { pod_size, cross_links } => {
+                let pods = (n / pod_size).max(1);
+                if pods > 1 && 2 * cross_links >= pods {
+                    return Err(format!(
+                        "{cross_links} cross-link(s) need more than {} pods, but n = {n} \
+                         only yields {pods} pods of {pod_size}",
+                        2 * cross_links
+                    ));
+                }
+            }
             FamilySpec::Torus | FamilySpec::Hypercube | FamilySpec::LiftedGadget { .. } => {}
         }
         Ok(())
@@ -244,6 +314,14 @@ impl FamilySpec {
                 let delta = *delta as f64;
                 nf * (1.0 + delta / 2.0)
             }
+            // Each node sees its pod (pod_size − 1 clique neighbors) plus
+            // ~2·cross_links/pod_size cross edges: m ≈ n·(pod_size − 1)/2.
+            FamilySpec::Pods { pod_size, cross_links } => {
+                #[allow(clippy::cast_precision_loss)]
+                let per_node =
+                    (*pod_size as f64 - 1.0) / 2.0 + *cross_links as f64 / *pod_size as f64;
+                nf * (1.0 + per_node)
+            }
         }
     }
 
@@ -275,6 +353,13 @@ impl FamilySpec {
             return Some(FamilySpec::LiftedGadget {
                 delta: delta.parse().ok()?,
                 height: height.parse().ok()?,
+            });
+        }
+        if let Some(rest) = slug.strip_prefix("pods-p") {
+            let (pod_size, cross_links) = rest.split_once('x')?;
+            return Some(FamilySpec::Pods {
+                pod_size: pod_size.parse().ok()?,
+                cross_links: cross_links.parse().ok()?,
             });
         }
         None
@@ -440,8 +525,8 @@ impl ScenarioSpec {
         if self.algos.is_empty() {
             return Err(SpecError("at least one algorithm required".into()));
         }
-        if let Some(&n) = self.sizes.iter().find(|&&n| !(16..=1 << 20).contains(&n)) {
-            return Err(SpecError(format!("size {n} outside the supported 16..=2^20")));
+        if let Some(&n) = self.sizes.iter().find(|&&n| !(16..=1 << 22).contains(&n)) {
+            return Err(SpecError(format!("size {n} outside the supported 16..=2^22")));
         }
         for (i, f) in self.families.iter().enumerate() {
             f.validate(i)?;
@@ -615,6 +700,34 @@ mod tests {
             FamilySpec::from_slug("caterpillar-40"),
             Some(FamilySpec::Caterpillar { leaf_frac: 0.4 })
         );
+    }
+
+    #[test]
+    fn pods_family_builds_streams_and_validates() {
+        let f = FamilySpec::Pods { pod_size: 8, cross_links: 2 };
+        assert_eq!(f.slug(), "pods-p8x2");
+        assert_eq!(FamilySpec::from_slug("pods-p8x2"), Some(f.clone()));
+        let g = f.build(64, 3).unwrap();
+        assert_eq!(g.node_count(), 64);
+        assert!(!g.has_multi_edges_or_loops());
+        assert!(g.max_degree() <= 7 + 4);
+        // Streaming emits the identical instance.
+        let mut streamed = Graph::new();
+        f.build_into(64, 3, &mut streamed).unwrap();
+        assert_eq!(g, streamed);
+        // Non-pods families stream too (via in-memory replay).
+        let mut torus = Graph::new();
+        FamilySpec::Torus.build_into(25, 1, &mut torus).unwrap();
+        assert_eq!(torus, FamilySpec::Torus.build(25, 1).unwrap());
+        // Knob and per-cell validation.
+        let mut spec = demo_spec();
+        spec.families = vec![FamilySpec::Pods { pod_size: 40, cross_links: 2 }];
+        assert!(spec.validate().unwrap_err().to_string().contains("pod_size"));
+        // n = 64 at pod_size 16 yields 4 pods: 2 cross-links need > 4.
+        let f = FamilySpec::Pods { pod_size: 16, cross_links: 2 };
+        assert!(f.validate_cell(64).is_err());
+        assert!(f.validate_cell(128).is_ok());
+        assert!(f.cost_weight(1 << 22) > 0.0);
     }
 
     #[test]

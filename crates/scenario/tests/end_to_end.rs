@@ -1,7 +1,7 @@
 //! End-to-end scenario runs: spec → grid → batch engine → run store.
 //!
 //! The acceptance path of the scenario subsystem: a preset covering all
-//! six zoo families persists a run whose pooled and sequential
+//! seven zoo families persists a run whose pooled and sequential
 //! `rows.jsonl` are byte-identical, with the spec hash recorded in the
 //! manifest meta.
 
@@ -30,14 +30,14 @@ fn opts(quick_seq: (bool, bool), out: &Path, run_id: &str) -> CliOpts {
     opts
 }
 
-/// The tentpole acceptance: `zoo --quick` (all six families) persists
+/// The tentpole acceptance: `zoo --quick` (all seven families) persists
 /// pooled and `--seq` runs with byte-identical `rows.jsonl`, zero diff,
 /// and the spec hash in both manifests.
 #[test]
 fn zoo_quick_pooled_and_sequential_runs_are_byte_identical() {
     let root = temp_root("zoo");
     let spec = lcl_scenario::catalog::zoo();
-    assert_eq!(spec.families.len(), 6);
+    assert_eq!(spec.families.len(), 7);
 
     let par_opts = opts((true, false), &root, "par");
     let (par, par_failures) = run_spec(&spec, &par_opts);
@@ -77,7 +77,7 @@ fn zoo_quick_pooled_and_sequential_runs_are_byte_identical() {
         assert_eq!(run.manifest.experiment, "scenario-zoo");
     }
     // Every family × algo series is present in the persisted run.
-    assert_eq!(a.manifest.series.len(), 6 * 3);
+    assert_eq!(a.manifest.series.len(), 7 * 3);
 
     // The independent certifier replays both persisted runs clean.
     for run in [&a, &b] {

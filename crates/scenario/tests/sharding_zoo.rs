@@ -6,7 +6,7 @@
 //! * the flat [`Components`] partition is a true partition (every node in
 //!   exactly one component, components closed under adjacency, `extract`
 //!   interchangeable with `induced_subgraph`) on instances drawn from all
-//!   six generator families;
+//!   seven generator families;
 //! * property tests: on random disconnected instances, the sharded entry
 //!   points of both round-engine algorithms (`luby_rounds`,
 //!   `matching_rounds`) produce **bit-identical** labelings and round

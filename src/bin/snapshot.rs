@@ -3,21 +3,29 @@
 //! ```text
 //! snapshot freeze <family-slug> <n> <seed> <path>   build + freeze an instance
 //! snapshot check <path>                             load + validate (hash, bounds)
+//! snapshot info <path>                              print header fields only
 //! snapshot roundtrip <family-slug> <n> <seed>       freeze → load → byte-compare
+//! snapshot stream <family-slug> <n> <seed> <dir> [max-shards]
+//!                                                   stream-freeze to a sharded store
 //! ```
 //!
 //! `check` exercises the full `Graph::load_frozen` validation surface —
 //! magic, version, payload length, FNV content hash, CSR bounds — so a
-//! corrupted image exits nonzero with the loader's message. `roundtrip`
+//! corrupted image exits nonzero with the loader's message. `info` reads
+//! **only the 32-byte header** (no tables are mapped or validated): the
+//! cheap way to identify an image of any size. `roundtrip`
 //! is self-contained: it builds the instance, freezes it to a temp file,
 //! loads it back, and byte-compares both the structural graph and a
 //! re-frozen image (the frozen format is canonical: freeze ∘ load ∘
-//! freeze is the identity on bytes). Family slugs are the scenario
-//! layer's (`torus`, `hypercube`, `3-regular`, `caterpillar-40`, …).
+//! freeze is the identity on bytes). `stream` never materializes the
+//! graph: the generator emits straight into a `ShardedSnapshotWriter`
+//! (bounded working memory — CI's huge-instance `ulimit -v` leg drives
+//! it at n = 2²²). Family slugs are the scenario layer's (`torus`,
+//! `hypercube`, `3-regular`, `caterpillar-40`, `pods-p8x2`, …).
 //!
 //! Exit codes: 0 ok, 1 validation/roundtrip failure, 2 usage error.
 
-use lcl_graph::Graph;
+use lcl_graph::{snapshot_header, Graph, ShardedSnapshotWriter, DEFAULT_MAX_SHARDS};
 use lcl_scenario::FamilySpec;
 use std::path::Path;
 use std::process::ExitCode;
@@ -25,7 +33,10 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: snapshot <command>
   freeze <family-slug> <n> <seed> <path>   build the instance and freeze it
   check <path>                             load + validate a frozen image
-  roundtrip <family-slug> <n> <seed>       freeze -> load -> byte-compare";
+  info <path>                              print header fields (no table load)
+  roundtrip <family-slug> <n> <seed>       freeze -> load -> byte-compare
+  stream <family-slug> <n> <seed> <dir> [max-shards]
+                                           stream-freeze to a sharded store";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +44,10 @@ fn main() -> ExitCode {
     match strs.as_slice() {
         ["freeze", slug, n, seed, path] => cmd_freeze(slug, n, seed, Path::new(path)),
         ["check", path] => cmd_check(Path::new(path)),
+        ["info", path] => cmd_info(Path::new(path)),
         ["roundtrip", slug, n, seed] => cmd_roundtrip(slug, n, seed),
+        ["stream", slug, n, seed, dir] => cmd_stream(slug, n, seed, Path::new(dir), None),
+        ["stream", slug, n, seed, dir, max] => cmd_stream(slug, n, seed, Path::new(dir), Some(max)),
         _ => {
             eprintln!("snapshot: missing or unknown command\n{USAGE}");
             ExitCode::from(2)
@@ -87,6 +101,75 @@ fn cmd_check(path: &Path) -> ExitCode {
         }
         Err(e) => {
             eprintln!("snapshot: invalid image {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_info(path: &Path) -> ExitCode {
+    match snapshot_header(path) {
+        Ok(h) => {
+            println!(
+                "{}: lclg v{} n={} m={} max_degree={} hash={:016x}",
+                path.display(),
+                h.version,
+                h.n,
+                h.m,
+                h.max_degree,
+                h.hash
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: unreadable header {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stream(slug: &str, n: &str, seed: &str, dir: &Path, max: Option<&str>) -> ExitCode {
+    let parsed = (|| -> Result<(FamilySpec, usize, u64, usize), String> {
+        let family =
+            FamilySpec::from_slug(slug).ok_or_else(|| format!("unknown family slug `{slug}`"))?;
+        let n: usize = n.parse().map_err(|_| format!("bad n `{n}`"))?;
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+        let max_shards = match max {
+            None => DEFAULT_MAX_SHARDS,
+            Some(s) => match s.parse() {
+                Ok(k) if k >= 1 => k,
+                _ => return Err(format!("bad max-shards `{s}` (want an integer >= 1)")),
+            },
+        };
+        Ok((family, n, seed, max_shards))
+    })();
+    let (family, n, seed, max_shards) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let streamed = (|| -> Result<_, String> {
+        let mut w = ShardedSnapshotWriter::create(dir, max_shards)
+            .map_err(|e| format!("cannot start store in {}: {e}", dir.display()))?;
+        family.build_into(n, seed, &mut w).map_err(|e| e.to_string())?;
+        w.finish().map_err(|e| format!("publish failed: {e}"))
+    })();
+    match streamed {
+        Ok(s) => {
+            println!(
+                "streamed {slug} n={} m={} max_degree={} into {} shard(s) at {} (hash {:016x})",
+                s.n,
+                s.m,
+                s.max_degree,
+                s.shards,
+                dir.display(),
+                s.graph_hash
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: stream failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,81 @@
+//! CLI-level checks for the `snapshot` binary's header-only `info`
+//! command and the streaming `stream` command — the two entry points the
+//! CI scale-smoke leg drives, exercised here at sane sizes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn snapshot(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snapshot")).args(args).output().expect("snapshot binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcl-snapcli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn info_prints_header_fields_without_loading_tables() {
+    let dir = tempdir("info");
+    let image = dir.join("torus.lclg");
+    let image_str = image.display().to_string();
+    let froze = snapshot(&["freeze", "torus", "64", "1", &image_str]);
+    assert!(froze.status.success(), "{}", String::from_utf8_lossy(&froze.stderr));
+
+    let out = snapshot(&["info", &image_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert!(line.contains("lclg v1"), "{line}");
+    assert!(line.contains("n=64"), "{line}");
+    assert!(line.contains("m=128"), "{line}");
+    assert!(line.contains("max_degree=4"), "{line}");
+    assert!(line.contains("hash="), "{line}");
+
+    // Truncating the header makes `info` fail loudly with a nonzero exit.
+    std::fs::write(&image, b"LCLG").unwrap();
+    let bad = snapshot(&["info", &image_str]);
+    assert_eq!(bad.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("unreadable header"), "{err}");
+
+    let missing = snapshot(&["info", dir.join("nope.lclg").display().to_string().as_str()]);
+    assert_eq!(missing.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_publishes_a_store_matching_the_monolithic_freeze() {
+    let dir = tempdir("stream");
+    let store = dir.join("pods.shards");
+    let store_str = store.display().to_string();
+    let out = snapshot(&["stream", "pods-p4x0", "64", "1", &store_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert!(line.contains("n=64"), "{line}");
+    assert!(line.contains("16 shard(s)"), "{line}");
+    assert!(store.join("shards.json").is_file());
+
+    // The stream's hash equals the monolithic freeze of the same cell.
+    let image = dir.join("pods.lclg");
+    let image_str = image.display().to_string();
+    let froze = snapshot(&["freeze", "pods-p4x0", "64", "1", &image_str]);
+    assert!(froze.status.success());
+    let hash_of = |stdout: &[u8]| -> String {
+        let text = String::from_utf8_lossy(stdout);
+        let at = text.find("hash ").expect("hash in output") + "hash ".len();
+        text[at..at + 16].to_string()
+    };
+    assert_eq!(hash_of(&out.stdout), hash_of(&froze.stdout));
+
+    // max-shards caps the image count; garbage values are usage errors.
+    let capped = dir.join("capped.shards");
+    let capped_str = capped.display().to_string();
+    let out = snapshot(&["stream", "pods-p4x0", "64", "1", &capped_str, "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 shard(s)"));
+    let bad = snapshot(&["stream", "pods-p4x0", "64", "1", &capped_str, "zero"]);
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
